@@ -1,0 +1,40 @@
+//! End-to-end campaign throughput: how fast a simulated measurement day
+//! runs. These are the numbers that bound full-scale `reproduce_all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satiot_core::active::{ActiveCampaign, ActiveConfig};
+use satiot_core::passive::{PassiveCampaign, PassiveConfig};
+use satiot_terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaigns");
+    group.sample_size(10);
+
+    group.bench_function("passive_hk_1day", |b| {
+        b.iter(|| {
+            let mut cfg = PassiveConfig::quick(1.0);
+            cfg.sites.retain(|s| s.code == "HK");
+            cfg.parallel = false;
+            PassiveCampaign::new(cfg).run()
+        })
+    });
+
+    group.bench_function("active_1day", |b| {
+        b.iter(|| ActiveCampaign::new(ActiveConfig::quick(1.0)).run())
+    });
+
+    group.bench_function("terrestrial_30day", |b| {
+        b.iter(|| {
+            TerrestrialCampaign::new(TerrestrialConfig {
+                days: 30.0,
+                ..Default::default()
+            })
+            .run()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

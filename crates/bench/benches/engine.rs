@@ -1,0 +1,55 @@
+//! Performance of the discrete-event engine and RNG — the inner loop of
+//! every campaign.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use satiot_sim::{Engine, EventQueue, Rng, SimTime};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("rng_next_u64", |b| {
+        let mut rng = Rng::from_seed(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+
+    c.bench_function("rng_normal", |b| {
+        let mut rng = Rng::from_seed(2);
+        b.iter(|| black_box(rng.normal(0.0, 1.0)))
+    });
+
+    c.bench_function("rng_rician", |b| {
+        let mut rng = Rng::from_seed(3);
+        b.iter(|| black_box(rng.rician_power_gain(5.0)))
+    });
+
+    c.bench_function("queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u32 {
+                // Reverse-ish order stresses the heap.
+                q.push(SimTime::from_secs(((i * 7919) % 1_000) as f64), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e as u64;
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("engine_churn_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u32> = Engine::new();
+            engine.schedule_in(1.0, 0);
+            let mut count = 0u32;
+            engine.run_to_exhaustion(|eng, _, n| {
+                count += 1;
+                if n < 9_999 {
+                    eng.schedule_in(1.0, n + 1);
+                }
+            });
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Performance of the orbital-mechanics substrate: SGP4 initialisation,
+//! propagation, frame conversion, and pass prediction. Campaign cost is
+//! dominated by these paths (millions of propagations per site-month).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use satiot_orbit::elements::Elements;
+use satiot_orbit::frames::{teme_to_ecef, Geodetic};
+use satiot_orbit::pass::PassPredictor;
+use satiot_orbit::sgp4::Sgp4;
+use satiot_orbit::time::JulianDate;
+use satiot_orbit::tle::Tle;
+use satiot_orbit::topo::Observer;
+
+const L1: &str = "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    87";
+const L2: &str = "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1058";
+
+fn bench_orbit(c: &mut Criterion) {
+    let tle = Tle::parse_lines(L1, L2).unwrap();
+    let sgp4 = Sgp4::new(&tle).unwrap();
+    let epoch = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+    let leo = Elements::circular(550.0, 97.6, epoch).to_sgp4().unwrap();
+    let hk = Geodetic::from_degrees(22.3193, 114.1694, 0.05);
+    let observer = Observer::new(hk);
+
+    c.bench_function("tle_parse", |b| {
+        b.iter(|| Tle::parse_lines(black_box(L1), black_box(L2)).unwrap())
+    });
+
+    c.bench_function("sgp4_init", |b| b.iter(|| Sgp4::new(black_box(&tle)).unwrap()));
+
+    c.bench_function("sgp4_propagate", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            // Cycle within one day: this element set's drag makes it decay
+            // after a few hundred days, which is not what we are timing.
+            t = (t + 0.1) % 1_440.0;
+            sgp4.propagate(black_box(t)).unwrap()
+        })
+    });
+
+    c.bench_function("teme_to_ecef", |b| {
+        let state = sgp4.propagate(42.0).unwrap();
+        let when = epoch.plus_minutes(42.0);
+        b.iter(|| teme_to_ecef(black_box(&state), black_box(when)))
+    });
+
+    c.bench_function("look_angles", |b| {
+        let state = leo.propagate(17.0).unwrap();
+        let when = epoch.plus_minutes(17.0);
+        b.iter(|| observer.look_at(black_box(&state), black_box(when)))
+    });
+
+    c.bench_function("pass_prediction_1day", |b| {
+        b.iter(|| {
+            let predictor = PassPredictor::new(leo.clone(), hk, 0.0);
+            predictor.passes(black_box(epoch), black_box(epoch + 1.0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_orbit);
+criterion_main!(benches);

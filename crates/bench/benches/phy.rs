@@ -1,0 +1,49 @@
+//! Performance of the packet-level PHY and channel models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use satiot_channel::antenna::AntennaPattern;
+use satiot_channel::budget::LinkBudget;
+use satiot_channel::weather::Weather;
+use satiot_phy::airtime::airtime_s;
+use satiot_phy::frame::LoRaFrame;
+use satiot_phy::params::{CodingRate, LoRaConfig};
+use satiot_phy::per::packet_success_probability;
+use satiot_sim::Rng;
+
+fn bench_phy(c: &mut Criterion) {
+    let cfg = LoRaConfig::dts_beacon();
+    let budget = LinkBudget::dts_downlink(400.45, AntennaPattern::QuarterWaveMonopole);
+
+    c.bench_function("airtime", |b| {
+        b.iter(|| airtime_s(black_box(&cfg), black_box(30)))
+    });
+
+    c.bench_function("per_curve", |b| {
+        b.iter(|| packet_success_probability(black_box(&cfg), black_box(30), black_box(-13.5)))
+    });
+
+    c.bench_function("link_budget_sample", |b| {
+        let mut rng = Rng::from_seed(4);
+        b.iter(|| {
+            budget.sample(
+                black_box(1_500.0),
+                black_box(0.4),
+                Weather::Sunny,
+                black_box(-1.2),
+                &mut rng,
+            )
+        })
+    });
+
+    c.bench_function("frame_encode_decode_30B", |b| {
+        let payload = vec![0xA5u8; 30];
+        b.iter(|| {
+            let frame = LoRaFrame::new(payload.clone(), CodingRate::Cr4_5);
+            let wire = frame.encode();
+            LoRaFrame::decode(black_box(wire)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_phy);
+criterion_main!(benches);

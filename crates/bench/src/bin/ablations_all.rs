@@ -1,0 +1,32 @@
+//! Runs every ablation and extension binary in sequence (quick scale
+//! unless overridden) — the design-choice appendix to `reproduce_all`.
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "exp_ablation_scheduler",
+    "exp_ablation_retx",
+    "exp_ablation_buffer",
+    "exp_ablation_beacon",
+    "exp_ablation_downlink",
+    "exp_ablation_doppler",
+    "exp_ablation_sf",
+    "exp_extension_solar",
+    "exp_extension_mac",
+    "exp_extension_cost",
+    "exp_extension_gateways",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    for bin in BINARIES {
+        println!("\n################ {bin} ################");
+        let output = Command::new(me.with_file_name(bin))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        if !output.status.success() {
+            eprintln!("{bin} exited with {:?}", output.status);
+        }
+    }
+}

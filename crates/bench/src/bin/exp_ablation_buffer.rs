@@ -1,0 +1,20 @@
+//! Ablation A3: node store-and-forward buffer sizing vs. data loss
+//! (the paper's §3.1 buffer-sizing guidance, quantified).
+
+use satiot_bench::{runners, Scale};
+use satiot_measure::table::{pct, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut t = Table::new(
+        "Ablation A3: node buffer capacity vs loss",
+        &["Buffer (packets)", "reliability", "buffer drop ratio"],
+    );
+    for capacity in [2usize, 4, 8, 16, 64] {
+        let r = runners::run_active_with(scale, |c| c.buffer_capacity = capacity);
+        let drops = r.node_drop_ratio.iter().sum::<f64>() / r.node_drop_ratio.len() as f64;
+        t.row(&[capacity.to_string(), pct(r.reliability()), pct(drops)]);
+    }
+    print!("{}", t.render());
+    println!("\nThe buffer must ride out the longest effective inter-contact gap;\nundersizing converts contact intermittency directly into data loss.");
+}

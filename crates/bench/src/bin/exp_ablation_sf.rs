@@ -1,0 +1,69 @@
+//! Ablation A7: spreading-factor choice on the DtS link.
+//!
+//! Higher SFs buy 2.5 dB of sensitivity per step — but on a LEO link the
+//! Doppler *drift* during the (exponentially longer) packet eats the gain
+//! back, and airtime-proportional footprint collisions take the rest.
+//! This sweep shows why operational DtS systems sit near SF10, and how
+//! TLE pre-compensation (ablation A6) moves the optimum.
+
+use satiot_measure::stats::Summary;
+use satiot_measure::table::{num, Table};
+use satiot_phy::airtime::airtime_s;
+use satiot_phy::doppler::{compensated_penalty_db, total_penalty_db};
+use satiot_phy::params::{LoRaConfig, SpreadingFactor};
+use satiot_phy::per::packet_success_probability;
+use satiot_phy::sensitivity::demod_threshold_db;
+
+/// Representative DtS geometries for a Tianqi-class pass: (physical SNR
+/// in the shared 125 kHz bandwidth — identical for every SF — Doppler
+/// offset Hz, drift Hz/s).
+const GEOMETRIES: &[(f64, f64, f64)] = &[
+    (-10.0, 6_500.0, -45.0),  // High elevation, gentle drift.
+    (-13.0, 4_000.0, -140.0), // Culmination: worst drift.
+    (-16.0, 8_500.0, -60.0),  // Window edge: weakest signal.
+];
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation A7: spreading factor on a LEO DtS link (30 B beacon)",
+        &[
+            "SF", "airtime (ms)", "threshold (dB)", "P(decode) raw", "P(decode) compensated",
+        ],
+    );
+    for sf in SpreadingFactor::ALL {
+        let cfg = LoRaConfig {
+            sf,
+            ..LoRaConfig::dts_beacon()
+        };
+        let airtime_ms = airtime_s(&cfg, 30) * 1_000.0;
+        let mut raw = Vec::new();
+        let mut comp = Vec::new();
+        for &(snr, offset, rate) in GEOMETRIES {
+            // The SNR is a property of the link, not the SF (same RSSI,
+            // same 125 kHz noise floor); the PER curve applies each SF's
+            // own demodulation threshold.
+            raw.push(match total_penalty_db(&cfg, 30, offset, rate) {
+                Some(pen) => packet_success_probability(&cfg, 30, snr - pen),
+                None => 0.0,
+            });
+            comp.push(match compensated_penalty_db(&cfg, 30, offset, rate) {
+                Some(pen) => packet_success_probability(&cfg, 30, snr - pen),
+                None => 0.0,
+            });
+        }
+        t.row(&[
+            format!("SF{}", sf.value()),
+            num(airtime_ms, 0),
+            num(demod_threshold_db(sf), 1),
+            num(Summary::of(&raw).mean, 3),
+            num(Summary::of(&comp).mean, 3),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nUncompensated, the drift tax flattens (and eventually inverts) the\n\
+         sensitivity gain above SF10 — the operating point the measured DtS\n\
+         constellations use. With TLE pre-compensation the higher SFs keep\n\
+         their sensitivity, shifting the optimum toward SF11-12."
+    );
+}

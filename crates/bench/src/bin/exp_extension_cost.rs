@@ -1,0 +1,54 @@
+//! Extension E3: where does satellite IoT win on cost?
+//!
+//! The paper's Table 2 compares one deployment; this extension sweeps the
+//! two axes that decide real procurement: sensor density (how many nodes
+//! share one terrestrial gateway) and reporting rate, mapping the TCO
+//! crossover frontier between the two architectures.
+
+use satiot_econ::{
+    crossover_month, satellite_cost, terrestrial_cost, Deployment, SatellitePricing,
+    TerrestrialPricing,
+};
+use satiot_measure::table::{num, Table};
+
+fn main() {
+    let sat_pricing = SatellitePricing::default();
+    let terr_pricing = TerrestrialPricing::default();
+
+    let mut t = Table::new(
+        "Extension E3: TCO crossover (months until terrestrial wins)",
+        &["Nodes/gateway", "4 pkt/day", "12 pkt/day", "48 pkt/day", "96 pkt/day"],
+    );
+    for nodes in [1usize, 2, 5, 10, 25] {
+        let mut cells = vec![nodes.to_string()];
+        for rate in [4.0f64, 12.0, 48.0, 96.0] {
+            let d = Deployment {
+                nodes,
+                gateways: 1,
+                packets_per_node_day: rate,
+                payload_bytes: 20,
+            };
+            let sat = satellite_cost(&sat_pricing, &d);
+            let terr = terrestrial_cost(&terr_pricing, &d);
+            cells.push(match crossover_month(&sat, &terr) {
+                Some(m) if m < 120.0 => num(m, 1),
+                Some(_) => ">10y".into(),
+                None => {
+                    if sat.total_usd(60.0) < terr.total_usd(60.0) {
+                        "sat wins".into()
+                    } else {
+                        "terr wins".into()
+                    }
+                }
+            });
+        }
+        t.row(&cells);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nSatellite IoT holds a lasting cost edge only for sparse, quiet fleets\n\
+         (one-ish nodes per would-be gateway at low reporting rates) — everywhere\n\
+         else the gateway amortises within months. Coverage, not cost, is the\n\
+         product (the paper's Appendix F conclusion, quantified)."
+    );
+}

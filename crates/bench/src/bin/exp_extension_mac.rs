@@ -1,0 +1,45 @@
+//! Extension E2: constellation-aware slotted MAC (CosMAC-style) vs the
+//! random-slot contention of today's DtS systems.
+//!
+//! The paper's §3.1 takeaway calls for collision management as fleets
+//! grow; this extension quantifies what deterministic slot ownership buys
+//! at increasing node density on one farm.
+
+use satiot_bench::{runners, Scale};
+use satiot_core::active::MacPolicy;
+use satiot_measure::table::{pct, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut t = Table::new(
+        "Extension E2: uplink MAC policy vs collisions",
+        &["Nodes", "MAC", "uplinks", "collided", "collision rate", "reliability"],
+    );
+    for nodes in [3u32, 10, 24] {
+        for (label, mac) in [("random", MacPolicy::RandomSlot), ("TDMA", MacPolicy::Tdma)] {
+            let r = runners::run_active_with(scale, |c| {
+                c.nodes = nodes;
+                c.mac = mac;
+            });
+            let rate = if r.counters.uplinks_tx == 0 {
+                0.0
+            } else {
+                r.counters.uplinks_collided as f64 / r.counters.uplinks_tx as f64
+            };
+            t.row(&[
+                nodes.to_string(),
+                label.to_string(),
+                r.counters.uplinks_tx.to_string(),
+                r.counters.uplinks_collided.to_string(),
+                pct(rate),
+                pct(r.reliability()),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\nAt 3 nodes the collision rate is the footprint-background floor; TDMA");
+    println!("roughly halves the excess at 10-24 nodes. It cannot eliminate it: 24");
+    println!("uplinks of ~0.6 s do not fit disjointly in a 10 s response window, so");
+    println!("beyond ~15 nodes per beacon the window itself is the bottleneck — the");
+    println!("constellation-wide scheduling problem CosMAC (MobiCom'24) attacks.");
+}

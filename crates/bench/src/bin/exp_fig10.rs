@@ -1,0 +1,7 @@
+//! Reproduces Figure 10: terrestrial node per-mode power (profile data).
+
+use satiot_bench::reports;
+
+fn main() {
+    print!("{}", reports::fig10());
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 11: terrestrial node time/energy breakdown.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let terrestrial = runners::run_terrestrial(Scale::from_env());
+    print!("{}", reports::fig11(&terrestrial));
+}

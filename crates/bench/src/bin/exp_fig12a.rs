@@ -1,0 +1,15 @@
+//! Reproduces Figure 12a: reliability vs. payload size.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs: Vec<(usize, _)> = [10usize, 60, 120]
+        .iter()
+        .map(|&payload| {
+            (payload, runners::run_active_with(scale, |c| c.payload_bytes = payload))
+        })
+        .collect();
+    let refs: Vec<(usize, &_)> = runs.iter().map(|(p, r)| (*p, r)).collect();
+    print!("{}", reports::fig12a(&refs));
+}

@@ -1,0 +1,13 @@
+//! Reproduces Figure 12b: reliability vs. concurrent senders.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs: Vec<(u32, _)> = [1u32, 2, 3]
+        .iter()
+        .map(|&nodes| (nodes, runners::run_active_with(scale, |c| c.nodes = nodes)))
+        .collect();
+    let refs: Vec<(u32, &_)> = runs.iter().map(|(n, r)| (*n, r)).collect();
+    print!("{}", reports::fig12b(&refs));
+}

@@ -1,0 +1,9 @@
+//! Reproduces Figure 3a: theoretical daily presence per constellation
+//! across the four availability cities (pure orbital mechanics).
+
+use satiot_bench::{reports, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    print!("{}", reports::fig3a(scale.availability_days()));
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 3b: beacon RSSI distributions per constellation.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let passive = runners::run_passive(Scale::from_env());
+    print!("{}", reports::fig3b(&passive));
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 3d: per-contact beacon reception by weather.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let passive = runners::run_passive(Scale::from_env());
+    print!("{}", reports::fig3d(&passive));
+}

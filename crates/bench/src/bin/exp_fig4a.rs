@@ -1,0 +1,8 @@
+//! Reproduces Figure 4a: theoretical vs. effective contact durations.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let passive = runners::run_passive(Scale::from_env());
+    print!("{}", reports::fig4a(&passive));
+}

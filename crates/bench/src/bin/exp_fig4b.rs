@@ -1,0 +1,8 @@
+//! Reproduces Figure 4b: inter-contact interval expansion.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let passive = runners::run_passive(Scale::from_env());
+    print!("{}", reports::fig4b(&passive));
+}

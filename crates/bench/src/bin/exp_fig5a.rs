@@ -1,0 +1,12 @@
+//! Reproduces Figure 5a: end-to-end reliability, terrestrial vs Tianqi
+//! with and without retransmissions.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let terrestrial = runners::run_terrestrial(scale);
+    let no_retx = runners::run_active_with(scale, |c| c.max_attempts = 1);
+    let retx = runners::run_active(scale);
+    print!("{}", reports::fig5a(&terrestrial, &no_retx, &retx));
+}

@@ -1,0 +1,27 @@
+//! Reproduces Figure 5b: DtS retransmissions under weather × antenna.
+
+use satiot_bench::{reports, runners, Scale};
+use satiot_channel::antenna::AntennaPattern;
+use satiot_channel::weather::Weather;
+
+fn main() {
+    let scale = Scale::from_env();
+    let conditions: [(&str, AntennaPattern, Weather); 4] = [
+        ("5/8-wave, sunny", AntennaPattern::FiveEighthsWaveMonopole, Weather::Sunny),
+        ("5/8-wave, rainy", AntennaPattern::FiveEighthsWaveMonopole, Weather::Rainy),
+        ("1/4-wave, sunny", AntennaPattern::QuarterWaveMonopole, Weather::Sunny),
+        ("1/4-wave, rainy", AntennaPattern::QuarterWaveMonopole, Weather::Rainy),
+    ];
+    let results: Vec<_> = conditions
+        .iter()
+        .map(|(label, antenna, weather)| {
+            let r = runners::run_active_with(scale, |c| {
+                c.node_antenna = *antenna;
+                c.weather_override = Some(*weather);
+            });
+            (*label, r)
+        })
+        .collect();
+    let refs: Vec<(&str, &_)> = results.iter().map(|(l, r)| (*l, r)).collect();
+    print!("{}", reports::fig5b(&refs));
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 5c: end-to-end latency comparison.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let terrestrial = runners::run_terrestrial(scale);
+    let sat = runners::run_active(scale);
+    print!("{}", reports::fig5c(&terrestrial, &sat));
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 5d: Tianqi latency decomposition.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let sat = runners::run_active(Scale::from_env());
+    print!("{}", reports::fig5d(&sat));
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 6: satellite-node energy (power, residency, drain)
+//! and the 6d battery-lifetime projection.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sat = runners::run_active(scale);
+    let terrestrial = runners::run_terrestrial(scale);
+    print!("{}", reports::fig6(&sat, &terrestrial));
+}

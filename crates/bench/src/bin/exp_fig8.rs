@@ -1,0 +1,8 @@
+//! Reproduces Figure 8: DtS slant-distance distributions.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let passive = runners::run_passive(Scale::from_env());
+    print!("{}", reports::fig8(&passive));
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 9: beacon receptions vs. window position.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let passive = runners::run_passive(Scale::from_env());
+    print!("{}", reports::fig9(&passive));
+}

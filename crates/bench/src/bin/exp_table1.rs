@@ -1,0 +1,9 @@
+//! Reproduces Table 1: the passive campaign's dataset overview.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let passive = runners::run_passive(scale);
+    print!("{}", reports::table1(&passive));
+}

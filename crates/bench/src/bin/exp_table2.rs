@@ -1,0 +1,7 @@
+//! Reproduces Table 2: the expenditure comparison (pure cost model).
+
+use satiot_bench::reports;
+
+fn main() {
+    print!("{}", reports::table2());
+}

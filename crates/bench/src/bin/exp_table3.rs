@@ -1,0 +1,8 @@
+//! Reproduces Table 3: the constellation overview with trace counts.
+
+use satiot_bench::{reports, runners, Scale};
+
+fn main() {
+    let passive = runners::run_passive(Scale::from_env());
+    print!("{}", reports::table3(&passive));
+}

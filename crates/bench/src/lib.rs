@@ -1,0 +1,15 @@
+//! Shared infrastructure for the satiot experiment binaries.
+//!
+//! Every `exp_*` binary reproduces one table or figure of the paper; the
+//! campaign runners and report formatters live here so `reproduce_all`
+//! can run each campaign once and emit every report from the same data.
+//!
+//! Scale control: set `SATIOT_SCALE=quick` for a fast sanity run
+//! (truncated campaigns) or leave unset for full paper scale (passive:
+//! every site from its Table 1 start date through 2025-03; active: one
+//! month).
+
+pub mod reports;
+pub mod runners;
+
+pub use runners::Scale;

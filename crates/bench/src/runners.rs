@@ -1,0 +1,113 @@
+//! Campaign runners at the configured scale.
+
+use satiot_core::active::{ActiveCampaign, ActiveConfig, ActiveResults};
+use satiot_core::passive::{PassiveCampaign, PassiveConfig, PassiveResults};
+use satiot_terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig, TerrestrialResults};
+
+/// Campaign scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Truncated campaigns for smoke runs (CI, benches).
+    Quick,
+    /// The paper's full campaign dimensions.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from `SATIOT_SCALE` (default: full).
+    pub fn from_env() -> Scale {
+        match std::env::var("SATIOT_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Per-site cap on passive campaign days.
+    pub fn passive_days(self) -> f64 {
+        match self {
+            Scale::Quick => 5.0,
+            Scale::Full => f64::INFINITY,
+        }
+    }
+
+    /// Active campaign length, days (paper: one month).
+    pub fn active_days(self) -> f64 {
+        match self {
+            Scale::Quick => 5.0,
+            Scale::Full => 30.0,
+        }
+    }
+
+    /// Days used for the theoretical-availability analysis (Fig 3a).
+    pub fn availability_days(self) -> u32 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 14,
+        }
+    }
+}
+
+/// Run the passive campaign at this scale.
+pub fn run_passive(scale: Scale) -> PassiveResults {
+    let cfg = PassiveConfig {
+        max_days: scale.passive_days(),
+        ..Default::default()
+    };
+    PassiveCampaign::new(cfg).run()
+}
+
+/// Run the default active campaign at this scale.
+pub fn run_active(scale: Scale) -> ActiveResults {
+    run_active_with(scale, |_| {})
+}
+
+/// Run an active campaign with config tweaks applied on top of the
+/// scaled defaults.
+pub fn run_active_with<F: FnOnce(&mut ActiveConfig)>(scale: Scale, tweak: F) -> ActiveResults {
+    let mut cfg = ActiveConfig::quick(scale.active_days());
+    tweak(&mut cfg);
+    ActiveCampaign::new(cfg).run()
+}
+
+/// Run the terrestrial baseline at this scale.
+pub fn run_terrestrial(scale: Scale) -> TerrestrialResults {
+    run_terrestrial_with(scale, |_| {})
+}
+
+/// Run a terrestrial campaign with config tweaks.
+pub fn run_terrestrial_with<F: FnOnce(&mut TerrestrialConfig)>(
+    scale: Scale,
+    tweak: F,
+) -> TerrestrialResults {
+    let mut cfg = TerrestrialConfig {
+        days: scale.active_days(),
+        ..Default::default()
+    };
+    tweak(&mut cfg);
+    TerrestrialCampaign::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_dimensions() {
+        assert_eq!(Scale::Quick.passive_days(), 5.0);
+        assert_eq!(Scale::Quick.active_days(), 5.0);
+        assert!(Scale::Full.passive_days().is_infinite());
+        assert_eq!(Scale::Full.active_days(), 30.0);
+        assert!(Scale::Full.availability_days() > Scale::Quick.availability_days());
+    }
+
+    #[test]
+    fn tweaks_apply() {
+        // A one-day campaign with a tweak reaches the tweak.
+        let r = run_active_with(Scale::Quick, |c| {
+            c.days = 0.5;
+            c.nodes = 1;
+        });
+        // 1 node × 48/day × 0.5 day, inclusive of both endpoints = 25.
+        assert_eq!(r.sent.len(), 25);
+    }
+}

@@ -1,0 +1,139 @@
+//! Tropospheric excess loss for slant paths at UHF.
+//!
+//! At 400–450 MHz, gaseous absorption is tiny (≈ 0.05 dB at zenith) and
+//! classic rain attenuation is negligible — yet the paper measures clear
+//! weather dependence (more retransmissions on rainy days) and strong
+//! extra loss at low elevation. The dominant physical mechanisms are
+//! tropospheric multipath/defocusing on long, shallow paths and antenna
+//! wetting/near-field detuning in rain. We model both as deterministic
+//! loss terms (the *stochastic* part of low-elevation behaviour lives in
+//! `fading`):
+//!
+//! * a zenith gas loss scaled by the cosecant of elevation (flat-Earth
+//!   approximation, capped at the horizon to the equivalent of ~3°), and
+//! * a per-weather offset calibrated so sunny/rainy splits match the
+//!   paper's Figure 5b ordering.
+
+use crate::weather::Weather;
+
+/// Zenith gaseous absorption at UHF, dB.
+pub const ZENITH_GAS_LOSS_DB: f64 = 0.05;
+
+/// Elevation floor for the cosecant scaling (≈ 3°): below this the
+/// flat-Earth cosecant model diverges, while the true air mass saturates
+/// around 20–38×.
+const MIN_ELEVATION_RAD: f64 = 0.052;
+
+/// Deterministic tropospheric excess loss (dB) for a path at
+/// `elevation_rad`.
+///
+/// Besides gas absorption this includes the mean defocusing/multipath
+/// penalty of shallow paths, which grows steeply below ~10° — this is the
+/// mechanism behind the paper's finding that beacons are lost at the
+/// beginning and end of every contact window (Appendix C).
+pub fn tropo_loss_db(elevation_rad: f64) -> f64 {
+    let el = elevation_rad.max(MIN_ELEVATION_RAD);
+    let airmass = 1.0 / el.sin();
+    let gas = ZENITH_GAS_LOSS_DB * airmass;
+    // Mean low-elevation multipath/defocusing penalty: negligible above
+    // ~15°, a few dB near the horizon. Empirical shape: quadratic in
+    // airmass with a small coefficient, calibrated against the mid-window
+    // reception concentration (~70 % within the 30–70 % window span).
+    let defocus = 0.012 * airmass * airmass;
+    gas + defocus
+}
+
+/// Additional attenuation (dB) due to the sky condition: antenna wetting,
+/// wet foliage, and rain scatter. Calibrated to reproduce the sunny/rainy
+/// retransmission gap of the paper's Figure 5b.
+pub fn weather_loss_db(weather: Weather) -> f64 {
+    match weather {
+        Weather::Sunny => 0.0,
+        Weather::Cloudy => 0.6,
+        Weather::Rainy => 2.4,
+    }
+}
+
+/// Elevation below which local horizon clutter (buildings, terrain,
+/// vegetation) starts obstructing the path, degrees. The paper's ground
+/// stations sit in cities (HK, London, Shanghai…) and its IoT nodes on a
+/// plantation — none has a clean 0° radio horizon.
+pub const CLUTTER_ELEVATION_DEG: f64 = 22.0;
+
+/// Clutter loss at 0° elevation, dB.
+pub const CLUTTER_MAX_DB: f64 = 28.0;
+
+/// Local-horizon clutter loss (dB): zero above
+/// [`CLUTTER_ELEVATION_DEG`], ramping to [`CLUTTER_MAX_DB`] at 0°.
+///
+/// This is the dominant mechanism behind the paper's headline finding
+/// that effective contact windows are 73.7–89.2 % shorter than the
+/// TLE-predicted ones: the first and last minutes of every pass are
+/// spent below the local clutter line, where beacons rarely decode
+/// (Appendix C, Figure 9).
+pub fn clutter_loss_db(elevation_rad: f64) -> f64 {
+    let el_deg = elevation_rad.to_degrees();
+    if el_deg >= CLUTTER_ELEVATION_DEG {
+        return 0.0;
+    }
+    let frac = (CLUTTER_ELEVATION_DEG - el_deg.max(0.0)) / CLUTTER_ELEVATION_DEG;
+    CLUTTER_MAX_DB * frac.powf(1.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zenith_loss_is_small() {
+        let l = tropo_loss_db(core::f64::consts::FRAC_PI_2);
+        assert!(l < 0.1, "zenith loss {l}");
+    }
+
+    #[test]
+    fn loss_grows_monotonically_toward_horizon() {
+        let mut prev = tropo_loss_db(core::f64::consts::FRAC_PI_2);
+        for deg in (1..=89).rev() {
+            let l = tropo_loss_db((deg as f64).to_radians());
+            assert!(l >= prev, "non-monotone at {deg}°: {l} < {prev}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn horizon_loss_is_several_db() {
+        let l = tropo_loss_db(0.0);
+        assert!(l > 3.0 && l < 10.0, "horizon loss {l}");
+        // 5° is already much better than 0°.
+        assert!(tropo_loss_db(5.0_f64.to_radians()) < l / 2.0);
+    }
+
+    #[test]
+    fn below_horizon_clamps() {
+        assert_eq!(tropo_loss_db(-0.2), tropo_loss_db(0.0));
+    }
+
+    #[test]
+    fn clutter_is_zero_above_the_line_and_steep_below() {
+        assert_eq!(clutter_loss_db(23.0_f64.to_radians()), 0.0);
+        assert_eq!(clutter_loss_db(CLUTTER_ELEVATION_DEG.to_radians()), 0.0);
+        let at8 = clutter_loss_db(8.0_f64.to_radians());
+        let at3 = clutter_loss_db(3.0_f64.to_radians());
+        let at0 = clutter_loss_db(0.0);
+        assert!(at8 > 8.0 && at8 < 18.0, "8°: {at8}");
+        assert!(at3 > at8);
+        assert!((at0 - CLUTTER_MAX_DB).abs() < 1e-9);
+        // Below the horizon clamps to the maximum.
+        assert_eq!(clutter_loss_db(-0.1), at0);
+    }
+
+    #[test]
+    fn weather_ordering() {
+        assert_eq!(weather_loss_db(Weather::Sunny), 0.0);
+        assert!(weather_loss_db(Weather::Cloudy) > 0.0);
+        assert!(weather_loss_db(Weather::Rainy) > weather_loss_db(Weather::Cloudy));
+        // Rain penalty stays small in absolute terms at UHF (no Ka-band
+        // style washouts).
+        assert!(weather_loss_db(Weather::Rainy) < 5.0);
+    }
+}

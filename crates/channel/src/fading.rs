@@ -1,0 +1,140 @@
+//! Stochastic fading: slow log-normal shadowing and fast Rician fading.
+//!
+//! Split follows the land-mobile-satellite literature: a *shadowing* term
+//! that stays correlated over a pass (drawn once per pass per link) and a
+//! *fast fading* term decorrelating packet-to-packet. The Rician K-factor
+//! rises with elevation — near zenith the line-of-sight path dominates;
+//! near the horizon multipath takes over, which is a second mechanism
+//! (after the deterministic tropospheric loss) pushing packet losses to
+//! the edges of every contact window.
+
+use crate::weather::Weather;
+use satiot_sim::Rng;
+
+/// Parameters of the composite fading model.
+#[derive(Debug, Clone, Copy)]
+pub struct FadingParams {
+    /// Log-normal shadowing standard deviation on a sunny day, dB.
+    pub shadow_sigma_sunny_db: f64,
+    /// Extra shadowing σ in rain (scatter is more variable), dB.
+    pub shadow_sigma_rain_extra_db: f64,
+    /// Rician K-factor at zenith, dB.
+    pub k_zenith_db: f64,
+    /// Rician K-factor at the horizon, dB.
+    pub k_horizon_db: f64,
+}
+
+impl Default for FadingParams {
+    fn default() -> Self {
+        FadingParams {
+            shadow_sigma_sunny_db: 2.2,
+            shadow_sigma_rain_extra_db: 1.3,
+            k_zenith_db: 12.0,
+            k_horizon_db: 2.0,
+        }
+    }
+}
+
+impl FadingParams {
+    /// Shadowing σ (dB) under the given weather.
+    pub fn shadow_sigma_db(&self, weather: Weather) -> f64 {
+        match weather {
+            Weather::Sunny => self.shadow_sigma_sunny_db,
+            Weather::Cloudy => self.shadow_sigma_sunny_db + 0.4 * self.shadow_sigma_rain_extra_db,
+            Weather::Rainy => self.shadow_sigma_sunny_db + self.shadow_sigma_rain_extra_db,
+        }
+    }
+
+    /// Rician K-factor (linear) at `elevation_rad`, interpolated in dB
+    /// between the horizon and zenith anchors.
+    pub fn k_linear(&self, elevation_rad: f64) -> f64 {
+        let el = elevation_rad.clamp(0.0, core::f64::consts::FRAC_PI_2);
+        let frac = el / core::f64::consts::FRAC_PI_2;
+        let k_db = self.k_horizon_db + (self.k_zenith_db - self.k_horizon_db) * frac;
+        10f64.powf(k_db / 10.0)
+    }
+
+    /// Draw a per-pass shadowing value, dB (zero-mean).
+    pub fn draw_shadowing_db(&self, weather: Weather, rng: &mut Rng) -> f64 {
+        rng.normal(0.0, self.shadow_sigma_db(weather))
+    }
+
+    /// Draw a per-packet fast-fading value, dB (Rician power gain with
+    /// elevation-dependent K; expectation ≈ 0 dB).
+    pub fn draw_fast_fading_db(&self, elevation_rad: f64, rng: &mut Rng) -> f64 {
+        let gain = rng.rician_power_gain(self.k_linear(elevation_rad));
+        10.0 * gain.max(1e-9).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_interpolates_between_anchors() {
+        let p = FadingParams::default();
+        let k_h = 10.0 * p.k_linear(0.0).log10();
+        let k_z = 10.0 * p.k_linear(core::f64::consts::FRAC_PI_2).log10();
+        assert!((k_h - p.k_horizon_db).abs() < 1e-9);
+        assert!((k_z - p.k_zenith_db).abs() < 1e-9);
+        let k_mid = 10.0 * p.k_linear(core::f64::consts::FRAC_PI_4).log10();
+        assert!((k_mid - 0.5 * (p.k_horizon_db + p.k_zenith_db)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_sigma_grows_with_worse_weather() {
+        let p = FadingParams::default();
+        assert!(p.shadow_sigma_db(Weather::Rainy) > p.shadow_sigma_db(Weather::Cloudy));
+        assert!(p.shadow_sigma_db(Weather::Cloudy) > p.shadow_sigma_db(Weather::Sunny));
+    }
+
+    #[test]
+    fn fast_fading_is_harsher_at_horizon() {
+        let p = FadingParams::default();
+        let n = 30_000;
+        let mut rng = Rng::from_seed(77);
+        let deep_horizon = (0..n)
+            .filter(|_| p.draw_fast_fading_db(0.0, &mut rng) < -6.0)
+            .count();
+        let deep_zenith = (0..n)
+            .filter(|_| {
+                p.draw_fast_fading_db(core::f64::consts::FRAC_PI_2, &mut rng) < -6.0
+            })
+            .count();
+        assert!(
+            deep_horizon > 4 * deep_zenith.max(1),
+            "horizon {deep_horizon} vs zenith {deep_zenith}"
+        );
+    }
+
+    #[test]
+    fn fast_fading_mean_power_is_near_unity() {
+        let p = FadingParams::default();
+        let mut rng = Rng::from_seed(101);
+        let n = 100_000;
+        let mean_pow: f64 = (0..n)
+            .map(|_| 10f64.powf(p.draw_fast_fading_db(0.5, &mut rng) / 10.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_pow - 1.0).abs() < 0.02, "mean power {mean_pow}");
+    }
+
+    #[test]
+    fn shadowing_is_zero_mean_with_requested_sigma() {
+        let p = FadingParams::default();
+        let mut rng = Rng::from_seed(103);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n)
+            .map(|_| p.draw_shadowing_db(Weather::Sunny, &mut rng))
+            .collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(
+            (var.sqrt() - p.shadow_sigma_sunny_db).abs() < 0.05,
+            "sigma {}",
+            var.sqrt()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Free-space path loss.
+
+/// Free-space path loss in dB for a link of `distance_km` at
+/// `frequency_mhz`.
+///
+/// `FSPL = 20·log₁₀(d_km) + 20·log₁₀(f_MHz) + 32.4478`
+///
+/// The constant is `20·log₁₀(4π/c)` with `c` expressed in km·MHz.
+/// Distances below one metre are clamped so degenerate terrestrial
+/// geometries cannot produce negative loss.
+pub fn fspl_db(distance_km: f64, frequency_mhz: f64) -> f64 {
+    let d = distance_km.max(1e-3);
+    20.0 * d.log10() + 20.0 * frequency_mhz.log10() + 32.447_783
+}
+
+/// Inverse helper: the distance (km) at which the path loss equals
+/// `loss_db` at `frequency_mhz`. Used by tests and the coverage analyses.
+pub fn distance_for_fspl_km(loss_db: f64, frequency_mhz: f64) -> f64 {
+    10f64.powf((loss_db - 32.447_783 - 20.0 * frequency_mhz.log10()) / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        // 1 km @ 1 GHz ≈ 92.45 dB (classic checkpoint).
+        assert!((fspl_db(1.0, 1000.0) - 92.447_783).abs() < 1e-3);
+        // 1000 km @ 433 MHz ≈ 145.2 dB.
+        let v = fspl_db(1000.0, 433.0);
+        assert!((v - 145.18).abs() < 0.05, "got {v}");
+        // 900 km @ 400.45 MHz (Tianqi zenith) ≈ 143.6 dB.
+        let v = fspl_db(900.0, 400.45);
+        assert!((v - 143.6).abs() < 0.1, "got {v}");
+    }
+
+    #[test]
+    fn doubling_distance_adds_6_db() {
+        let base = fspl_db(500.0, 433.0);
+        assert!((fspl_db(1000.0, 433.0) - base - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn doubling_frequency_adds_6_db() {
+        let base = fspl_db(500.0, 200.0);
+        assert!((fspl_db(500.0, 400.0) - base - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for d in [0.1, 2.0, 550.0, 3500.0] {
+            let loss = fspl_db(d, 400.45);
+            let back = distance_for_fspl_km(loss, 400.45);
+            assert!((back - d).abs() / d < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiny_distances_are_clamped() {
+        assert_eq!(fspl_db(0.0, 433.0), fspl_db(1e-3, 433.0));
+        assert!(fspl_db(0.0, 433.0) > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Receiver noise.
+
+/// Thermal noise density at 290 K, dBm/Hz.
+pub const THERMAL_NOISE_DBM_HZ: f64 = -174.0;
+
+/// Receiver noise floor (dBm) for `bandwidth_hz` and `noise_figure_db`.
+///
+/// `N = −174 + 10·log₁₀(BW) + NF`
+pub fn noise_floor_dbm(bandwidth_hz: f64, noise_figure_db: f64) -> f64 {
+    THERMAL_NOISE_DBM_HZ + 10.0 * bandwidth_hz.log10() + noise_figure_db
+}
+
+/// Typical noise figure of the SX126x-class LoRa receivers the paper's
+/// ground stations use, dB.
+pub const SX126X_NOISE_FIGURE_DB: f64 = 6.0;
+
+/// Noise figure of the satellite gateway receiver (better front-end), dB.
+pub const SATELLITE_RX_NOISE_FIGURE_DB: f64 = 4.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_floor_for_125khz() {
+        // −174 + 10·log10(125e3) ≈ −123.03; +6 dB NF → −117.03 dBm.
+        let n = noise_floor_dbm(125_000.0, SX126X_NOISE_FIGURE_DB);
+        assert!((n - (-117.03)).abs() < 0.05, "floor {n}");
+    }
+
+    #[test]
+    fn wider_bandwidth_raises_floor() {
+        let narrow = noise_floor_dbm(125_000.0, 6.0);
+        let wide = noise_floor_dbm(250_000.0, 6.0);
+        assert!((wide - narrow - 3.01).abs() < 0.01);
+    }
+
+    #[test]
+    fn noise_figure_adds_directly() {
+        let a = noise_floor_dbm(125_000.0, 0.0);
+        let b = noise_floor_dbm(125_000.0, 6.0);
+        assert!((b - a - 6.0).abs() < 1e-12);
+    }
+}

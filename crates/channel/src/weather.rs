@@ -1,0 +1,288 @@
+//! A three-state Markov weather process.
+//!
+//! The paper's Figures 3d and 5b split measurements by weather (sunny vs.
+//! rainy); to regenerate those splits the campaign needs a weather
+//! timeline per site. We model weather as a continuous-time Markov chain
+//! over {Sunny, Cloudy, Rainy} with exponentially distributed dwell times,
+//! which captures the relevant property — multi-hour correlated spells —
+//! without pretending to be a climate model.
+
+use satiot_sim::{Rng, SimTime};
+
+/// Sky condition at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weather {
+    /// Clear sky.
+    Sunny,
+    /// Overcast, no precipitation.
+    Cloudy,
+    /// Active precipitation (the paper's "rainy day").
+    Rainy,
+}
+
+impl Weather {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Weather::Sunny => "sunny",
+            Weather::Cloudy => "cloudy",
+            Weather::Rainy => "rainy",
+        }
+    }
+}
+
+/// Parameters of the weather chain: mean dwell time in each state (hours)
+/// and the transition preferences out of each state.
+#[derive(Debug, Clone, Copy)]
+pub struct WeatherParams {
+    /// Mean sunny spell, hours.
+    pub mean_sunny_h: f64,
+    /// Mean cloudy spell, hours.
+    pub mean_cloudy_h: f64,
+    /// Mean rainy spell, hours.
+    pub mean_rainy_h: f64,
+    /// From Sunny, probability the next state is Cloudy (vs. Rainy).
+    pub sunny_to_cloudy: f64,
+    /// From Cloudy, probability the next state is Rainy (vs. Sunny).
+    pub cloudy_to_rainy: f64,
+    /// From Rainy, probability the next state is Cloudy (vs. Sunny).
+    pub rainy_to_cloudy: f64,
+}
+
+impl Default for WeatherParams {
+    /// A humid-subtropical default (Hong Kong-like): mostly sunny with
+    /// multi-hour cloudy/rainy interludes.
+    fn default() -> Self {
+        WeatherParams {
+            mean_sunny_h: 30.0,
+            mean_cloudy_h: 10.0,
+            mean_rainy_h: 6.0,
+            sunny_to_cloudy: 0.85,
+            cloudy_to_rainy: 0.55,
+            rainy_to_cloudy: 0.7,
+        }
+    }
+}
+
+impl WeatherParams {
+    /// A drier temperate climate (fewer, shorter rain spells).
+    pub fn temperate_dry() -> Self {
+        WeatherParams {
+            mean_sunny_h: 48.0,
+            mean_rainy_h: 4.0,
+            ..Default::default()
+        }
+    }
+
+    /// A maritime climate (London-like: long cloudy spells, frequent rain).
+    pub fn maritime() -> Self {
+        WeatherParams {
+            mean_sunny_h: 16.0,
+            mean_cloudy_h: 20.0,
+            mean_rainy_h: 7.0,
+            sunny_to_cloudy: 0.9,
+            cloudy_to_rainy: 0.6,
+            rainy_to_cloudy: 0.65,
+        }
+    }
+}
+
+/// One segment of the precomputed weather timeline.
+#[derive(Debug, Clone, Copy)]
+struct Spell {
+    start: SimTime,
+    state: Weather,
+}
+
+/// A precomputed weather timeline for one site.
+///
+/// Built once per campaign (deterministically from the campaign seed) and
+/// then queried by time; lookups are O(log n).
+///
+/// ```
+/// use satiot_channel::weather::{Weather, WeatherParams, WeatherProcess};
+/// use satiot_sim::{Rng, SimTime};
+///
+/// let horizon = SimTime::from_days(30.0);
+/// let weather = WeatherProcess::generate(
+///     &WeatherParams::default(), horizon, &mut Rng::from_seed(7));
+/// let fractions: f64 = [Weather::Sunny, Weather::Cloudy, Weather::Rainy]
+///     .iter().map(|s| weather.fraction_in(*s, horizon)).sum();
+/// assert!((fractions - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeatherProcess {
+    spells: Vec<Spell>,
+}
+
+impl WeatherProcess {
+    /// Generate a timeline covering `[0, horizon]`.
+    pub fn generate(params: &WeatherParams, horizon: SimTime, rng: &mut Rng) -> Self {
+        let mut spells = Vec::new();
+        let mut t = SimTime::ZERO;
+        // Start from the chain's rough stationary mix.
+        let mut state = match rng.next_f64() {
+            x if x < 0.62 => Weather::Sunny,
+            x if x < 0.85 => Weather::Cloudy,
+            _ => Weather::Rainy,
+        };
+        while t <= horizon {
+            spells.push(Spell { start: t, state });
+            let mean_h = match state {
+                Weather::Sunny => params.mean_sunny_h,
+                Weather::Cloudy => params.mean_cloudy_h,
+                Weather::Rainy => params.mean_rainy_h,
+            };
+            let dwell_s = rng.exponential(mean_h * 3_600.0).max(600.0);
+            t += dwell_s;
+            state = match state {
+                Weather::Sunny => {
+                    if rng.chance(params.sunny_to_cloudy) {
+                        Weather::Cloudy
+                    } else {
+                        Weather::Rainy
+                    }
+                }
+                Weather::Cloudy => {
+                    if rng.chance(params.cloudy_to_rainy) {
+                        Weather::Rainy
+                    } else {
+                        Weather::Sunny
+                    }
+                }
+                Weather::Rainy => {
+                    if rng.chance(params.rainy_to_cloudy) {
+                        Weather::Cloudy
+                    } else {
+                        Weather::Sunny
+                    }
+                }
+            };
+        }
+        WeatherProcess { spells }
+    }
+
+    /// A timeline that is permanently `state` (for controlled experiments
+    /// like the paper's sunny-vs-rainy antenna comparison).
+    pub fn constant(state: Weather) -> Self {
+        WeatherProcess {
+            spells: vec![Spell {
+                start: SimTime::ZERO,
+                state,
+            }],
+        }
+    }
+
+    /// Weather at time `t` (clamped to the last generated spell).
+    pub fn at(&self, t: SimTime) -> Weather {
+        match self
+            .spells
+            .binary_search_by(|s| s.start.cmp(&t))
+        {
+            Ok(i) => self.spells[i].state,
+            Err(0) => self.spells[0].state,
+            Err(i) => self.spells[i - 1].state,
+        }
+    }
+
+    /// Fraction of `[0, horizon]` spent in `state`.
+    pub fn fraction_in(&self, state: Weather, horizon: SimTime) -> f64 {
+        let mut total = 0.0;
+        for (i, spell) in self.spells.iter().enumerate() {
+            if spell.start > horizon {
+                break;
+            }
+            let end = self
+                .spells
+                .get(i + 1)
+                .map(|s| s.start)
+                .unwrap_or(horizon)
+                .min(horizon);
+            if spell.state == state {
+                total += end - spell.start;
+            }
+        }
+        total / horizon.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_process_is_constant() {
+        let w = WeatherProcess::constant(Weather::Rainy);
+        assert_eq!(w.at(SimTime::ZERO), Weather::Rainy);
+        assert_eq!(w.at(SimTime::from_days(100.0)), Weather::Rainy);
+        assert!((w.fraction_in(Weather::Rainy, SimTime::from_days(10.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(w.fraction_in(Weather::Sunny, SimTime::from_days(10.0)), 0.0);
+    }
+
+    #[test]
+    fn generated_timeline_is_deterministic() {
+        let horizon = SimTime::from_days(60.0);
+        let params = WeatherParams::default();
+        let a = WeatherProcess::generate(&params, horizon, &mut Rng::from_seed(5));
+        let b = WeatherProcess::generate(&params, horizon, &mut Rng::from_seed(5));
+        for d in 0..600 {
+            let t = SimTime::from_hours(d as f64 * 2.4);
+            assert_eq!(a.at(t), b.at(t));
+        }
+    }
+
+    #[test]
+    fn default_climate_is_mostly_sunny_with_some_rain() {
+        let horizon = SimTime::from_days(365.0);
+        let w = WeatherProcess::generate(
+            &WeatherParams::default(),
+            horizon,
+            &mut Rng::from_seed(9),
+        );
+        let sunny = w.fraction_in(Weather::Sunny, horizon);
+        let rainy = w.fraction_in(Weather::Rainy, horizon);
+        let cloudy = w.fraction_in(Weather::Cloudy, horizon);
+        assert!((sunny + rainy + cloudy - 1.0).abs() < 1e-9);
+        assert!(sunny > 0.4, "sunny fraction {sunny}");
+        assert!(rainy > 0.02 && rainy < 0.4, "rainy fraction {rainy}");
+    }
+
+    #[test]
+    fn maritime_is_rainier_than_temperate_dry() {
+        let horizon = SimTime::from_days(365.0);
+        let mut rng = Rng::from_seed(21);
+        let maritime = WeatherProcess::generate(&WeatherParams::maritime(), horizon, &mut rng);
+        let mut rng = Rng::from_seed(21);
+        let dry = WeatherProcess::generate(&WeatherParams::temperate_dry(), horizon, &mut rng);
+        assert!(
+            maritime.fraction_in(Weather::Rainy, horizon)
+                > dry.fraction_in(Weather::Rainy, horizon)
+        );
+    }
+
+    #[test]
+    fn lookups_between_spells_use_preceding_state() {
+        let w = WeatherProcess {
+            spells: vec![
+                Spell {
+                    start: SimTime::ZERO,
+                    state: Weather::Sunny,
+                },
+                Spell {
+                    start: SimTime::from_hours(5.0),
+                    state: Weather::Rainy,
+                },
+            ],
+        };
+        assert_eq!(w.at(SimTime::from_hours(2.0)), Weather::Sunny);
+        assert_eq!(w.at(SimTime::from_hours(5.0)), Weather::Rainy);
+        assert_eq!(w.at(SimTime::from_hours(9.0)), Weather::Rainy);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Weather::Sunny.label(), "sunny");
+        assert_eq!(Weather::Cloudy.label(), "cloudy");
+        assert_eq!(Weather::Rainy.label(), "rainy");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the channel models.
+
+use proptest::prelude::*;
+use satiot_channel::antenna::AntennaPattern;
+use satiot_channel::atmosphere::{clutter_loss_db, tropo_loss_db};
+use satiot_channel::budget::LinkBudget;
+use satiot_channel::fspl::{distance_for_fspl_km, fspl_db};
+use satiot_channel::weather::{Weather, WeatherParams, WeatherProcess};
+use satiot_sim::{Rng, SimTime};
+
+proptest! {
+    /// FSPL is strictly monotone in distance and frequency and inverts
+    /// exactly.
+    #[test]
+    fn fspl_monotone_and_invertible(
+        d in 0.01_f64..5_000.0,
+        f in 100.0_f64..1_000.0,
+        factor in 1.01_f64..5.0,
+    ) {
+        prop_assert!(fspl_db(d * factor, f) > fspl_db(d, f));
+        prop_assert!(fspl_db(d, f * factor) > fspl_db(d, f));
+        let loss = fspl_db(d, f);
+        prop_assert!((distance_for_fspl_km(loss, f) - d).abs() / d < 1e-9);
+    }
+
+    /// Deterministic path losses are finite, non-negative, and monotone
+    /// toward the horizon.
+    #[test]
+    fn atmospheric_losses_behave(el_deg in 0.0_f64..90.0, delta in 0.1_f64..10.0) {
+        let el = el_deg.to_radians();
+        let lower = (el_deg - delta).max(0.0).to_radians();
+        prop_assert!(tropo_loss_db(el) >= 0.0);
+        prop_assert!(tropo_loss_db(lower) >= tropo_loss_db(el) - 1e-9);
+        prop_assert!(clutter_loss_db(el) >= 0.0);
+        prop_assert!(clutter_loss_db(lower) >= clutter_loss_db(el) - 1e-9);
+    }
+
+    /// Antenna gains stay bounded and defined over the full quadrant.
+    #[test]
+    fn antenna_gains_bounded(el_deg in -10.0_f64..100.0) {
+        for antenna in [
+            AntennaPattern::Isotropic,
+            AntennaPattern::Dipole,
+            AntennaPattern::QuarterWaveMonopole,
+            AntennaPattern::FiveEighthsWaveMonopole,
+        ] {
+            let g = antenna.gain_dbi(el_deg.to_radians());
+            prop_assert!((-12.0..=8.0).contains(&g), "{antenna:?}: {g}");
+        }
+    }
+
+    /// A link sample equals the deterministic mean plus shadowing plus a
+    /// bounded fast fade, and SNR is RSSI minus the floor — for arbitrary
+    /// geometry, weather, and seed.
+    #[test]
+    fn sample_decomposes(
+        seed in any::<u64>(),
+        d in 200.0_f64..4_000.0,
+        el_deg in 0.0_f64..90.0,
+        shadow in -10.0_f64..10.0,
+        wx_idx in 0usize..3,
+    ) {
+        let weather = [Weather::Sunny, Weather::Cloudy, Weather::Rainy][wx_idx];
+        let budget = LinkBudget::dts_downlink(400.45, AntennaPattern::QuarterWaveMonopole);
+        let el = el_deg.to_radians();
+        let mut rng = Rng::from_seed(seed);
+        let s = budget.sample(d, el, weather, shadow, &mut rng);
+        let mean = budget.mean_rssi_dbm(d, el, weather);
+        let fade = s.rssi_dbm - mean - shadow;
+        // Rician power gain is bounded well within ±30 dB in practice;
+        // the hard floor in the sampler is −90 dB.
+        prop_assert!((-95.0..25.0).contains(&fade), "fade {fade}");
+        prop_assert!((s.snr_db - (s.rssi_dbm - budget.noise_floor_dbm())).abs() < 1e-12);
+    }
+
+    /// Weather fractions over any horizon sum to one and every query
+    /// returns a state.
+    #[test]
+    fn weather_partitions_time(seed in any::<u64>(), days in 1.0_f64..90.0) {
+        let horizon = SimTime::from_days(days);
+        let w = WeatherProcess::generate(
+            &WeatherParams::default(),
+            horizon,
+            &mut Rng::from_seed(seed),
+        );
+        let total: f64 = [Weather::Sunny, Weather::Cloudy, Weather::Rainy]
+            .iter()
+            .map(|s| w.fraction_in(*s, horizon))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Calibration constants.
+//!
+//! Every number here is either taken directly from the paper or fitted so
+//! that a *simulated* campaign lands in the band the paper *measured*.
+//! Keeping them in one annotated module makes the fit auditable: change a
+//! constant, re-run `reproduce_all`, and diff EXPERIMENTS.md.
+
+/// Beacon payload length, bytes. TinyGS-class beacons carry telemetry
+/// (battery, temperature, IDs) of a few tens of bytes.
+pub const BEACON_PAYLOAD_BYTES: usize = 24;
+
+/// Application sensor payload, bytes (paper §3.2: 20-byte data).
+pub const SENSOR_PAYLOAD_BYTES: usize = 20;
+
+/// Sensor reporting period, seconds (paper §3.2: every 30 minutes).
+pub const SENSOR_PERIOD_S: f64 = 1_800.0;
+
+/// Maximum DtS retransmissions after the first attempt (paper §3.2:
+/// "a maximum of five retransmissions").
+pub const MAX_RETRANSMISSIONS: u32 = 5;
+
+/// ACK payload length, bytes (sequence echo + status).
+pub const ACK_PAYLOAD_BYTES: usize = 8;
+
+/// Delay between a satellite finishing an uplink decode and starting the
+/// ACK transmission, seconds (processing turnaround).
+pub const ACK_TURNAROUND_S: f64 = 0.4;
+
+/// Node-side ACK wait timeout measured from the end of its uplink,
+/// seconds. Must exceed turnaround + ACK airtime.
+pub const ACK_TIMEOUT_S: f64 = 3.0;
+
+/// Elevation mask for *theoretical* contact windows, radians (0°: the
+/// paper's TLE-based durations count the full above-horizon arc).
+pub const THEORETICAL_MASK_RAD: f64 = 0.0;
+
+/// Minimum culmination elevation (degrees) for a predicted pass to enter
+/// the node's listen plan: the operator only schedules passes that clear
+/// the typical clutter line. Low enough to use most effective contacts,
+/// high enough to keep Rx residency — and hence battery drain (Fig 6) —
+/// hours per week rather than always-on.
+pub const LISTEN_PLAN_MIN_MAX_EL_DEG: f64 = 38.0;
+
+/// Within a scheduled pass, the node opens its receiver only while the
+/// satellite is above this elevation (degrees) — the sub-clutter head and
+/// tail of a pass cannot carry beacons anyway, so listening there only
+/// burns battery.
+pub const LISTEN_PLAN_TRIM_EL_DEG: f64 = 24.0;
+
+/// Spread of the per-pass local-horizon severity: each pass sees the
+/// clutter profile scaled by a uniform draw from this range (different
+/// azimuths have different skylines; some passes rise over a clear
+/// horizon, most do not). Preserves the paper's long-distance reception
+/// tail (Fig 8) while keeping typical effective windows short (Fig 4a).
+pub const CLUTTER_SCALE_RANGE: (f64, f64) = (0.4, 1.6);
+
+/// After its buffer drains (all packets ACKed or abandoned), the node
+/// keeps the radio open this long before dropping back to scheduled
+/// listening —
+/// long enough to catch an ACK straggler, short enough not to burn the
+/// battery listening to a satellite it no longer needs.
+pub const ENGAGED_LINGER_S: f64 = 15.0;
+
+/// Node store-and-forward buffer capacity, packets. Sized per the
+/// paper's §3.1 guidance from contact-interval statistics.
+pub const NODE_BUFFER_CAPACITY: usize = 64;
+
+/// Satellite store-and-forward buffer capacity, packets.
+pub const SATELLITE_BUFFER_CAPACITY: usize = 4_096;
+
+/// Mean satellite → data-centre processing + batching delay once a
+/// ground station is in view, seconds. Fitted against the paper's
+/// Figure 5d delivery segment (56.9 min mean, of which GS-pass waiting
+/// is the larger part).
+pub const DELIVERY_PROCESSING_MEAN_S: f64 = 3_600.0;
+
+/// Terrestrial LoRaWAN end-to-end delay mean, seconds (paper: 0.2 min
+/// average, dominated by gateway batching + LTE backhaul).
+pub const TERRESTRIAL_E2E_MEAN_S: f64 = 12.0;
+
+/// Rate at which transmissions from the thousands of *other* IoT devices
+/// inside the satellite's footprint (3.27×10⁷ km² for Tianqi's high
+/// shell — §3.1's congestion argument) overlap an uplink, per second of
+/// airtime. Longer packets are exposed longer — the mechanism behind the
+/// paper's payload-size reliability ordering (Fig 12a). Fitted against
+/// the 91 % no-retransmission reliability.
+pub const BACKGROUND_COLLISION_RATE_PER_S: f64 = 0.18;
+
+/// Nodes must start their uplink within this window after a beacon
+/// (Tianqi's slotted response period). A short window concentrates the
+/// fleet's transmissions — the mechanism behind the concurrency
+/// degradation of Fig 12b.
+pub const UPLINK_RESPONSE_WINDOW_S: f64 = 10.0;
+
+/// Received-power band of background interferers at the satellite, dBm
+/// (devices anywhere in the footprint, so a wide spread).
+pub const BACKGROUND_RSSI_DBM: (f64, f64) = (-135.0, -112.0);
+
+/// After an ACK timeout the node closes its receiver for this long
+/// (congestion etiquette: do not immediately contend for the same busy
+/// satellite). Together with the engagement wind-down this pushes most
+/// retries to the *next* contact, which is what makes the paper's DtS
+/// latency segment minutes long (Fig 5d).
+pub const RETRY_BACKOFF_S: f64 = 61.0;
+
+/// Satellites transmit ACKs at reduced power (shared downlink budget
+/// across many served devices). The resulting ACK loss is the paper's
+/// explanation for "unnecessary retransmissions": ~half the packets
+/// retransmit even though >90 % were already received (§3.2).
+pub const ACK_TX_POWER_DELTA_DB: f64 = -7.5;
+
+/// Probability that an accepted packet is lost between the satellite and
+/// the subscriber (satellite→GS downlink corruption, on-board expiry) —
+/// the residual loss that keeps even 5-retransmission reliability below
+/// 100 % in the paper's Figure 5a.
+pub const DELIVERY_LOSS_PROB: f64 = 0.02;
+
+/// TinyGS-style ground stations are crowd-sourced single-channel
+/// receivers that spend part of their time on housekeeping (MQTT sync,
+/// OTA updates, retuning). Fraction of an assigned pass a station is
+/// actually listening; fitted against Table 1's trace volumes.
+pub const STATION_LISTEN_EFFICIENCY: f64 = 0.75;
+
+/// After a station retunes to a new satellite (frequency + LoRa
+/// parameters) it needs this long before it can decode — the first
+/// beacons of every covered window are structurally lost, seconds.
+pub const STATION_RETUNE_S: f64 = 8.0;
+
+/// Fraction of in-view passes a station actually captures end to end:
+/// station availability (power, connectivity, OTA updates on $30
+/// crowd-sourced hardware) × scheduler conflict losses. Calibrated
+/// against Table 1's trace volumes, which imply well under one captured
+/// contact per station-day. The vanilla TinyGS scheduler is modelled
+/// explicitly instead.
+pub const SCHEDULER_COVERAGE: f64 = 0.45;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_timeout_exceeds_turnaround_plus_airtime() {
+        // ACK at SF10/125 kHz with 8 bytes ≈ 0.29 s on air.
+        let cfg = satiot_phy::params::LoRaConfig::dts_beacon();
+        let ack_airtime = satiot_phy::airtime::airtime_s(&cfg, ACK_PAYLOAD_BYTES);
+        assert!(ACK_TIMEOUT_S > ACK_TURNAROUND_S + ack_airtime + 0.5);
+    }
+
+    #[test]
+    fn listen_plan_threshold_clears_clutter_line() {
+        // `assert!` on consts would fold away; compare through a binding.
+        let threshold = LISTEN_PLAN_MIN_MAX_EL_DEG;
+        assert!((15.0..=45.0).contains(&threshold), "threshold {threshold}");
+    }
+
+    #[test]
+    fn sensor_cadence_matches_paper() {
+        assert_eq!(SENSOR_PERIOD_S, 1_800.0);
+        assert_eq!(SENSOR_PAYLOAD_BYTES, 20);
+        assert_eq!(MAX_RETRANSMISSIONS, 5);
+    }
+
+    #[test]
+    fn efficiencies_are_fractions() {
+        for f in [STATION_LISTEN_EFFICIENCY, SCHEDULER_COVERAGE] {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # satiot-core
+//!
+//! The reproduced paper's system: the Direct-to-Satellite IoT pipeline
+//! end to end, plus the two measurement campaigns run against it.
+//!
+//! * [`calib`] — every calibration constant in one place, each annotated
+//!   with the paper observation it is fitted against.
+//! * [`messages`] — the DtS application protocol: beacons, uplinks, ACKs,
+//!   encoded through the `satiot-phy` frame codec.
+//! * [`buffer`] — the store-and-forward buffer used by nodes (awaiting a
+//!   pass) and satellites (awaiting a ground station).
+//! * [`geometry`] — sampled pass geometry shared by both campaigns.
+//! * [`scheduler`] — ground-station → satellite assignment: the paper's
+//!   customised predictive scheduler and the vanilla TinyGS baseline.
+//! * [`passive`] — the 27-station, 8-site, 4-constellation passive
+//!   campaign (paper §2.2/§3.1): produces beacon traces and contact
+//!   windows.
+//! * [`node`] — the Tianqi-node state machine (sleep / scheduled listen /
+//!   transmit, with ≤ 5 backoff-gated retransmissions).
+//! * [`satellite`] — the satellite payload: uplink reception, buffering,
+//!   and downlink at ground-station contacts.
+//! * [`station`] — crowd-sourced ground-station availability (correlated
+//!   up/down spells of $30 hobbyist hardware).
+//! * [`server`] — the subscriber server's deduplicating arrival log
+//!   (the paper's Appendix B methodology).
+//! * [`active`] — the one-month active deployment (paper §2.3/§3.2):
+//!   three nodes on a Yunnan farm sending 20 B every 30 min through the
+//!   Tianqi constellation to a Hong Kong server.
+
+pub mod active;
+pub mod buffer;
+pub mod calib;
+pub mod geometry;
+pub mod messages;
+pub mod node;
+pub mod passive;
+pub mod satellite;
+pub mod scheduler;
+pub mod server;
+pub mod station;
+
+pub use active::{ActiveCampaign, ActiveConfig, ActiveResults};
+pub use passive::{PassiveCampaign, PassiveConfig, PassiveResults};

@@ -1,0 +1,516 @@
+//! The Tianqi-node protocol state machine.
+//!
+//! A node (paper §2.3) stores sensor data and listens for gateway beacons
+//! whenever data is pending **and the operator's pass schedule says a
+//! usable satellite is overhead** — commercial DtS services distribute
+//! pass predictions to their nodes, which is what keeps the radio's Rx
+//! residency at hours, not days, per week (the paper's §3.2 energy
+//! observations). On hearing a beacon the node transmits the oldest
+//! packet, waits for an ACK, and retransmits on a later beacon — backing
+//! off after a timeout — up to five times.
+//!
+//! The machine is pure protocol logic over simulation-seconds; geometry
+//! and link sampling are wired in by [`crate::active`], which keeps every
+//! transition unit-testable.
+
+use crate::buffer::{DropPolicy, StoreAndForward};
+use crate::calib;
+
+/// A sensor packet awaiting DtS transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingPacket {
+    /// Application sequence ID.
+    pub seq: u64,
+    /// Generation time, s.
+    pub generated_s: f64,
+    /// DtS transmission attempts so far.
+    pub attempts: u32,
+    /// First transmission attempt time, if any.
+    pub first_tx_s: Option<f64>,
+}
+
+/// What the node decides to do upon hearing a beacon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BeaconReaction {
+    /// Nothing to send (buffer empty or already waiting for an ACK).
+    Idle,
+    /// Transmit the head packet (seq, attempt number starting at 1).
+    Transmit {
+        /// Sequence ID to send.
+        seq: u64,
+        /// 1-based attempt counter.
+        attempt: u32,
+    },
+}
+
+/// Node radio/protocol state.
+///
+/// ```
+/// use satiot_core::node::{BeaconReaction, NodeMachine};
+///
+/// let mut node = NodeMachine::new(0);
+/// node.listen_plan = vec![(100.0, 400.0)];
+/// node.on_data(42, 0.0);
+/// assert!(node.is_listening(150.0));              // Scheduled pass.
+/// assert!(!node.is_listening(500.0));             // Outside the plan.
+/// match node.on_beacon(150.0, 400.0) {
+///     BeaconReaction::Transmit { seq, attempt } => {
+///         assert_eq!((seq, attempt), (42, 1));
+///     }
+///     BeaconReaction::Idle => unreachable!("data is pending"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct NodeMachine {
+    /// Node identifier.
+    pub id: u32,
+    /// Operator-provided listen plan: sorted, non-overlapping intervals
+    /// (campaign seconds) during which a usable pass is predicted. The
+    /// node only opens its receiver inside these windows (plus active
+    /// engagements/ACK waits).
+    pub listen_plan: Vec<(f64, f64)>,
+    /// Store-and-forward buffer.
+    pub buffer: StoreAndForward<PendingPacket>,
+    /// Engaged (continuous Rx) until this time, if a beacon was heard.
+    pub engaged_until_s: Option<f64>,
+    /// Waiting for an ACK for (seq, timeout deadline).
+    pub awaiting_ack: Option<(u64, f64)>,
+    /// Sniffing suppressed until this time (post-timeout backoff).
+    pub backoff_until_s: Option<f64>,
+    /// Packets abandoned after exhausting retransmissions.
+    pub gave_up: Vec<PendingPacket>,
+    /// Completed packets (ACKed), with their final attempt counts.
+    pub completed: Vec<PendingPacket>,
+    // --- Residency integrals for energy accounting. ---
+    /// Closed intervals during which data was pending and the node was
+    /// not engaged, s.
+    pending_intervals: Vec<(f64, f64)>,
+    /// Time engaged in continuous Rx, s.
+    pub engaged_s: f64,
+    /// Cumulative transmit airtime, s.
+    pub tx_airtime_s: f64,
+    /// Internal: when the buffer last became non-empty (open interval).
+    pending_since_s: Option<f64>,
+    /// Internal: when the current engagement started.
+    engaged_since_s: Option<f64>,
+    /// Maximum attempts per packet (first + retransmissions).
+    max_attempts: u32,
+}
+
+impl NodeMachine {
+    /// A node with the calibrated defaults and an empty listen plan
+    /// (set [`NodeMachine::listen_plan`] before simulating).
+    pub fn new(id: u32) -> NodeMachine {
+        Self::with_limits(
+            id,
+            calib::NODE_BUFFER_CAPACITY,
+            1 + calib::MAX_RETRANSMISSIONS,
+        )
+    }
+
+    /// A node with explicit buffer capacity and attempt limit (for the
+    /// retransmission/buffer ablations).
+    pub fn with_limits(id: u32, buffer_capacity: usize, max_attempts: u32) -> NodeMachine {
+        NodeMachine {
+            id,
+            listen_plan: Vec::new(),
+            buffer: StoreAndForward::new(buffer_capacity, DropPolicy::DropOldest),
+            engaged_until_s: None,
+            awaiting_ack: None,
+            backoff_until_s: None,
+            gave_up: Vec::new(),
+            completed: Vec::new(),
+            pending_intervals: Vec::new(),
+            engaged_s: 0.0,
+            tx_airtime_s: 0.0,
+            pending_since_s: None,
+            engaged_since_s: None,
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// New sensor data generated at `t`.
+    pub fn on_data(&mut self, seq: u64, t: f64) {
+        self.settle_engagement(t);
+        if self.buffer.is_empty()
+            && self.pending_since_s.is_none()
+            && self.engaged_until_s.is_none()
+        {
+            self.pending_since_s = Some(t);
+        }
+        self.buffer.push(PendingPacket {
+            seq,
+            generated_s: t,
+            attempts: 0,
+            first_tx_s: None,
+        });
+    }
+
+    /// Whether `t` falls inside the listen plan.
+    pub fn in_plan(&self, t: f64) -> bool {
+        let idx = self.listen_plan.partition_point(|&(_, end)| end < t);
+        self.listen_plan
+            .get(idx)
+            .is_some_and(|&(start, _)| t >= start)
+    }
+
+    /// Whether the node's receiver is open at `t` (scheduled listening,
+    /// engaged with a pass, or awaiting an ACK).
+    pub fn is_listening(&self, t: f64) -> bool {
+        if let Some(until) = self.engaged_until_s {
+            if t <= until {
+                return true;
+            }
+        }
+        if let Some((_, deadline)) = self.awaiting_ack {
+            if t <= deadline {
+                return true;
+            }
+        }
+        if self.buffer.is_empty() {
+            return false;
+        }
+        if let Some(backoff) = self.backoff_until_s {
+            if t < backoff {
+                return false;
+            }
+        }
+        self.in_plan(t)
+    }
+
+    /// A beacon decoded at `t` during a pass lasting until `pass_end_s`:
+    /// engage continuous Rx and decide whether to transmit. A node with
+    /// nothing to send does not engage.
+    pub fn on_beacon(&mut self, t: f64, pass_end_s: f64) -> BeaconReaction {
+        self.settle_engagement(t);
+        if self.buffer.is_empty() && self.awaiting_ack.is_none() {
+            return BeaconReaction::Idle;
+        }
+        if self.engaged_since_s.is_none() {
+            self.close_wait_interval(t);
+            self.engaged_since_s = Some(t);
+        }
+        self.engaged_until_s = Some(pass_end_s.max(t));
+
+        if self.awaiting_ack.is_some() {
+            return BeaconReaction::Idle;
+        }
+        let head = self.buffer.front().expect("checked non-empty above");
+        BeaconReaction::Transmit {
+            seq: head.seq,
+            attempt: head.attempts + 1,
+        }
+    }
+
+    /// The node started transmitting the head packet at `t` for
+    /// `airtime_s`; the ACK deadline starts at transmission end.
+    pub fn on_transmit(&mut self, t: f64, airtime_s: f64) {
+        self.tx_airtime_s += airtime_s;
+        if let Some(head) = self.buffer.front_mut() {
+            head.attempts += 1;
+            if head.first_tx_s.is_none() {
+                head.first_tx_s = Some(t);
+            }
+            self.awaiting_ack = Some((head.seq, t + airtime_s + calib::ACK_TIMEOUT_S));
+        }
+    }
+
+    /// An ACK for `seq` decoded at `t`.
+    pub fn on_ack(&mut self, seq: u64, t: f64) {
+        if let Some((waiting, _)) = self.awaiting_ack {
+            if waiting == seq {
+                self.awaiting_ack = None;
+            }
+        }
+        if self.buffer.front().map(|p| p.seq) == Some(seq) {
+            let done = self.buffer.pop().expect("front just checked");
+            self.completed.push(done);
+            if self.buffer.is_empty() {
+                self.mark_drained(t);
+            }
+        }
+    }
+
+    /// The ACK timeout for `seq` fired at `t` without an ACK.
+    ///
+    /// Besides clearing the wait, the node *backs off*: it winds the
+    /// engagement down and suppresses listening briefly instead of
+    /// hammering the same pass — congestion etiquette that pushes most
+    /// retries to a later beacon or the next contact, which is what makes
+    /// the paper's DtS latency segment minutes long (Fig 5d).
+    pub fn on_ack_timeout(&mut self, seq: u64, t: f64) {
+        if let Some((waiting, deadline)) = self.awaiting_ack {
+            if waiting == seq && t >= deadline - 1e-9 {
+                self.awaiting_ack = None;
+                if let Some(until) = self.engaged_until_s {
+                    self.engaged_until_s = Some(until.min(t + 1.0));
+                }
+                self.backoff_until_s = Some(t + calib::RETRY_BACKOFF_S);
+                // Exhausted? Give the packet up.
+                if let Some(head) = self.buffer.front() {
+                    if head.seq == seq && head.attempts >= self.max_attempts {
+                        let dropped = self.buffer.pop().expect("front just checked");
+                        self.gave_up.push(dropped);
+                        if self.buffer.is_empty() {
+                            self.mark_drained(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pass the node was engaged with ended at `t` (LOS).
+    pub fn on_pass_end(&mut self, t: f64) {
+        self.settle_engagement(t);
+    }
+
+    /// Close an expired engagement: book its Rx residency and restart the
+    /// pending-wait interval if data is still pending.
+    fn settle_engagement(&mut self, t: f64) {
+        if let Some(until) = self.engaged_until_s {
+            if t >= until {
+                if let Some(since) = self.engaged_since_s.take() {
+                    self.engaged_s += (until - since).max(0.0);
+                }
+                self.engaged_until_s = None;
+                if !self.buffer.is_empty() && self.pending_since_s.is_none() {
+                    self.pending_since_s = Some(until);
+                }
+            }
+        }
+    }
+
+    /// Finalise residency integrals at campaign end.
+    pub fn finalize(&mut self, t_end: f64) {
+        if let Some(until) = self.engaged_until_s {
+            self.engaged_until_s = Some(until.min(t_end));
+            self.settle_engagement(t_end);
+        }
+        self.close_wait_interval(t_end);
+    }
+
+    /// Radio-on time spent in scheduled (plan) listening outside
+    /// engagements, s: the overlap between pending-data intervals and the
+    /// listen plan. (Backoff blackouts inside plan windows are counted as
+    /// listening — a conservative, tiny overestimate.)
+    pub fn plan_rx_s(&self) -> f64 {
+        let mut total = 0.0;
+        for &(ps, pe) in &self.pending_intervals {
+            let mut idx = self.listen_plan.partition_point(|&(_, end)| end < ps);
+            while let Some(&(ws, we)) = self.listen_plan.get(idx) {
+                if ws > pe {
+                    break;
+                }
+                total += (we.min(pe) - ws.max(ps)).max(0.0);
+                idx += 1;
+            }
+        }
+        total
+    }
+
+    /// Total time with data pending outside engagements, s.
+    pub fn pending_wait_s(&self) -> f64 {
+        self.pending_intervals.iter().map(|(s, e)| e - s).sum()
+    }
+
+    fn close_wait_interval(&mut self, t: f64) {
+        if let Some(since) = self.pending_since_s.take() {
+            if t > since {
+                self.pending_intervals.push((since, t));
+            }
+        }
+    }
+
+    fn mark_drained(&mut self, t: f64) {
+        // Buffer empty: stop waiting, and wind an active engagement down
+        // to a short linger instead of listening to the rest of the pass
+        // — the power-saving behaviour behind the node's battery life.
+        if let Some(until) = self.engaged_until_s {
+            self.engaged_until_s = Some(until.min(t + calib::ENGAGED_LINGER_S));
+        } else {
+            self.pending_since_s = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node whose plan covers [100, 400] and [1 000, 1 300].
+    fn planned_node() -> NodeMachine {
+        let mut node = NodeMachine::new(0);
+        node.listen_plan = vec![(100.0, 400.0), (1_000.0, 1_300.0)];
+        node
+    }
+
+    #[test]
+    fn idle_node_sleeps_even_inside_plan() {
+        let node = planned_node();
+        for t in [0.0, 150.0, 1_100.0, 9_999.0] {
+            assert!(!node.is_listening(t));
+        }
+    }
+
+    #[test]
+    fn pending_data_listens_only_inside_plan() {
+        let mut node = planned_node();
+        node.on_data(1, 0.0);
+        assert!(!node.is_listening(50.0)); // Before the window.
+        assert!(node.is_listening(100.0));
+        assert!(node.is_listening(399.0));
+        assert!(!node.is_listening(500.0)); // Between windows.
+        assert!(node.is_listening(1_200.0));
+        assert!(!node.is_listening(1_400.0));
+    }
+
+    #[test]
+    fn in_plan_boundaries() {
+        let node = planned_node();
+        assert!(!node.in_plan(99.9));
+        assert!(node.in_plan(100.0));
+        assert!(node.in_plan(400.0));
+        assert!(!node.in_plan(400.1));
+    }
+
+    #[test]
+    fn beacon_engages_and_transmits() {
+        let mut node = planned_node();
+        node.on_data(42, 0.0);
+        let reaction = node.on_beacon(150.0, 400.0);
+        assert_eq!(
+            reaction,
+            BeaconReaction::Transmit {
+                seq: 42,
+                attempt: 1
+            }
+        );
+        // Engaged: listening continuously until pass end.
+        assert!(node.is_listening(250.0));
+        node.on_transmit(151.0, 0.5);
+        // While awaiting the ACK, further beacons do not retransmit.
+        assert_eq!(node.on_beacon(160.0, 400.0), BeaconReaction::Idle);
+    }
+
+    #[test]
+    fn ack_completes_packet() {
+        let mut node = planned_node();
+        node.on_data(7, 0.0);
+        node.on_beacon(150.0, 400.0);
+        node.on_transmit(151.0, 0.5);
+        node.on_ack(7, 152.5);
+        assert!(node.buffer.is_empty());
+        assert_eq!(node.completed.len(), 1);
+        assert_eq!(node.completed[0].attempts, 1);
+        assert!(node.awaiting_ack.is_none());
+    }
+
+    #[test]
+    fn timeout_backs_off_then_retransmits() {
+        let mut node = planned_node();
+        node.on_data(7, 0.0);
+        node.on_beacon(150.0, 400.0);
+        node.on_transmit(151.0, 0.5);
+        let deadline = 151.0 + 0.5 + calib::ACK_TIMEOUT_S;
+        node.on_ack_timeout(7, deadline);
+        assert!(node.awaiting_ack.is_none());
+        // The engagement winds down to `t + 1`; past that, the node is in
+        // backoff and not listening even inside the plan window.
+        assert!(!node.is_listening(deadline + 2.0));
+        assert!(node.is_listening(deadline + calib::RETRY_BACKOFF_S + 1.0).eq(&node
+            .in_plan(deadline + calib::RETRY_BACKOFF_S + 1.0)));
+        // A beacon after backoff triggers attempt 2.
+        let t2 = deadline + calib::RETRY_BACKOFF_S + 5.0;
+        assert_eq!(
+            node.on_beacon(t2, t2 + 100.0),
+            BeaconReaction::Transmit {
+                seq: 7,
+                attempt: 2
+            }
+        );
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let mut node = NodeMachine::with_limits(0, 8, 3);
+        node.listen_plan = vec![(0.0, 1e9)];
+        node.on_data(9, 0.0);
+        let mut t = 10.0;
+        for _ in 0..3 {
+            assert!(matches!(
+                node.on_beacon(t, 1e6),
+                BeaconReaction::Transmit { seq: 9, .. }
+            ));
+            node.on_transmit(t + 0.1, 0.5);
+            t += calib::ACK_TIMEOUT_S + 1.0;
+            node.on_ack_timeout(9, t);
+            t += calib::RETRY_BACKOFF_S + 1.0;
+        }
+        assert!(node.buffer.is_empty());
+        assert_eq!(node.gave_up.len(), 1);
+        assert_eq!(node.gave_up[0].attempts, 3);
+        assert_eq!(node.on_beacon(t + 1.0, 1e6), BeaconReaction::Idle);
+    }
+
+    #[test]
+    fn stale_acks_are_ignored() {
+        let mut node = planned_node();
+        node.on_data(1, 0.0);
+        node.on_data(2, 1.0);
+        node.on_beacon(110.0, 400.0);
+        node.on_transmit(110.5, 0.5);
+        node.on_ack(999, 112.0);
+        assert!(node.awaiting_ack.is_some());
+        assert_eq!(node.buffer.len(), 2);
+    }
+
+    #[test]
+    fn residency_integrals_accumulate() {
+        let mut node = planned_node();
+        node.on_data(1, 0.0);
+        // Pending 0→150 (plan overlap: 100→150 = 50 s), engaged at 150.
+        node.on_beacon(150.0, 400.0);
+        node.on_transmit(151.0, 0.5);
+        node.on_ack(1, 153.0);
+        node.on_pass_end(400.0);
+        node.finalize(2_000.0);
+        // Engagement wound down to linger after the ACK drained the buffer.
+        let expected_engaged = 153.0 + calib::ENGAGED_LINGER_S - 150.0;
+        assert!(
+            (node.engaged_s - expected_engaged).abs() < 1e-9,
+            "engaged {}",
+            node.engaged_s
+        );
+        assert!((node.pending_wait_s() - 150.0).abs() < 1e-9);
+        assert!((node.plan_rx_s() - 50.0).abs() < 1e-9, "plan rx {}", node.plan_rx_s());
+        assert!((node.tx_airtime_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_rx_spans_multiple_windows() {
+        let mut node = planned_node();
+        node.on_data(1, 0.0);
+        // Never engaged; campaign ends at 2 000 s.
+        node.finalize(2_000.0);
+        // Pending 0→2 000 overlaps both plan windows: 300 + 300 s.
+        assert!((node.plan_rx_s() - 600.0).abs() < 1e-9, "{}", node.plan_rx_s());
+        assert!((node.pending_wait_s() - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attempt_counter_tracks_first_tx_time() {
+        let mut node = planned_node();
+        node.on_data(5, 0.0);
+        node.on_beacon(130.0, 400.0);
+        node.on_transmit(131.0, 0.4);
+        node.on_ack_timeout(5, 131.0 + 0.4 + calib::ACK_TIMEOUT_S);
+        let t2 = 131.0 + calib::RETRY_BACKOFF_S + 10.0;
+        node.on_beacon(t2, t2 + 200.0);
+        node.on_transmit(t2 + 1.0, 0.4);
+        node.on_ack(5, t2 + 3.0);
+        let done = &node.completed[0];
+        assert_eq!(done.attempts, 2);
+        assert_eq!(done.first_tx_s, Some(131.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! The subscriber server: the Hong Kong endpoint of the paper's active
+//! deployment (Appendix B).
+//!
+//! The server receives packets forwarded by the operator's data centre,
+//! deduplicates them on their application sequence IDs (ACK-loss
+//! retransmissions arrive as duplicates), and keeps the arrival log the
+//! paper's reliability and latency methodology is built on.
+
+use std::collections::HashMap;
+
+/// One logged delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Originating node.
+    pub node_id: u32,
+    /// First arrival time of this sequence, s.
+    pub first_arrival_s: f64,
+    /// Copies received (1 = no duplicates).
+    pub copies: u32,
+}
+
+/// The server's arrival log.
+///
+/// ```
+/// use satiot_core::server::DeliveryLog;
+///
+/// let mut log = DeliveryLog::new();
+/// assert!(log.record(7, 0, 120.0));   // First copy.
+/// assert!(!log.record(7, 0, 500.0));  // ACK-loss duplicate.
+/// assert_eq!(log.delivered(), 1);
+/// assert_eq!(log.get(7).unwrap().first_arrival_s, 120.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryLog {
+    deliveries: HashMap<u64, Delivery>,
+    /// Total packet arrivals including duplicates.
+    pub arrivals: u64,
+}
+
+impl DeliveryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an arrival. Returns `true` when the sequence is new,
+    /// `false` for a duplicate (which only bumps the copy counter and
+    /// never moves the first-arrival timestamp — the dedup rule that
+    /// keeps ACK-loss retransmissions out of the latency statistics).
+    pub fn record(&mut self, seq: u64, node_id: u32, arrival_s: f64) -> bool {
+        self.arrivals += 1;
+        match self.deliveries.get_mut(&seq) {
+            Some(d) => {
+                d.copies += 1;
+                // Out-of-order duplicates can even precede the logged
+                // arrival (different satellites, different contact
+                // plans); keep the earliest.
+                if arrival_s < d.first_arrival_s {
+                    d.first_arrival_s = arrival_s;
+                }
+                false
+            }
+            None => {
+                self.deliveries.insert(
+                    seq,
+                    Delivery {
+                        node_id,
+                        first_arrival_s: arrival_s,
+                        copies: 1,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Distinct sequences delivered.
+    pub fn delivered(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// The delivery record for `seq`, if it arrived.
+    pub fn get(&self, seq: u64) -> Option<&Delivery> {
+        self.deliveries.get(&seq)
+    }
+
+    /// Delivered sequence IDs as a set (for `satiot-measure`'s
+    /// reliability analysis).
+    pub fn delivered_seqs(&self) -> std::collections::HashSet<u64> {
+        self.deliveries.keys().copied().collect()
+    }
+
+    /// Duplicate arrivals (total copies beyond the first of each seq).
+    pub fn duplicate_arrivals(&self) -> u64 {
+        self.arrivals - self.deliveries.len() as u64
+    }
+
+    /// Fraction of delivered sequences that arrived more than once — the
+    /// server-side view of the paper's ACK-loss observation.
+    pub fn duplicate_ratio(&self) -> f64 {
+        if self.deliveries.is_empty() {
+            return 0.0;
+        }
+        self.deliveries.values().filter(|d| d.copies > 1).count() as f64
+            / self.deliveries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_arrival_wins() {
+        let mut log = DeliveryLog::new();
+        assert!(log.record(7, 1, 100.0));
+        assert!(!log.record(7, 1, 200.0));
+        let d = log.get(7).unwrap();
+        assert_eq!(d.first_arrival_s, 100.0);
+        assert_eq!(d.copies, 2);
+        assert_eq!(log.delivered(), 1);
+        assert_eq!(log.arrivals, 2);
+        assert_eq!(log.duplicate_arrivals(), 1);
+    }
+
+    #[test]
+    fn out_of_order_duplicate_moves_first_arrival_back() {
+        let mut log = DeliveryLog::new();
+        log.record(7, 1, 200.0);
+        log.record(7, 1, 150.0);
+        assert_eq!(log.get(7).unwrap().first_arrival_s, 150.0);
+    }
+
+    #[test]
+    fn duplicate_ratio_counts_sequences_not_copies() {
+        let mut log = DeliveryLog::new();
+        log.record(1, 0, 10.0);
+        log.record(2, 0, 20.0);
+        log.record(2, 0, 21.0);
+        log.record(2, 0, 22.0);
+        // 1 of 2 sequences duplicated, regardless of copy count.
+        assert!((log.duplicate_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(log.duplicate_arrivals(), 2);
+    }
+
+    #[test]
+    fn delivered_seqs_feed_the_reliability_analysis() {
+        let mut log = DeliveryLog::new();
+        log.record(3, 0, 1.0);
+        log.record(9, 1, 2.0);
+        let set = log.delivered_seqs();
+        assert!(set.contains(&3) && set.contains(&9));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = DeliveryLog::new();
+        assert_eq!(log.delivered(), 0);
+        assert_eq!(log.duplicate_ratio(), 0.0);
+        assert!(log.get(1).is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Ground-station availability.
+//!
+//! TinyGS-class stations are $30 hobbyist boards on domestic power and
+//! Wi-Fi: they reboot, lose MQTT connectivity, take OTA updates, and get
+//! retuned by their owners. The paper's trace volumes imply each station
+//! captures well under one contact per day end to end. Rather than a
+//! flat per-pass coin toss, availability is modelled as a two-state
+//! Markov process (up/down with exponential dwell times), which produces
+//! the *temporally correlated* outages real crowd-sourced hardware shows:
+//! a station that is down tends to stay down through several passes.
+
+use satiot_sim::{Rng, SimTime};
+
+/// Parameters of the up/down availability chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityParams {
+    /// Mean up spell, hours.
+    pub mean_up_h: f64,
+    /// Mean down spell, hours.
+    pub mean_down_h: f64,
+}
+
+impl AvailabilityParams {
+    /// Long-run fraction of time the station is up.
+    pub fn uptime_fraction(&self) -> f64 {
+        self.mean_up_h / (self.mean_up_h + self.mean_down_h)
+    }
+
+    /// Parameters with the given long-run uptime, keeping the
+    /// characteristic outage length at `mean_down_h`.
+    pub fn with_uptime(uptime: f64, mean_down_h: f64) -> AvailabilityParams {
+        let uptime = uptime.clamp(1e-3, 1.0 - 1e-3);
+        AvailabilityParams {
+            mean_up_h: mean_down_h * uptime / (1.0 - uptime),
+            mean_down_h,
+        }
+    }
+}
+
+impl Default for AvailabilityParams {
+    /// Calibrated against Table 1's trace volumes (see
+    /// [`crate::calib::SCHEDULER_COVERAGE`]): stations are up ~45 % of
+    /// the time with multi-hour outages.
+    fn default() -> Self {
+        AvailabilityParams::with_uptime(crate::calib::SCHEDULER_COVERAGE, 8.0)
+    }
+}
+
+/// One station's precomputed availability timeline.
+#[derive(Debug, Clone)]
+pub struct StationAvailability {
+    /// Sorted spell boundaries: `(start_s, up)`.
+    spells: Vec<(f64, bool)>,
+}
+
+impl StationAvailability {
+    /// Generate a timeline covering `[0, horizon]`.
+    pub fn generate(params: &AvailabilityParams, horizon: SimTime, rng: &mut Rng) -> Self {
+        let mut spells = Vec::new();
+        let mut t = 0.0;
+        let mut up = rng.chance(params.uptime_fraction());
+        while t <= horizon.as_secs() {
+            spells.push((t, up));
+            let mean_h = if up { params.mean_up_h } else { params.mean_down_h };
+            t += rng.exponential(mean_h * 3_600.0).max(300.0);
+            up = !up;
+        }
+        StationAvailability { spells }
+    }
+
+    /// A station that is always up (ideal-hardware baseline).
+    pub fn always_up() -> Self {
+        StationAvailability {
+            spells: vec![(0.0, true)],
+        }
+    }
+
+    /// Whether the station is up at `t_s` seconds.
+    pub fn is_up(&self, t_s: f64) -> bool {
+        match self.spells.binary_search_by(|(s, _)| s.total_cmp(&t_s)) {
+            Ok(i) => self.spells[i].1,
+            Err(0) => self.spells[0].1,
+            Err(i) => self.spells[i - 1].1,
+        }
+    }
+
+    /// Fraction of `[0, horizon_s]` the station is up.
+    pub fn uptime_in(&self, horizon_s: f64) -> f64 {
+        let mut up_total = 0.0;
+        for (i, &(start, up)) in self.spells.iter().enumerate() {
+            if start > horizon_s {
+                break;
+            }
+            let end = self
+                .spells
+                .get(i + 1)
+                .map(|&(s, _)| s)
+                .unwrap_or(horizon_s)
+                .min(horizon_s);
+            if up {
+                up_total += (end - start).max(0.0);
+            }
+        }
+        up_total / horizon_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uptime_fraction_round_trips() {
+        for target in [0.1, 0.45, 0.9] {
+            let p = AvailabilityParams::with_uptime(target, 6.0);
+            assert!((p.uptime_fraction() - target).abs() < 1e-12);
+            assert_eq!(p.mean_down_h, 6.0);
+        }
+        // Degenerate targets clamp instead of dividing by zero.
+        assert!(AvailabilityParams::with_uptime(0.0, 6.0).mean_up_h > 0.0);
+        assert!(AvailabilityParams::with_uptime(1.0, 6.0).mean_up_h.is_finite());
+    }
+
+    #[test]
+    fn long_run_uptime_matches_parameters() {
+        let params = AvailabilityParams::with_uptime(0.45, 8.0);
+        let horizon = SimTime::from_days(365.0);
+        let mut rng = Rng::from_seed(5);
+        let a = StationAvailability::generate(&params, horizon, &mut rng);
+        let measured = a.uptime_in(horizon.as_secs());
+        assert!(
+            (measured - 0.45).abs() < 0.08,
+            "uptime {measured} vs target 0.45"
+        );
+    }
+
+    #[test]
+    fn outages_are_correlated_not_noise() {
+        // Consecutive samples 10 minutes apart agree far more often than
+        // independent coin flips would (0.45² + 0.55² ≈ 0.5).
+        let params = AvailabilityParams::default();
+        let mut rng = Rng::from_seed(7);
+        let a = StationAvailability::generate(&params, SimTime::from_days(120.0), &mut rng);
+        let mut agree = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let t = i as f64 * 600.0;
+            if a.is_up(t) == a.is_up(t + 600.0) {
+                agree += 1;
+            }
+        }
+        let agreement = agree as f64 / n as f64;
+        assert!(agreement > 0.9, "agreement {agreement}");
+    }
+
+    #[test]
+    fn always_up_is_always_up() {
+        let a = StationAvailability::always_up();
+        for t in [0.0, 1e3, 1e7] {
+            assert!(a.is_up(t));
+        }
+        assert_eq!(a.uptime_in(1e6), 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = AvailabilityParams::default();
+        let a = StationAvailability::generate(
+            &params,
+            SimTime::from_days(30.0),
+            &mut Rng::from_seed(9),
+        );
+        let b = StationAvailability::generate(
+            &params,
+            SimTime::from_days(30.0),
+            &mut Rng::from_seed(9),
+        );
+        for i in 0..1_000 {
+            let t = i as f64 * 2_000.0;
+            assert_eq!(a.is_up(t), b.is_up(t));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Protocol fuzzing: drive the Tianqi-node state machine with random
+//! event interleavings and assert its invariants never break.
+
+use proptest::prelude::*;
+use satiot_core::node::{BeaconReaction, NodeMachine};
+
+/// A randomly generated protocol stimulus.
+#[derive(Debug, Clone)]
+enum Stimulus {
+    Data,
+    Beacon { pass_len_s: f64 },
+    Ack { of_current: bool },
+    Timeout,
+    PassEnd,
+    Advance { dt_s: f64 },
+}
+
+fn stimulus() -> impl Strategy<Value = Stimulus> {
+    prop_oneof![
+        2 => Just(Stimulus::Data),
+        4 => (30.0_f64..900.0).prop_map(|pass_len_s| Stimulus::Beacon { pass_len_s }),
+        3 => any::<bool>().prop_map(|of_current| Stimulus::Ack { of_current }),
+        2 => Just(Stimulus::Timeout),
+        2 => Just(Stimulus::PassEnd),
+        4 => (0.5_f64..600.0).prop_map(|dt_s| Stimulus::Advance { dt_s }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the interleaving: packets are conserved, attempt caps
+    /// hold, timestamps stay ordered, and residency integrals stay
+    /// non-negative and bounded by wall time.
+    #[test]
+    fn node_invariants_hold_under_fuzzing(
+        max_attempts in 1u32..8,
+        capacity in 1usize..16,
+        script in proptest::collection::vec(stimulus(), 1..200),
+    ) {
+        let mut node = NodeMachine::with_limits(0, capacity, max_attempts);
+        node.listen_plan = vec![(0.0, 1e9)];
+        let mut t = 0.0_f64;
+        let mut generated = 0u64;
+        let mut dropped_by_buffer = 0u64;
+        let mut awaiting_seq: Option<u64> = None;
+
+        for s in &script {
+            t += 0.25; // Events are strictly ordered in time.
+            match s {
+                Stimulus::Data => {
+                    let before = node.buffer.dropped;
+                    node.on_data(generated, t);
+                    generated += 1;
+                    dropped_by_buffer += node.buffer.dropped - before;
+                }
+                Stimulus::Beacon { pass_len_s } => {
+                    match node.on_beacon(t, t + pass_len_s) {
+                        BeaconReaction::Transmit { seq, attempt } => {
+                            prop_assert!(attempt <= max_attempts, "attempt {attempt}");
+                            prop_assert!(node.awaiting_ack.is_none());
+                            node.on_transmit(t, 0.5);
+                            awaiting_seq = Some(seq);
+                        }
+                        BeaconReaction::Idle => {}
+                    }
+                }
+                Stimulus::Ack { of_current } => {
+                    let seq = if *of_current {
+                        awaiting_seq.unwrap_or(u64::MAX)
+                    } else {
+                        u64::MAX // A stale/foreign ACK.
+                    };
+                    node.on_ack(seq, t);
+                }
+                Stimulus::Timeout => {
+                    if let Some((seq, deadline)) = node.awaiting_ack {
+                        // Fire the timeout exactly at its deadline.
+                        node.on_ack_timeout(seq, deadline.max(t));
+                        t = t.max(deadline);
+                    }
+                }
+                Stimulus::PassEnd => node.on_pass_end(t),
+                Stimulus::Advance { dt_s } => t += dt_s,
+            }
+            // The receiver query must be total at any instant.
+            let _ = node.is_listening(t);
+            let _ = node.in_plan(t);
+        }
+        node.finalize(t + 1.0);
+
+        // Conservation: everything generated is accounted for exactly once.
+        let accounted = node.completed.len() as u64
+            + node.gave_up.len() as u64
+            + node.buffer.len() as u64
+            + dropped_by_buffer;
+        prop_assert_eq!(accounted, generated);
+
+        // Attempt caps hold on every terminal packet.
+        for p in node.completed.iter().chain(node.gave_up.iter()) {
+            prop_assert!(p.attempts <= max_attempts);
+            if let Some(ftx) = p.first_tx_s {
+                prop_assert!(ftx >= p.generated_s);
+            }
+        }
+        // Only exhausted packets are abandoned.
+        for p in &node.gave_up {
+            prop_assert_eq!(p.attempts, max_attempts);
+        }
+
+        // Residency integrals: non-negative and within wall time.
+        prop_assert!(node.engaged_s >= 0.0);
+        prop_assert!(node.pending_wait_s() >= 0.0);
+        prop_assert!(node.tx_airtime_s >= 0.0);
+        prop_assert!(node.engaged_s + node.pending_wait_s() <= t + 2.0);
+        prop_assert!(node.plan_rx_s() <= node.pending_wait_s() + 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Residency and energy bookkeeping per operating mode.
+
+use crate::profile::PowerProfile;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Accumulates time and energy per mode for one node.
+///
+/// ```
+/// use satiot_energy::accounting::EnergyAccount;
+/// use satiot_energy::profile::{SatNodeMode, SatNodeProfile};
+///
+/// let mut acc = EnergyAccount::new();
+/// acc.record(&SatNodeProfile, SatNodeMode::Sleep, 3_000.0);
+/// acc.record(&SatNodeProfile, SatNodeMode::McuTx, 10.0);
+/// // Ten seconds of DtS transmit out-consumes fifty minutes of sleep.
+/// assert!(acc.energy_mj(SatNodeMode::McuTx) < acc.energy_mj(SatNodeMode::Sleep));
+/// assert!(acc.energy_fraction(SatNodeMode::McuTx) > 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyAccount<M: Copy + Eq + Hash> {
+    /// Per-mode (seconds, millijoules).
+    ledger: HashMap<M, (f64, f64)>,
+}
+
+impl<M: Copy + Eq + Hash> Default for EnergyAccount<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Copy + Eq + Hash> EnergyAccount<M> {
+    /// An empty account.
+    pub fn new() -> Self {
+        EnergyAccount {
+            ledger: HashMap::new(),
+        }
+    }
+
+    /// Record `duration_s` seconds spent in `mode` under `profile`.
+    pub fn record<P: PowerProfile<M>>(&mut self, profile: &P, mode: M, duration_s: f64) {
+        debug_assert!(duration_s >= 0.0, "negative duration");
+        let entry = self.ledger.entry(mode).or_insert((0.0, 0.0));
+        entry.0 += duration_s;
+        entry.1 += profile.power_mw(mode) * duration_s; // mW·s = mJ.
+    }
+
+    /// Seconds spent in `mode`.
+    pub fn time_s(&self, mode: M) -> f64 {
+        self.ledger.get(&mode).map(|e| e.0).unwrap_or(0.0)
+    }
+
+    /// Energy consumed in `mode`, millijoules.
+    pub fn energy_mj(&self, mode: M) -> f64 {
+        self.ledger.get(&mode).map(|e| e.1).unwrap_or(0.0)
+    }
+
+    /// Total recorded time, seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.ledger.values().map(|e| e.0).sum()
+    }
+
+    /// Total energy, millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.ledger.values().map(|e| e.1).sum()
+    }
+
+    /// Total energy, milliwatt-hours.
+    pub fn total_energy_mwh(&self) -> f64 {
+        self.total_energy_mj() / 3_600.0
+    }
+
+    /// Fraction of total time spent in `mode` (0 if nothing recorded).
+    pub fn time_fraction(&self, mode: M) -> f64 {
+        let total = self.total_time_s();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.time_s(mode) / total
+        }
+    }
+
+    /// Fraction of total energy consumed in `mode`.
+    pub fn energy_fraction(&self, mode: M) -> f64 {
+        let total = self.total_energy_mj();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.energy_mj(mode) / total
+        }
+    }
+
+    /// Average power over all recorded time, milliwatts.
+    pub fn average_power_mw(&self) -> f64 {
+        let t = self.total_time_s();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.total_energy_mj() / t
+        }
+    }
+
+    /// Re-cost the same residencies under a different power profile
+    /// (e.g. the deployment-grade profile for lifetime projection).
+    pub fn re_profile<P: PowerProfile<M>>(&self, profile: &P) -> EnergyAccount<M> {
+        let mut out = EnergyAccount::new();
+        for (&mode, &(time_s, _)) in &self.ledger {
+            out.record(profile, mode, time_s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{SatNodeMode, SatNodeProfile, TerrestrialMode, TerrestrialProfile};
+
+    #[test]
+    fn records_accumulate() {
+        let mut acc = EnergyAccount::new();
+        let p = TerrestrialProfile;
+        acc.record(&p, TerrestrialMode::Sleep, 100.0);
+        acc.record(&p, TerrestrialMode::Sleep, 50.0);
+        acc.record(&p, TerrestrialMode::Tx, 2.0);
+        assert_eq!(acc.time_s(TerrestrialMode::Sleep), 150.0);
+        assert!((acc.energy_mj(TerrestrialMode::Sleep) - 19.1 * 150.0).abs() < 1e-9);
+        assert!((acc.energy_mj(TerrestrialMode::Tx) - 3_260.0).abs() < 1e-9);
+        assert_eq!(acc.time_s(TerrestrialMode::Rx), 0.0);
+        assert_eq!(acc.total_time_s(), 152.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut acc = EnergyAccount::new();
+        let p = SatNodeProfile;
+        acc.record(&p, SatNodeMode::Sleep, 3_000.0);
+        acc.record(&p, SatNodeMode::McuRx, 500.0);
+        acc.record(&p, SatNodeMode::McuTx, 10.0);
+        let tf: f64 = SatNodeMode::ALL.iter().map(|m| acc.time_fraction(*m)).sum();
+        let ef: f64 = SatNodeMode::ALL
+            .iter()
+            .map(|m| acc.energy_fraction(*m))
+            .sum();
+        assert!((tf - 1.0).abs() < 1e-12);
+        assert!((ef - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tx_dominates_energy_despite_tiny_residency() {
+        // The paper's Figure 11 pattern: ≥ 70 % of energy goes to Tx+Rx
+        // even though ≥ 95 % of time is Sleep/Standby.
+        let mut acc = EnergyAccount::new();
+        let p = TerrestrialProfile;
+        acc.record(&p, TerrestrialMode::Sleep, 86_000.0);
+        acc.record(&p, TerrestrialMode::Standby, 1_000.0);
+        acc.record(&p, TerrestrialMode::Rx, 2_000.0);
+        acc.record(&p, TerrestrialMode::Tx, 500.0);
+        let sleepish =
+            acc.time_fraction(TerrestrialMode::Sleep) + acc.time_fraction(TerrestrialMode::Standby);
+        let radio_energy =
+            acc.energy_fraction(TerrestrialMode::Rx) + acc.energy_fraction(TerrestrialMode::Tx);
+        assert!(sleepish > 0.95, "sleepish {sleepish}");
+        assert!(radio_energy > 0.4, "radio energy {radio_energy}");
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let mut acc = EnergyAccount::new();
+        let p = SatNodeProfile;
+        acc.record(&p, SatNodeMode::Sleep, 50.0);
+        acc.record(&p, SatNodeMode::McuRx, 50.0);
+        let expected = (19.1 * 50.0 + 290.0 * 50.0) / 100.0;
+        assert!((acc.average_power_mw() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_account_is_all_zero() {
+        let acc: EnergyAccount<SatNodeMode> = EnergyAccount::new();
+        assert_eq!(acc.total_time_s(), 0.0);
+        assert_eq!(acc.total_energy_mj(), 0.0);
+        assert_eq!(acc.average_power_mw(), 0.0);
+        assert_eq!(acc.time_fraction(SatNodeMode::Sleep), 0.0);
+    }
+
+    #[test]
+    fn mwh_conversion() {
+        let mut acc = EnergyAccount::new();
+        let p = TerrestrialProfile;
+        // 1630 mW for one hour = 1630 mWh.
+        acc.record(&p, TerrestrialMode::Tx, 3_600.0);
+        assert!((acc.total_energy_mwh() - 1_630.0).abs() < 1e-9);
+    }
+}

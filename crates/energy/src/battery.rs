@@ -1,0 +1,89 @@
+//! Battery-lifetime projection.
+
+/// A battery pack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Rated capacity, mAh.
+    pub capacity_mah: f64,
+    /// Nominal cell voltage, V.
+    pub voltage_v: f64,
+    /// Usable fraction of rated capacity (cut-off voltage, ageing).
+    pub usable_fraction: f64,
+}
+
+impl Battery {
+    /// The 5 000 mAh pack the paper's lifetime estimate (Figure 6d) uses,
+    /// at a Li-ion nominal 3.7 V, fully usable.
+    pub fn paper_5ah() -> Battery {
+        Battery {
+            capacity_mah: 5_000.0,
+            voltage_v: 3.7,
+            usable_fraction: 1.0,
+        }
+    }
+
+    /// Usable energy, mWh.
+    pub fn usable_energy_mwh(&self) -> f64 {
+        self.capacity_mah * self.voltage_v * self.usable_fraction
+    }
+
+    /// Days of operation at a constant average draw of `avg_power_mw`.
+    /// Returns `f64::INFINITY` for a non-positive draw.
+    pub fn lifetime_days(&self, avg_power_mw: f64) -> f64 {
+        if avg_power_mw <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.usable_energy_mwh() / avg_power_mw / 24.0
+    }
+
+    /// Fraction of the battery consumed after `days` at `avg_power_mw`.
+    pub fn drained_fraction(&self, avg_power_mw: f64, days: f64) -> f64 {
+        (avg_power_mw * days * 24.0 / self.usable_energy_mwh()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pack_energy() {
+        let b = Battery::paper_5ah();
+        assert!((b.usable_energy_mwh() - 18_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_power() {
+        let b = Battery::paper_5ah();
+        let d1 = b.lifetime_days(10.0);
+        let d2 = b.lifetime_days(20.0);
+        assert!((d1 / d2 - 2.0).abs() < 1e-12);
+        // 18.5 Wh at 16 mW ≈ 48 days (the paper's satellite-node figure).
+        assert!((b.lifetime_days(16.06) - 48.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn zero_power_lives_forever() {
+        assert_eq!(Battery::paper_5ah().lifetime_days(0.0), f64::INFINITY);
+        assert_eq!(Battery::paper_5ah().lifetime_days(-5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn drain_fraction_caps_at_one() {
+        let b = Battery::paper_5ah();
+        assert!((b.drained_fraction(18_500.0 / 24.0, 1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(b.drained_fraction(1e9, 10.0), 1.0);
+        let half = b.drained_fraction(18_500.0 / 24.0 / 2.0, 1.0);
+        assert!((half - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usable_fraction_derates() {
+        let full = Battery::paper_5ah();
+        let derated = Battery {
+            usable_fraction: 0.8,
+            ..full
+        };
+        assert!((derated.lifetime_days(10.0) / full.lifetime_days(10.0) - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! # satiot-energy
+//!
+//! Power-state machines, energy accounting, and battery-lifetime
+//! projection for IoT nodes.
+//!
+//! The paper measures node power with a bench meter (Figures 6 and 10);
+//! this crate encodes those published per-mode power draws and integrates
+//! them over the radio activity a campaign simulation produces:
+//!
+//! * [`profile`] — operating modes and per-mode power for the satellite
+//!   (Tianqi-class) node and the terrestrial LoRaWAN node.
+//! * [`accounting`] — residency/energy bookkeeping per mode.
+//! * [`battery`] — capacity → lifetime projection.
+
+pub mod accounting;
+pub mod battery;
+pub mod profile;
+pub mod solar;
+
+pub use accounting::EnergyAccount;
+pub use battery::Battery;
+pub use profile::{PowerProfile, SatNodeMode, TerrestrialMode};
+pub use solar::SolarPanel;

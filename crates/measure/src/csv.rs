@@ -1,0 +1,223 @@
+//! CSV persistence for beacon traces.
+//!
+//! The paper publishes its dataset as packet traces; this module gives
+//! campaigns the same archival path — a dependency-free CSV codec for
+//! [`BeaconTrace`] sets, so a seven-month run can be written once and
+//! re-analysed offline without re-simulating.
+
+use crate::trace::{BeaconTrace, TraceSet};
+use std::io::{self, BufRead, Write};
+
+/// The column header, in field order.
+pub const HEADER: &str =
+    "time_s,site,station,constellation,sat_id,rssi_dbm,snr_db,elevation_deg,distance_km,doppler_hz,weather";
+
+/// Errors while reading a trace CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A malformed row (1-based line number and reason).
+    Malformed {
+        /// Line number (1 = header).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl core::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io: {e}"),
+            CsvError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serialise a trace set as CSV (header + one row per trace).
+pub fn write_traces<W: Write>(traces: &TraceSet, mut w: W) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for t in &traces.traces {
+        writeln!(
+            w,
+            "{:.3},{},{},{},{},{:.2},{:.2},{:.3},{:.3},{:.1},{}",
+            t.time_s,
+            t.site,
+            t.station,
+            t.constellation,
+            t.sat_id,
+            t.rssi_dbm,
+            t.snr_db,
+            t.elevation_deg,
+            t.distance_km,
+            t.doppler_hz,
+            t.weather,
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse a trace CSV produced by [`write_traces`].
+pub fn read_traces<R: BufRead>(r: R) -> Result<TraceSet, CsvError> {
+    let mut set = TraceSet::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        if idx == 0 {
+            if line.trim() != HEADER {
+                return Err(CsvError::Malformed {
+                    line: line_no,
+                    reason: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                reason: format!("expected 11 fields, got {}", fields.len()),
+            });
+        }
+        let parse_f = |i: usize| -> Result<f64, CsvError> {
+            fields[i].parse().map_err(|_| CsvError::Malformed {
+                line: line_no,
+                reason: format!("bad float in column {i}: {:?}", fields[i]),
+            })
+        };
+        let parse_u = |i: usize| -> Result<u32, CsvError> {
+            fields[i].parse().map_err(|_| CsvError::Malformed {
+                line: line_no,
+                reason: format!("bad integer in column {i}: {:?}", fields[i]),
+            })
+        };
+        let weather = match fields[10] {
+            "sunny" => "sunny",
+            "cloudy" => "cloudy",
+            "rainy" => "rainy",
+            other => {
+                return Err(CsvError::Malformed {
+                    line: line_no,
+                    reason: format!("unknown weather {other:?}"),
+                })
+            }
+        };
+        set.push(BeaconTrace {
+            time_s: parse_f(0)?,
+            site: fields[1].to_string(),
+            station: parse_u(2)?,
+            constellation: fields[3].to_string(),
+            sat_id: parse_u(4)?,
+            rssi_dbm: parse_f(5)?,
+            snr_db: parse_f(6)?,
+            elevation_deg: parse_f(7)?,
+            distance_km: parse_f(8)?,
+            doppler_hz: parse_f(9)?,
+            weather,
+        });
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> TraceSet {
+        let mut set = TraceSet::new();
+        for i in 0..5 {
+            set.push(BeaconTrace {
+                time_s: i as f64 * 8.5,
+                site: "HK".into(),
+                station: i % 3,
+                constellation: if i % 2 == 0 { "Tianqi" } else { "FOSSA" }.into(),
+                sat_id: i,
+                rssi_dbm: -125.0 - i as f64,
+                snr_db: -8.25,
+                elevation_deg: 30.0 + i as f64,
+                distance_km: 1_200.5,
+                doppler_hz: -4_321.0,
+                weather: "sunny",
+            });
+        }
+        set
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_relevant() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_traces(&set, &mut buf).unwrap();
+        let back = read_traces(&buf[..]).unwrap();
+        assert_eq!(back.len(), set.len());
+        for (a, b) in set.traces.iter().zip(&back.traces) {
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.constellation, b.constellation);
+            assert_eq!(a.sat_id, b.sat_id);
+            assert_eq!(a.weather, b.weather);
+            assert!((a.time_s - b.time_s).abs() < 1e-3);
+            assert!((a.rssi_dbm - b.rssi_dbm).abs() < 0.01);
+            assert!((a.distance_km - b.distance_km).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let bad = "wrong,header\n1,2\n";
+        assert!(matches!(
+            read_traces(bad.as_bytes()),
+            Err(CsvError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_rows_are_reported_with_line_numbers() {
+        let mut buf = Vec::new();
+        write_traces(&sample_set(), &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("only,three,fields\n");
+        let err = read_traces(text.as_bytes()).unwrap_err();
+        match err {
+            CsvError::Malformed { line, reason } => {
+                assert_eq!(line, 7);
+                assert!(reason.contains("11 fields"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_numbers_and_weather_are_rejected() {
+        let good_row = "1.0,HK,0,Tianqi,1,-125.0,-8.0,30.0,1200.0,-4000.0,sunny";
+        let cases = [
+            good_row.replace("-125.0", "not-a-number"),
+            good_row.replace("sunny", "hailstorm"),
+            good_row.replace(",0,", ",minus-one,"),
+        ];
+        for bad in cases {
+            let text = format!("{HEADER}\n{bad}\n");
+            assert!(read_traces(text.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+        // The good row itself parses.
+        let text = format!("{HEADER}\n{good_row}\n");
+        assert_eq!(read_traces(text.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let text = format!("{HEADER}\n\n\n");
+        assert!(read_traces(text.as_bytes()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! Summary statistics: moments, percentiles, CDFs, histograms.
+
+/// A numeric summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. Returns an all-zero summary for empty input.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p10: 0.0,
+                p90: 0.0,
+            };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p10: percentile_sorted(&sorted, 10.0),
+            p90: percentile_sorted(&sorted, 90.0),
+        }
+    }
+}
+
+impl Summary {
+    /// Half-width of the 95 % normal-approximation confidence interval on
+    /// the mean (`1.96·σ/√n`); 0 for samples of fewer than two points.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Percentile (0–100) of an unsorted sample; 0 for empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted sample using linear interpolation.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Empirical CDF sampled at `points` evenly spaced quantiles, returned as
+/// `(value, cumulative_probability)` pairs — the series format the
+/// figure-reproduction binaries print.
+pub fn cdf_points(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    (0..=points)
+        .map(|i| {
+            let q = i as f64 / points as f64;
+            (percentile_sorted(&sorted, q * 100.0), q)
+        })
+        .collect()
+}
+
+/// A fixed-width histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Width of each bin.
+    pub bin_width: f64,
+    /// Counts per bin; out-of-range values clamp into the edge bins.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `bins` bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0 && hi > lo, "degenerate histogram");
+        Histogram {
+            lo,
+            bin_width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, value: f64) {
+        let idx = ((value - self.lo) / self.bin_width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of observations in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / t as f64
+        }
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width
+    }
+
+    /// Fraction of observations with value in `[a, b)` (bin-resolution).
+    pub fn fraction_between(&self, a: f64, b: f64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        let in_range: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let c = self.bin_center(*i);
+                c >= a && c < b
+            })
+            .map(|(_, &c)| c)
+            .sum();
+        in_range as f64 / t as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1_000).map(|i| (i % 10) as f64).collect();
+        let s_small = Summary::of(&small);
+        let s_large = Summary::of(&large);
+        assert!(s_small.ci95_half_width() > s_large.ci95_half_width());
+        assert_eq!(Summary::of(&[1.0]).ci95_half_width(), 0.0);
+        // For the large sample, the CI half-width is 1.96·σ/√n exactly.
+        let expected = 1.96 * s_large.std_dev / 1_000f64.sqrt();
+        assert!((s_large.ci95_half_width() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < 1e-12);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 100.0), 3.0);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone_and_span() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cdf = cdf_points(&v, 10);
+        assert_eq!(cdf.len(), 11);
+        assert_eq!(cdf[0], (0.0, 0.0));
+        assert_eq!(cdf[10], (99.0, 1.0));
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 > w[0].1);
+        }
+        assert!(cdf_points(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5); // Bin width 2.
+        for v in [0.5, 1.5, 2.5, 2.6, -3.0, 42.0] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts[0], 3); // 0.5, 1.5, and clamped −3.0.
+        assert_eq!(h.counts[1], 2); // 2.5 and 2.6.
+        assert_eq!(h.counts[4], 1); // Clamped 42.0.
+    }
+
+    #[test]
+    fn histogram_exact_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.999);
+        h.add(1.0);
+        h.add(9.999);
+        h.add(10.0); // Clamps into the last bin.
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[9], 2);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.fraction(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_between() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 / 10.0 + 0.05);
+        }
+        // Middle 30–70 %: bins 3,4,5,6 → 0.4 of the mass.
+        assert!((h.fraction_between(0.3, 0.7) - 0.4).abs() < 1e-12);
+        assert!((h.fraction_between(0.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum distance between
+/// the empirical CDFs of `a` and `b` ∈ [0, 1]. Used to quantify whether
+/// two measured distributions (e.g. sunny vs. rainy reception ratios)
+/// actually differ, rather than eyeballing them.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod ks_tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(ks_statistic(&v, &v) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (100..150).map(|i| i as f64).collect();
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_distributions_have_intermediate_distance() {
+        let a: Vec<f64> = (0..1_000).map(|i| (i % 100) as f64).collect();
+        let b: Vec<f64> = (0..1_000).map(|i| (i % 100) as f64 + 25.0).collect();
+        let d = ks_statistic(&a, &b);
+        assert!((d - 0.25).abs() < 0.02, "d {d}");
+        // Symmetric.
+        assert!((ks_statistic(&b, &a) - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(ks_statistic(&[], &[1.0]), 0.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn unequal_sizes_work() {
+        let a = [1.0, 2.0, 3.0];
+        let b: Vec<f64> = (0..300).map(|i| 1.0 + 2.0 * (i as f64 / 299.0)).collect();
+        let d = ks_statistic(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+        assert!(d < 0.5);
+    }
+}

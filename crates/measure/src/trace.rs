@@ -1,0 +1,177 @@
+//! Packet-trace records.
+//!
+//! [`BeaconTrace`] mirrors what the paper's customised TinyGS stations
+//! log for every received beacon (§2.2): timestamp, RSSI, SNR, and sender
+//! metadata (constellation, satellite, elevation, distance, Doppler).
+//! Serde derives let campaigns persist traces for offline re-analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// One received beacon, as logged by a ground station.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeaconTrace {
+    /// Reception time, seconds since campaign start.
+    pub time_s: f64,
+    /// Receiving site label (e.g. `"HK"`).
+    pub site: String,
+    /// Ground-station index within the site.
+    pub station: u32,
+    /// Constellation label (e.g. `"Tianqi"`).
+    pub constellation: String,
+    /// Satellite identifier within the catalog.
+    pub sat_id: u32,
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+    /// Signal-to-noise ratio, dB.
+    pub snr_db: f64,
+    /// Elevation of the satellite at reception, degrees.
+    pub elevation_deg: f64,
+    /// Slant range at reception, km.
+    pub distance_km: f64,
+    /// Doppler shift at reception, Hz.
+    pub doppler_hz: f64,
+    /// Weather at the site at reception (`"sunny"` / `"cloudy"` /
+    /// `"rainy"`).
+    pub weather: &'static str,
+}
+
+/// A collection of beacon traces with the filters the analyses need.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    /// The traces, in reception order.
+    pub traces: Vec<BeaconTrace>,
+}
+
+impl TraceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a trace.
+    pub fn push(&mut self, t: BeaconTrace) {
+        self.traces.push(t);
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Traces from one constellation.
+    pub fn by_constellation<'a>(
+        &'a self,
+        constellation: &'a str,
+    ) -> impl Iterator<Item = &'a BeaconTrace> {
+        self.traces
+            .iter()
+            .filter(move |t| t.constellation == constellation)
+    }
+
+    /// Traces from one site.
+    pub fn by_site<'a>(&'a self, site: &'a str) -> impl Iterator<Item = &'a BeaconTrace> {
+        self.traces.iter().filter(move |t| t.site == site)
+    }
+
+    /// All RSSI values for a constellation (for Fig 3b).
+    pub fn rssi_of(&self, constellation: &str) -> Vec<f64> {
+        self.by_constellation(constellation)
+            .map(|t| t.rssi_dbm)
+            .collect()
+    }
+
+    /// All slant distances for a constellation (for Fig 8).
+    pub fn distances_of(&self, constellation: &str) -> Vec<f64> {
+        self.by_constellation(constellation)
+            .map(|t| t.distance_km)
+            .collect()
+    }
+
+    /// Distinct constellation labels, in first-seen order.
+    pub fn constellations(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for t in &self.traces {
+            if !seen.contains(&t.constellation) {
+                seen.push(t.constellation.clone());
+            }
+        }
+        seen
+    }
+
+    /// Distinct satellites seen, as (constellation, sat_id) pairs.
+    pub fn satellites(&self) -> Vec<(String, u32)> {
+        let mut seen: Vec<(String, u32)> = Vec::new();
+        for t in &self.traces {
+            let key = (t.constellation.clone(), t.sat_id);
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(time_s: f64, constellation: &str, site: &str, sat_id: u32) -> BeaconTrace {
+        BeaconTrace {
+            time_s,
+            site: site.to_string(),
+            station: 0,
+            constellation: constellation.to_string(),
+            sat_id,
+            rssi_dbm: -125.0,
+            snr_db: -8.0,
+            elevation_deg: 35.0,
+            distance_km: 1200.0,
+            doppler_hz: 4500.0,
+            weather: "sunny",
+        }
+    }
+
+    #[test]
+    fn filters_work() {
+        let mut set = TraceSet::new();
+        set.push(trace(0.0, "Tianqi", "HK", 1));
+        set.push(trace(1.0, "FOSSA", "HK", 2));
+        set.push(trace(2.0, "Tianqi", "SYD", 1));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.by_constellation("Tianqi").count(), 2);
+        assert_eq!(set.by_site("HK").count(), 2);
+        assert_eq!(set.rssi_of("FOSSA").len(), 1);
+        assert_eq!(set.distances_of("Tianqi"), vec![1200.0, 1200.0]);
+    }
+
+    #[test]
+    fn distinct_listings_preserve_order() {
+        let mut set = TraceSet::new();
+        set.push(trace(0.0, "Tianqi", "HK", 7));
+        set.push(trace(1.0, "FOSSA", "HK", 3));
+        set.push(trace(2.0, "Tianqi", "HK", 7));
+        set.push(trace(3.0, "Tianqi", "HK", 8));
+        assert_eq!(set.constellations(), vec!["Tianqi", "FOSSA"]);
+        assert_eq!(
+            set.satellites(),
+            vec![
+                ("Tianqi".to_string(), 7),
+                ("FOSSA".to_string(), 3),
+                ("Tianqi".to_string(), 8)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = TraceSet::new();
+        assert!(set.is_empty());
+        assert!(set.constellations().is_empty());
+        assert!(set.satellites().is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the analysis layer: statistics and
+//! contact-window algebra over arbitrary inputs.
+
+use proptest::prelude::*;
+use satiot_measure::contact::{
+    effective_windows, merge_overlapping, ContactStats, TheoreticalWindow,
+};
+use satiot_measure::stats::{cdf_points, percentile, Histogram, Summary};
+
+proptest! {
+    /// Summary invariants: min ≤ p10 ≤ median ≤ p90 ≤ max, mean within
+    /// [min, max].
+    #[test]
+    fn summary_orderings(values in proptest::collection::vec(-1e6_f64..1e6, 1..300)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.n, values.len());
+        prop_assert!(s.min <= s.p10 + 1e-9);
+        prop_assert!(s.p10 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    /// Percentiles are bounded and monotone in p.
+    #[test]
+    fn percentile_monotone(
+        values in proptest::collection::vec(-1e3_f64..1e3, 1..100),
+        p1 in 0.0_f64..100.0,
+        p2 in 0.0_f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, lo) <= percentile(&values, hi) + 1e-9);
+    }
+
+    /// CDF points are monotone in both coordinates and span min..max.
+    #[test]
+    fn cdf_is_monotone(values in proptest::collection::vec(-50.0_f64..50.0, 2..200)) {
+        let cdf = cdf_points(&values, 20);
+        prop_assert_eq!(cdf.len(), 21);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 - 1e-12);
+            prop_assert!(w[1].1 > w[0].1);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(cdf[0].0, sorted[0]);
+        prop_assert_eq!(cdf[20].0, sorted[sorted.len() - 1]);
+    }
+
+    /// Histograms never lose observations (clamping included).
+    #[test]
+    fn histogram_preserves_mass(values in proptest::collection::vec(-100.0_f64..100.0, 0..300)) {
+        let mut h = Histogram::new(-10.0, 10.0, 7);
+        for v in &values {
+            h.add(*v);
+        }
+        prop_assert_eq!(h.total() as usize, values.len());
+        let total_fraction: f64 = (0..7).map(|i| h.fraction(i)).sum();
+        if !values.is_empty() {
+            prop_assert!((total_fraction - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Effective windows always nest inside their theoretical windows and
+    /// never count more receptions than beacons offered.
+    #[test]
+    fn effective_windows_nest(
+        starts in proptest::collection::vec(0.0_f64..1e5, 1..20),
+        beacons in proptest::collection::vec(0.0_f64..1.2e5, 0..200),
+    ) {
+        // Build disjoint windows from sorted starts.
+        let mut sorted = starts.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut windows = Vec::new();
+        let mut prev_end = -1.0;
+        for s in sorted {
+            let start = s.max(prev_end + 1.0);
+            let end = start + 600.0;
+            windows.push(TheoreticalWindow { start_s: start, end_s: end });
+            prev_end = end;
+        }
+        let eff = effective_windows(&windows, &beacons, &[]);
+        prop_assert_eq!(eff.len(), windows.len());
+        let mut assigned = 0;
+        for w in &eff {
+            if let (Some(f), Some(l)) = (w.first_rx_s, w.last_rx_s) {
+                prop_assert!(f >= w.theoretical.start_s && l <= w.theoretical.end_s);
+                prop_assert!(f <= l);
+            }
+            prop_assert!(w.effective_duration_s() <= w.theoretical.duration_s() + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&w.duty_ratio()));
+            assigned += w.received;
+        }
+        prop_assert!(assigned <= beacons.len());
+    }
+
+    /// Merging overlapping windows yields disjoint windows that conserve
+    /// reception counts and cover the same union span.
+    #[test]
+    fn merge_is_a_disjoint_cover(
+        offsets in proptest::collection::vec((0.0_f64..5e4, 60.0_f64..1_200.0), 1..40),
+    ) {
+        let windows: Vec<_> = offsets
+            .iter()
+            .map(|(s, d)| satiot_measure::contact::EffectiveWindow {
+                theoretical: TheoreticalWindow { start_s: *s, end_s: s + d },
+                first_rx_s: None,
+                last_rx_s: None,
+                received: 1,
+                transmitted: 3,
+            })
+            .collect();
+        let merged = merge_overlapping(&windows);
+        prop_assert!(merged.len() <= windows.len());
+        for w in merged.windows(2) {
+            prop_assert!(w[1].theoretical.start_s > w[0].theoretical.end_s);
+        }
+        let received: usize = merged.iter().map(|w| w.received).sum();
+        let transmitted: usize = merged.iter().map(|w| w.transmitted).sum();
+        prop_assert_eq!(received, windows.len());
+        prop_assert_eq!(transmitted, 3 * windows.len());
+        // The merged span bounds every input window.
+        let lo = merged.first().unwrap().theoretical.start_s;
+        let hi = merged.last().unwrap().theoretical.end_s;
+        for w in &windows {
+            prop_assert!(w.theoretical.start_s >= lo && w.theoretical.end_s <= hi);
+        }
+    }
+
+    /// ContactStats shrink stays in [0, 1] for arbitrary window sets.
+    #[test]
+    fn shrink_is_a_fraction(
+        count in 1usize..30,
+        rx_frac in 0.0_f64..1.0,
+    ) {
+        let mut windows = Vec::new();
+        for i in 0..count {
+            let start = i as f64 * 2_000.0;
+            let rx = rx_frac * 600.0;
+            windows.push(satiot_measure::contact::EffectiveWindow {
+                theoretical: TheoreticalWindow { start_s: start, end_s: start + 600.0 },
+                first_rx_s: if rx > 1.0 { Some(start + 100.0) } else { None },
+                last_rx_s: if rx > 1.0 { Some((start + 100.0 + rx).min(start + 600.0)) } else { None },
+                received: if rx > 1.0 { 2 } else { 0 },
+                transmitted: 10,
+            });
+        }
+        let stats = ContactStats::compute(&windows);
+        prop_assert!((0.0..=1.0).contains(&stats.duration_shrink));
+        prop_assert_eq!(stats.total_windows, count);
+    }
+}

@@ -1,0 +1,173 @@
+//! Low-precision solar ephemeris (Meeus) and daylight geometry.
+//!
+//! Good to ~0.01° over decades — orders of magnitude tighter than anything
+//! the toolkit needs it for: solar-panel day fractions for the energy
+//! model's harvesting extension, and satellite eclipse checks.
+
+use crate::frames::Geodetic;
+use crate::time::{JulianDate, JD_J2000};
+use crate::topo::Observer;
+use crate::vec3::Vec3;
+
+/// Astronomical unit, km.
+pub const AU_KM: f64 = 149_597_870.7;
+
+/// Sun position in the TEME/mean-equator frame (km), via the Meeus
+/// low-precision algorithm (mean elements + equation of centre).
+pub fn sun_position_km(jd: JulianDate) -> Vec3 {
+    let t = (jd.0 - JD_J2000) / 36_525.0;
+    // Mean longitude and mean anomaly of the Sun, degrees.
+    let l0 = 280.460_46 + 36_000.771 * t;
+    let m = (357.527_723_3 + 35_999.050_34 * t).to_radians();
+    // Ecliptic longitude with the equation of centre.
+    let lambda = (l0 + 1.914_666_471 * m.sin() + 0.019_994_643 * (2.0 * m).sin()).to_radians();
+    // Distance in AU.
+    let r_au = 1.000_140_612 - 0.016_708_617 * m.cos() - 0.000_139_589 * (2.0 * m).cos();
+    // Obliquity of the ecliptic.
+    let eps = (23.439_291 - 0.013_004_2 * t).to_radians();
+    let r = r_au * AU_KM;
+    Vec3::new(
+        r * lambda.cos(),
+        r * eps.cos() * lambda.sin(),
+        r * eps.sin() * lambda.sin(),
+    )
+}
+
+/// The Sun's elevation above the local horizon at `site`, radians.
+pub fn sun_elevation_rad(site: Geodetic, jd: JulianDate) -> f64 {
+    let observer = Observer::new(site);
+    let state = crate::sgp4::StateTeme {
+        position_km: sun_position_km(jd),
+        velocity_km_s: Vec3::ZERO,
+        tsince_min: 0.0,
+    };
+    observer.look_at(&state, jd).elevation_rad
+}
+
+/// Fraction of `[start, start + days]` during which the Sun is above the
+/// horizon at `site` (sampled every 10 minutes) — the day fraction the
+/// solar-harvesting model needs.
+pub fn daylight_fraction(site: Geodetic, start: JulianDate, days: f64) -> f64 {
+    let step_s = 600.0;
+    let n = ((days * 86_400.0) / step_s).ceil() as usize;
+    if n == 0 {
+        return 0.0;
+    }
+    let mut lit = 0usize;
+    for i in 0..n {
+        let jd = start.plus_seconds(i as f64 * step_s);
+        if sun_elevation_rad(site, jd) > 0.0 {
+            lit += 1;
+        }
+    }
+    lit as f64 / n as f64
+}
+
+/// Whether a satellite at TEME position `r_km` is sunlit at `jd`
+/// (cylindrical Earth-shadow model — adequate for LEO power budgets).
+pub fn is_sunlit(r_km: Vec3, jd: JulianDate) -> bool {
+    let sun = sun_position_km(jd).normalized().expect("sun is far away");
+    // Component of r along the sun direction.
+    let along = r_km.dot(sun);
+    if along >= 0.0 {
+        return true; // Day side.
+    }
+    // Perpendicular distance from the shadow axis.
+    let perp = (r_km - sun * along).norm();
+    perp > crate::sgp4::EARTH_RADIUS_KM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sun_distance_is_one_au() {
+        for (y, m, d) in [(2024, 1, 3), (2024, 7, 4), (2025, 3, 20)] {
+            let jd = JulianDate::from_calendar(y, m, d, 0, 0, 0.0);
+            let r = sun_position_km(jd).norm();
+            // Perihelion 0.983 AU, aphelion 1.017 AU.
+            assert!((0.98..1.02).contains(&(r / AU_KM)), "{y}-{m}-{d}: {r}");
+        }
+        // January is perihelion, July aphelion.
+        let jan = sun_position_km(JulianDate::from_calendar(2024, 1, 3, 0, 0, 0.0)).norm();
+        let jul = sun_position_km(JulianDate::from_calendar(2024, 7, 4, 0, 0, 0.0)).norm();
+        assert!(jan < jul);
+    }
+
+    #[test]
+    fn solstice_declination_is_23_4_degrees() {
+        // June solstice 2024: June 20 ~20:51 UTC.
+        let jd = JulianDate::from_calendar(2024, 6, 20, 21, 0, 0.0);
+        let sun = sun_position_km(jd);
+        let dec = (sun.z / sun.norm()).asin().to_degrees();
+        assert!((dec - 23.44).abs() < 0.05, "declination {dec}");
+        // December solstice.
+        let jd = JulianDate::from_calendar(2024, 12, 21, 9, 0, 0.0);
+        let sun = sun_position_km(jd);
+        let dec = (sun.z / sun.norm()).asin().to_degrees();
+        assert!((dec + 23.44).abs() < 0.05, "declination {dec}");
+    }
+
+    #[test]
+    fn equinox_sun_crosses_the_equator() {
+        // March equinox 2025: March 20 ~09:01 UTC.
+        let jd = JulianDate::from_calendar(2025, 3, 20, 9, 0, 0.0);
+        let sun = sun_position_km(jd);
+        let dec = (sun.z / sun.norm()).asin().to_degrees();
+        assert!(dec.abs() < 0.1, "declination {dec}");
+    }
+
+    #[test]
+    fn tropical_day_fraction_is_about_half() {
+        let farm = Geodetic::from_degrees(22.78, 100.98, 1.3);
+        let start = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        let frac = daylight_fraction(farm, start, 10.0);
+        assert!((frac - 0.5).abs() < 0.04, "day fraction {frac}");
+    }
+
+    #[test]
+    fn polar_night_and_midnight_sun() {
+        let arctic = Geodetic::from_degrees(78.0, 16.0, 0.0);
+        let winter = daylight_fraction(
+            arctic,
+            JulianDate::from_calendar(2024, 12, 10, 0, 0, 0.0),
+            5.0,
+        );
+        let summer = daylight_fraction(
+            arctic,
+            JulianDate::from_calendar(2024, 6, 10, 0, 0, 0.0),
+            5.0,
+        );
+        assert!(winter < 0.02, "polar night {winter}");
+        assert!(summer > 0.98, "midnight sun {summer}");
+    }
+
+    #[test]
+    fn leo_satellite_spends_about_a_third_in_eclipse() {
+        use crate::elements::Elements;
+        let epoch = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        let sgp4 = Elements::circular(550.0, 97.6, epoch).to_sgp4().unwrap();
+        let mut sunlit = 0;
+        let n = 2_000;
+        for i in 0..n {
+            let t = i as f64 * 1.0; // One sample per minute, ~21 orbits.
+            let s = sgp4.propagate(t).unwrap();
+            if is_sunlit(s.position_km, epoch.plus_minutes(t)) {
+                sunlit += 1;
+            }
+        }
+        let frac = sunlit as f64 / n as f64;
+        // LEO eclipse fraction ranges ~0 (dawn-dusk SSO) to ~0.4.
+        assert!((0.55..1.0).contains(&frac), "sunlit fraction {frac}");
+    }
+
+    #[test]
+    fn day_side_points_are_always_sunlit() {
+        let jd = JulianDate::from_calendar(2025, 3, 1, 12, 0, 0.0);
+        let sun_dir = sun_position_km(jd).normalized().unwrap();
+        assert!(is_sunlit(sun_dir * 7_000.0, jd));
+        // Directly behind the Earth, on the axis: eclipsed.
+        assert!(!is_sunlit(sun_dir * -7_000.0, jd));
+    }
+}

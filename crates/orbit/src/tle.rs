@@ -1,0 +1,594 @@
+//! Two-Line Element (TLE) parsing, validation, and formatting.
+//!
+//! The parser is column-oriented per the NORAD convention and validates the
+//! modulo-10 checksum of both lines. The formatter emits lines the parser
+//! accepts byte-for-byte, which lets `satiot-scenarios` generate synthetic
+//! catalogs that round-trip through the same code path as real data.
+
+use crate::error::OrbitError;
+use crate::time::JulianDate;
+
+/// Radians per degree.
+const DEG2RAD: f64 = core::f64::consts::PI / 180.0;
+/// 2π.
+const TAU: f64 = core::f64::consts::TAU;
+
+/// A parsed Two-Line Element set.
+///
+/// Angles are stored in **radians** and the mean motion in **radians per
+/// minute** (the units SGP4 consumes), with the raw TLE-unit values
+/// recoverable through accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tle {
+    /// Optional satellite name (line 0 of a 3LE).
+    pub name: Option<String>,
+    /// NORAD catalog number.
+    pub norad_id: u32,
+    /// Classification character (`U`, `C`, or `S`).
+    pub classification: char,
+    /// International designator (launch year/number/piece), unparsed.
+    pub intl_designator: String,
+    /// Epoch as a Julian date (UTC).
+    pub epoch: JulianDate,
+    /// Two-digit epoch year as it appeared in the TLE.
+    pub epoch_year: u32,
+    /// Fractional day-of-year as it appeared in the TLE.
+    pub epoch_day: f64,
+    /// First derivative of mean motion / 2, rev/day² (ballistic term).
+    pub ndot_over_2: f64,
+    /// Second derivative of mean motion / 6, rev/day³.
+    pub nddot_over_6: f64,
+    /// B* drag term, 1/earth-radii.
+    pub bstar: f64,
+    /// Element set number.
+    pub element_number: u32,
+    /// Inclination, radians.
+    pub inclination_rad: f64,
+    /// Right ascension of the ascending node, radians.
+    pub raan_rad: f64,
+    /// Eccentricity (dimensionless, < 1).
+    pub eccentricity: f64,
+    /// Argument of perigee, radians.
+    pub arg_perigee_rad: f64,
+    /// Mean anomaly, radians.
+    pub mean_anomaly_rad: f64,
+    /// Mean motion, radians per minute (Kozai convention, as published).
+    pub mean_motion_rad_min: f64,
+    /// Revolution number at epoch.
+    pub rev_number: u32,
+}
+
+impl Tle {
+    /// Parse a two-line element set (no name line).
+    pub fn parse_lines(line1: &str, line2: &str) -> Result<Tle, OrbitError> {
+        Self::parse(None, line1, line2)
+    }
+
+    /// Parse a three-line element set (name line + two element lines).
+    pub fn parse_3le(name: &str, line1: &str, line2: &str) -> Result<Tle, OrbitError> {
+        Self::parse(Some(name.trim().to_string()), line1, line2)
+    }
+
+    fn parse(name: Option<String>, line1: &str, line2: &str) -> Result<Tle, OrbitError> {
+        let l1 = pad_line(line1);
+        let l2 = pad_line(line2);
+
+        verify_line(&l1, 1, b'1')?;
+        verify_line(&l2, 2, b'2')?;
+
+        let norad1 = parse_u32(field(&l1, 2, 7), "catalog number", 1)?;
+        let norad2 = parse_u32(field(&l2, 2, 7), "catalog number", 2)?;
+        if norad1 != norad2 {
+            return Err(OrbitError::TleCatalogMismatch);
+        }
+
+        let classification = l1.as_bytes()[7] as char;
+        let intl_designator = field(&l1, 9, 17).trim().to_string();
+        let epoch_year = parse_u32(field(&l1, 18, 20), "epoch year", 1)?;
+        let epoch_day = parse_f64(field(&l1, 20, 32), "epoch day", 1)?;
+        let ndot_over_2 = parse_f64(field(&l1, 33, 43), "ndot", 1)?;
+        let nddot_over_6 = parse_exp_field(field(&l1, 44, 52), "nddot", 1)?;
+        let bstar = parse_exp_field(field(&l1, 53, 61), "bstar", 1)?;
+        let element_number = parse_u32_or_zero(field(&l1, 64, 68), "element number", 1)?;
+
+        let inclination_deg = parse_f64(field(&l2, 8, 16), "inclination", 2)?;
+        let raan_deg = parse_f64(field(&l2, 17, 25), "raan", 2)?;
+        let ecc_str = field(&l2, 26, 33).trim().to_string();
+        let eccentricity = parse_f64(&format!("0.{ecc_str}"), "eccentricity", 2)?;
+        let argp_deg = parse_f64(field(&l2, 34, 42), "arg perigee", 2)?;
+        let ma_deg = parse_f64(field(&l2, 43, 51), "mean anomaly", 2)?;
+        let mm_rev_day = parse_f64(field(&l2, 52, 63), "mean motion", 2)?;
+        let rev_number = parse_u32_or_zero(field(&l2, 63, 68), "rev number", 2)?;
+
+        if !(0.0..1.0).contains(&eccentricity) {
+            return Err(OrbitError::TleFormat {
+                field: "eccentricity",
+                line: 2,
+            });
+        }
+        if mm_rev_day <= 0.0 {
+            return Err(OrbitError::TleFormat {
+                field: "mean motion",
+                line: 2,
+            });
+        }
+
+        Ok(Tle {
+            name,
+            norad_id: norad1,
+            classification,
+            intl_designator,
+            epoch: JulianDate::from_tle_epoch(epoch_year, epoch_day),
+            epoch_year,
+            epoch_day,
+            ndot_over_2,
+            nddot_over_6,
+            bstar,
+            element_number,
+            inclination_rad: inclination_deg * DEG2RAD,
+            raan_rad: raan_deg * DEG2RAD,
+            eccentricity,
+            arg_perigee_rad: argp_deg * DEG2RAD,
+            mean_anomaly_rad: ma_deg * DEG2RAD,
+            mean_motion_rad_min: mm_rev_day * TAU / 1_440.0,
+            rev_number,
+        })
+    }
+
+    /// Mean motion in revolutions per day (as published in line 2).
+    pub fn mean_motion_rev_day(&self) -> f64 {
+        self.mean_motion_rad_min * 1_440.0 / TAU
+    }
+
+    /// Orbital period implied by the published mean motion, in minutes.
+    pub fn period_min(&self) -> f64 {
+        TAU / self.mean_motion_rad_min
+    }
+
+    /// Render this element set back into two checksummed 69-column lines.
+    pub fn format_lines(&self) -> (String, String) {
+        let mut l1 = format!(
+            "1 {:05}{} {:<8} {:02}{:012.8} {} {} {} 0 {:4}",
+            self.norad_id % 100_000,
+            self.classification,
+            truncate(&self.intl_designator, 8),
+            self.epoch_year % 100,
+            self.epoch_day,
+            format_ndot(self.ndot_over_2),
+            format_exp(self.nddot_over_6),
+            format_exp(self.bstar),
+            self.element_number % 10_000,
+        );
+        let mut l2 = format!(
+            "2 {:05} {:8.4} {:8.4} {} {:8.4} {:8.4} {:11.8}{:5}",
+            self.norad_id % 100_000,
+            self.inclination_rad / DEG2RAD,
+            wrap_deg(self.raan_rad / DEG2RAD),
+            format_ecc(self.eccentricity),
+            wrap_deg(self.arg_perigee_rad / DEG2RAD),
+            wrap_deg(self.mean_anomaly_rad / DEG2RAD),
+            self.mean_motion_rev_day(),
+            self.rev_number % 100_000,
+        );
+        l1.truncate(68);
+        l2.truncate(68);
+        l1.push(char::from(b'0' + checksum(&l1)));
+        l2.push(char::from(b'0' + checksum(&l2)));
+        (l1, l2)
+    }
+}
+
+/// Pad/truncate a line to exactly 69 columns so column addressing is safe.
+fn pad_line(line: &str) -> String {
+    let mut s: String = line.chars().filter(|c| *c != '\n' && *c != '\r').collect();
+    while s.len() < 69 {
+        s.push(' ');
+    }
+    s.truncate(69);
+    s
+}
+
+/// Slice a 0-based half-open column range out of a padded line.
+fn field(line: &str, start: usize, end: usize) -> &str {
+    &line[start..end]
+}
+
+fn verify_line(line: &str, line_no: u8, expected_first: u8) -> Result<(), OrbitError> {
+    if line.as_bytes()[0] != expected_first {
+        return Err(OrbitError::TleFormat {
+            field: "line number",
+            line: line_no,
+        });
+    }
+    // Only enforce the checksum when the column carries a digit; synthetic
+    // or hand-edited TLEs in the wild sometimes leave it blank.
+    let stated = line.as_bytes()[68];
+    if stated.is_ascii_digit() {
+        let computed = checksum(&line[..68]);
+        if stated - b'0' != computed {
+            return Err(OrbitError::TleChecksum {
+                line: line_no,
+                computed,
+                stated: stated - b'0',
+            });
+        }
+    }
+    Ok(())
+}
+
+/// NORAD modulo-10 checksum: digits count as themselves, `-` counts as 1.
+pub fn checksum(body: &str) -> u8 {
+    let mut sum: u32 = 0;
+    for b in body.bytes() {
+        if b.is_ascii_digit() {
+            sum += (b - b'0') as u32;
+        } else if b == b'-' {
+            sum += 1;
+        }
+    }
+    (sum % 10) as u8
+}
+
+fn parse_u32(s: &str, fieldname: &'static str, line: u8) -> Result<u32, OrbitError> {
+    s.trim()
+        .parse::<u32>()
+        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })
+}
+
+/// Some fields (element number, rev number) may legitimately be blank.
+fn parse_u32_or_zero(s: &str, fieldname: &'static str, line: u8) -> Result<u32, OrbitError> {
+    let t = s.trim();
+    if t.is_empty() {
+        Ok(0)
+    } else {
+        parse_u32(t, fieldname, line)
+    }
+}
+
+fn parse_f64(s: &str, fieldname: &'static str, line: u8) -> Result<f64, OrbitError> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Ok(0.0);
+    }
+    // TLEs may write "+.00012" or ".00012".
+    let t = t.strip_prefix('+').unwrap_or(t);
+    t.parse::<f64>()
+        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })
+}
+
+/// Parse the TLE "assumed decimal with exponent" format, e.g. ` 66816-4`
+/// meaning `0.66816e-4`, `-11606-4` meaning `-0.11606e-4`, and all-zeros
+/// variants like ` 00000-0` or ` 00000+0`.
+fn parse_exp_field(s: &str, fieldname: &'static str, line: u8) -> Result<f64, OrbitError> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Ok(0.0);
+    }
+    let (sign, rest) = match t.as_bytes()[0] {
+        b'-' => (-1.0, &t[1..]),
+        b'+' => (1.0, &t[1..]),
+        _ => (1.0, t),
+    };
+    // Split at the exponent sign, which is the last '+' or '-'.
+    let exp_pos = rest.rfind(['+', '-']);
+    let (mantissa_str, exp_str) = match exp_pos {
+        Some(p) if p > 0 => (&rest[..p], &rest[p..]),
+        _ => (rest, "+0"),
+    };
+    let mantissa_digits = mantissa_str.trim();
+    let mantissa = format!("0.{mantissa_digits}")
+        .parse::<f64>()
+        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })?;
+    let exp = exp_str
+        .parse::<i32>()
+        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })?;
+    Ok(sign * mantissa * 10f64.powi(exp))
+}
+
+/// Format in the TLE exponent convention, 8 columns (` 66816-4`).
+fn format_exp(v: f64) -> String {
+    if v == 0.0 {
+        return " 00000+0".to_string();
+    }
+    let sign = if v < 0.0 { '-' } else { ' ' };
+    let mut mag = v.abs();
+    // Normalise mantissa into [0.1, 1).
+    let mut exp = 0i32;
+    while mag >= 1.0 {
+        mag /= 10.0;
+        exp += 1;
+    }
+    while mag < 0.1 {
+        mag *= 10.0;
+        exp -= 1;
+    }
+    let mantissa = (mag * 100_000.0).round() as i64;
+    // Rounding can push the mantissa to 100000 → renormalise.
+    let (mantissa, exp) = if mantissa >= 100_000 {
+        (10_000, exp + 1)
+    } else {
+        (mantissa, exp)
+    };
+    let exp_sign = if exp < 0 { '-' } else { '+' };
+    format!("{sign}{mantissa:05}{exp_sign}{}", exp.abs())
+}
+
+/// Format ndot/2 in its 10-column fixed format (`.00073094` style).
+fn format_ndot(v: f64) -> String {
+    let sign = if v < 0.0 { '-' } else { ' ' };
+    let frac = format!("{:.8}", v.abs());
+    // Strip the leading "0" of "0.00073094".
+    format!("{sign}{}", &frac[1..])
+}
+
+/// Format eccentricity as 7 implied-decimal digits.
+fn format_ecc(e: f64) -> String {
+    format!("{:07}", (e * 1e7).round() as u64 % 10_000_000)
+}
+
+fn wrap_deg(d: f64) -> f64 {
+    let mut w = d % 360.0;
+    if w < 0.0 {
+        w += 360.0;
+    }
+    w
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic Spacetrack Report #3 SGP4 test element set.
+    const L1: &str = "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    87";
+    const L2: &str = "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1058";
+
+    #[test]
+    fn parses_classic_test_tle() {
+        let t = Tle::parse_lines(L1, L2).unwrap();
+        assert_eq!(t.norad_id, 88888);
+        assert_eq!(t.epoch_year, 80);
+        assert!((t.epoch_day - 275.987_084_65).abs() < 1e-9);
+        assert!((t.ndot_over_2 - 0.000_730_94).abs() < 1e-12);
+        assert!((t.nddot_over_6 - 0.138_44e-3).abs() < 1e-12);
+        assert!((t.bstar - 0.668_16e-4).abs() < 1e-12);
+        assert!((t.inclination_rad.to_degrees() - 72.8435).abs() < 1e-9);
+        assert!((t.raan_rad.to_degrees() - 115.9689).abs() < 1e-9);
+        assert!((t.eccentricity - 0.008_673_1).abs() < 1e-12);
+        assert!((t.arg_perigee_rad.to_degrees() - 52.6988).abs() < 1e-9);
+        assert!((t.mean_anomaly_rad.to_degrees() - 110.5714).abs() < 1e-9);
+        assert!((t.mean_motion_rev_day() - 16.058_245_18).abs() < 1e-8);
+        assert!((t.period_min() - 1_440.0 / 16.058_245_18).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checksum_counts_minus_as_one() {
+        assert_eq!(checksum("1 2-"), 1 + 2 + 1);
+        assert_eq!(checksum(&L1[..68]), 7);
+        assert_eq!(checksum(&L2[..68]), 8);
+    }
+
+    #[test]
+    fn rejects_corrupted_checksum() {
+        let bad = format!("{}9", &L1[..68]);
+        let err = Tle::parse_lines(&bad, L2).unwrap_err();
+        assert!(matches!(err, OrbitError::TleChecksum { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_catalog_mismatch() {
+        let l2_other = L2.replace("88888", "88889");
+        // Recompute the checksum for the edited line.
+        let body = &l2_other[..68];
+        let fixed = format!("{body}{}", checksum(body));
+        let err = Tle::parse_lines(L1, &fixed).unwrap_err();
+        assert_eq!(err, OrbitError::TleCatalogMismatch);
+    }
+
+    #[test]
+    fn rejects_wrong_line_marker() {
+        let err = Tle::parse_lines(L2, L1).unwrap_err();
+        assert!(matches!(
+            err,
+            OrbitError::TleFormat {
+                field: "line number",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn exp_field_variants() {
+        assert!((parse_exp_field(" 66816-4", "x", 1).unwrap() - 0.668_16e-4).abs() < 1e-15);
+        assert!((parse_exp_field("-11606-4", "x", 1).unwrap() + 0.116_06e-4).abs() < 1e-15);
+        assert_eq!(parse_exp_field(" 00000-0", "x", 1).unwrap(), 0.0);
+        assert_eq!(parse_exp_field(" 00000+0", "x", 1).unwrap(), 0.0);
+        assert_eq!(parse_exp_field("", "x", 1).unwrap(), 0.0);
+        assert!((parse_exp_field(" 12345+2", "x", 1).unwrap() - 12.345).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_exp_round_trips() {
+        for v in [0.668_16e-4, -0.116_06e-4, 0.0, 0.138_44e-3, 0.5, -0.9e-6] {
+            let s = format_exp(v);
+            assert_eq!(s.len(), 8, "{s:?}");
+            let back = parse_exp_field(&s, "x", 1).unwrap();
+            let tol = v.abs().max(1e-9) * 1e-4;
+            assert!((back - v).abs() <= tol, "{v} → {s:?} → {back}");
+        }
+    }
+
+    #[test]
+    fn format_lines_round_trip() {
+        let t = Tle::parse_lines(L1, L2).unwrap();
+        let (f1, f2) = t.format_lines();
+        assert_eq!(f1.len(), 69);
+        assert_eq!(f2.len(), 69);
+        let t2 = Tle::parse_lines(&f1, &f2).unwrap();
+        assert_eq!(t2.norad_id, t.norad_id);
+        assert!((t2.epoch_day - t.epoch_day).abs() < 1e-8);
+        assert!((t2.inclination_rad - t.inclination_rad).abs() < 1e-6);
+        assert!((t2.raan_rad - t.raan_rad).abs() < 1e-6);
+        assert!((t2.eccentricity - t.eccentricity).abs() < 1e-7);
+        assert!((t2.mean_motion_rad_min - t.mean_motion_rad_min).abs() < 1e-9);
+        assert!((t2.bstar - t.bstar).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_3le_keeps_name() {
+        let t = Tle::parse_3le("TEST SAT 1  ", L1, L2).unwrap();
+        assert_eq!(t.name.as_deref(), Some("TEST SAT 1"));
+    }
+
+    #[test]
+    fn blank_checksum_column_is_tolerated() {
+        let l1 = format!("{} ", &L1[..68]);
+        let l2 = format!("{} ", &L2[..68]);
+        assert!(Tle::parse_lines(&l1, &l2).is_ok());
+    }
+
+    #[test]
+    fn rejects_nonsense_numbers() {
+        let bad = L2.replace("16.05824518", "16.0582451X");
+        let body = &bad[..68];
+        let fixed = format!("{body}{}", checksum(body));
+        let err = Tle::parse_lines(L1, &fixed).unwrap_err();
+        assert!(matches!(
+            err,
+            OrbitError::TleFormat {
+                field: "mean motion",
+                ..
+            }
+        ));
+    }
+}
+
+/// Parse a catalog file containing any mix of 2-line and 3-line element
+/// sets (the format CelesTrak bulk files use). Blank lines are skipped;
+/// each malformed set is reported with its starting line number.
+pub fn parse_catalog(text: &str) -> (Vec<Tle>, Vec<(usize, OrbitError)>) {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim_end()))
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut tles = Vec::new();
+    let mut errors = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let (line_no, l) = lines[i];
+        if l.starts_with('1') && i + 1 < lines.len() && lines[i + 1].1.starts_with('2') {
+            // 2LE.
+            match Tle::parse_lines(l, lines[i + 1].1) {
+                Ok(t) => tles.push(t),
+                Err(e) => errors.push((line_no, e)),
+            }
+            i += 2;
+        } else if i + 2 < lines.len()
+            && lines[i + 1].1.starts_with('1')
+            && lines[i + 2].1.starts_with('2')
+        {
+            // 3LE: this line is the name.
+            match Tle::parse_3le(l, lines[i + 1].1, lines[i + 2].1) {
+                Ok(t) => tles.push(t),
+                Err(e) => errors.push((line_no, e)),
+            }
+            i += 3;
+        } else {
+            errors.push((
+                line_no,
+                OrbitError::TleFormat {
+                    field: "line number",
+                    line: 1,
+                },
+            ));
+            i += 1;
+        }
+    }
+    (tles, errors)
+}
+
+/// Render a catalog as 3LE text (name line + two element lines per set).
+pub fn format_catalog(tles: &[Tle]) -> String {
+    let mut out = String::new();
+    for t in tles {
+        if let Some(name) = &t.name {
+            out.push_str(name);
+            out.push('\n');
+        }
+        let (l1, l2) = t.format_lines();
+        out.push_str(&l1);
+        out.push('\n');
+        out.push_str(&l2);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod catalog_tests {
+    use super::*;
+
+    const L1: &str = "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    87";
+    const L2: &str = "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1058";
+
+    #[test]
+    fn mixed_2le_and_3le_catalog() {
+        let text = format!("{L1}\n{L2}\n\nTEST SAT A\n{L1}\n{L2}\n");
+        let (tles, errors) = parse_catalog(&text);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(tles.len(), 2);
+        assert_eq!(tles[0].name, None);
+        assert_eq!(tles[1].name.as_deref(), Some("TEST SAT A"));
+    }
+
+    #[test]
+    fn catalog_round_trips_through_text() {
+        let (tles, _) = parse_catalog(&format!("SAT X\n{L1}\n{L2}\n"));
+        let text = format_catalog(&tles);
+        let (back, errors) = parse_catalog(&text);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name.as_deref(), Some("SAT X"));
+        assert_eq!(back[0].norad_id, tles[0].norad_id);
+        assert!((back[0].mean_motion_rad_min - tles[0].mean_motion_rad_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_sets_are_reported_and_skipped() {
+        let corrupted_l2 = L2.replace('8', "9"); // Breaks checksum/fields.
+        let text = format!("{L1}\n{corrupted_l2}\nGOOD\n{L1}\n{L2}\n");
+        let (tles, errors) = parse_catalog(&text);
+        assert_eq!(tles.len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 1); // Starting line of the bad set.
+    }
+
+    #[test]
+    fn stray_lines_do_not_derail_the_parser() {
+        // A free-standing line before a 2LE pair reads as a 3LE name —
+        // names are arbitrary, so that is the correct interpretation…
+        let text = format!("free standing\n{L1}\n{L2}\n");
+        let (tles, errors) = parse_catalog(&text);
+        assert_eq!(tles.len(), 1);
+        assert_eq!(tles[0].name.as_deref(), Some("free standing"));
+        assert!(errors.is_empty());
+        // …while trailing garbage with no element lines is an error.
+        let text = format!("{L1}\n{L2}\ndangling tail");
+        let (tles, errors) = parse_catalog(&text);
+        assert_eq!(tles.len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 3);
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let (tles, errors) = parse_catalog("\n\n");
+        assert!(tles.is_empty());
+        assert!(errors.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the orbit crate: random element sets, sites,
+//! and time offsets must never violate orbital-mechanics invariants.
+
+use proptest::prelude::*;
+use satiot_orbit::elements::Elements;
+use satiot_orbit::frames::Geodetic;
+use satiot_orbit::pass::PassPredictor;
+use satiot_orbit::sgp4::{EARTH_RADIUS_KM, MU_KM3_S2};
+use satiot_orbit::time::JulianDate;
+use satiot_orbit::tle::{checksum, Tle};
+
+fn epoch() -> JulianDate {
+    JulianDate::from_calendar(2024, 9, 1, 0, 0, 0.0)
+}
+
+proptest! {
+    /// Vis-viva holds (to J2 scale) at every time for every LEO orbit.
+    #[test]
+    fn vis_viva_everywhere(
+        alt in 350.0_f64..1_200.0,
+        incl in 0.0_f64..120.0,
+        t in -720.0_f64..7_200.0,
+    ) {
+        let e = Elements::circular(alt, incl, epoch());
+        let sgp4 = e.to_sgp4().unwrap();
+        let s = sgp4.propagate(t).unwrap();
+        let r = s.position_km.norm();
+        let v2 = s.velocity_km_s.norm_sq();
+        let a = EARTH_RADIUS_KM + alt;
+        let expected = MU_KM3_S2 * (2.0 / r - 1.0 / a);
+        prop_assert!(((v2 - expected) / expected).abs() < 0.01);
+    }
+
+    /// Angular-momentum direction precesses only slowly (J2), never jumps.
+    #[test]
+    fn angular_momentum_is_stable_within_an_orbit(
+        alt in 400.0_f64..1_000.0,
+        incl in 5.0_f64..115.0,
+        phase in 0.0_f64..1.0,
+    ) {
+        let e = Elements::circular(alt, incl, epoch());
+        let sgp4 = e.to_sgp4().unwrap();
+        let period = sgp4.period_min();
+        let t0 = phase * period;
+        let s0 = sgp4.propagate(t0).unwrap();
+        let s1 = sgp4.propagate(t0 + period / 4.0).unwrap();
+        let h0 = s0.position_km.cross(s0.velocity_km_s).normalized().unwrap();
+        let h1 = s1.position_km.cross(s1.velocity_km_s).normalized().unwrap();
+        prop_assert!(h0.dot(h1) > 0.9995, "h drift {}", h0.dot(h1));
+    }
+
+    /// The TLE text form always carries valid checksums and re-parses to
+    /// the same orbit.
+    #[test]
+    fn formatted_tles_are_always_valid(
+        alt in 300.0_f64..1_500.0,
+        incl in 0.0_f64..179.0,
+        raan in 0.0_f64..6.2,
+        argp in 0.0_f64..6.2,
+        ma in 0.0_f64..6.2,
+        ecc in 0.0_f64..0.02,
+        norad in 1u32..99_999,
+    ) {
+        let mut e = Elements::circular(alt, incl, epoch());
+        e.raan_rad = raan;
+        e.arg_perigee_rad = argp;
+        e.mean_anomaly_rad = ma;
+        e.eccentricity = ecc;
+        let tle = e.to_tle(norad, "PROP").unwrap();
+        let (l1, l2) = tle.format_lines();
+        prop_assert_eq!(l1.len(), 69);
+        prop_assert_eq!(l2.len(), 69);
+        // Checksums embedded in column 69 match the body.
+        prop_assert_eq!(l1.as_bytes()[68] - b'0', checksum(&l1[..68]));
+        prop_assert_eq!(l2.as_bytes()[68] - b'0', checksum(&l2[..68]));
+        let parsed = Tle::parse_lines(&l1, &l2).unwrap();
+        prop_assert_eq!(parsed.norad_id, norad);
+        prop_assert!((parsed.eccentricity - ecc).abs() < 1e-6);
+    }
+
+    /// Passes are well-formed for arbitrary sites: ordered boundaries,
+    /// culmination inside, boundary elevation at the mask.
+    #[test]
+    fn passes_are_well_formed(
+        alt in 450.0_f64..900.0,
+        incl in 45.0_f64..105.0,
+        lat in -60.0_f64..60.0,
+        lon in -180.0_f64..180.0,
+        mask_deg in 0.0_f64..15.0,
+    ) {
+        let e = Elements::circular(alt, incl, epoch());
+        let predictor = PassPredictor::new(
+            e.to_sgp4().unwrap(),
+            Geodetic::from_degrees(lat, lon, 0.0),
+            mask_deg.to_radians(),
+        );
+        let start = epoch();
+        let end = start + 1.0;
+        let passes = predictor.passes(start, end);
+        for p in &passes {
+            prop_assert!(p.aos <= p.tca && p.tca <= p.los);
+            prop_assert!(p.duration_min() < 20.0);
+            prop_assert!(p.max_elevation_rad.to_degrees() >= mask_deg - 0.2);
+            // A pass already in progress at the interval start (or still
+            // in progress at its end) is truncated, so its boundary is
+            // not a mask crossing.
+            if p.aos > start && p.los < end {
+                let el_aos = predictor.elevation_at(p.aos).to_degrees();
+                prop_assert!((el_aos - mask_deg).abs() < 0.5, "AOS el {el_aos}");
+            }
+        }
+        // Chronological and disjoint.
+        for w in passes.windows(2) {
+            prop_assert!(w[1].aos >= w[0].los);
+        }
+    }
+
+    /// GMST stays in [0, 2π) and advances monotonically modulo wrap.
+    #[test]
+    fn gmst_is_bounded(jd_offset in 0.0_f64..10_000.0) {
+        let jd = JulianDate(2_451_545.0 + jd_offset);
+        let g = jd.gmst_rad();
+        prop_assert!((0.0..core::f64::consts::TAU).contains(&g));
+    }
+}
+
+proptest! {
+    /// The analytic range-rate equals the numerical derivative of range
+    /// for arbitrary geometries — the quantity Doppler hangs off.
+    #[test]
+    fn range_rate_is_the_range_derivative(
+        alt in 400.0_f64..1_000.0,
+        incl in 30.0_f64..100.0,
+        lat in -55.0_f64..55.0,
+        lon in -180.0_f64..180.0,
+        t_min in 0.0_f64..1_440.0,
+    ) {
+        use satiot_orbit::topo::Observer;
+        use satiot_orbit::frames::teme_to_ecef;
+        let e = Elements::circular(alt, incl, epoch());
+        let sgp4 = e.to_sgp4().unwrap();
+        let observer = Observer::new(Geodetic::from_degrees(lat, lon, 0.0));
+        let when = epoch().plus_minutes(t_min);
+        let la = {
+            let s = sgp4.propagate_at(when).unwrap();
+            observer.look_at(&s, when)
+        };
+        // Numerical derivative over ±0.5 s using Earth-fixed ranges.
+        let range_at = |w| {
+            let s = sgp4.propagate_at(w).unwrap();
+            (teme_to_ecef(&s, w).position_km - observer.position_ecef()).norm()
+        };
+        let dt = 0.5;
+        let numeric = (range_at(when.plus_seconds(dt)) - range_at(when.plus_seconds(-dt)))
+            / (2.0 * dt);
+        prop_assert!(
+            (la.range_rate_km_s - numeric).abs() < 5e-3,
+            "analytic {} vs numeric {numeric}",
+            la.range_rate_km_s
+        );
+    }
+}

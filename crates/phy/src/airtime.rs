@@ -1,0 +1,142 @@
+//! LoRa time-on-air (the Semtech AN1200.13 formula).
+
+use crate::params::LoRaConfig;
+
+/// Number of payload symbols for `payload_len` bytes under `cfg`.
+pub fn payload_symbols(cfg: &LoRaConfig, payload_len: usize) -> u32 {
+    let pl = payload_len as i64;
+    let sf = cfg.sf.value() as i64;
+    let ih = if cfg.explicit_header { 0 } else { 1 };
+    let crc = if cfg.crc_on { 1 } else { 0 };
+    let de = if cfg.low_data_rate_optimization() { 1 } else { 0 };
+    let cr = cfg.cr.cr_value() as i64;
+
+    let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * ih;
+    let denominator = 4 * (sf - 2 * de);
+    let ceil = if numerator > 0 {
+        (numerator + denominator - 1) / denominator
+    } else {
+        0
+    };
+    (8 + ceil.max(0) * (cr + 4)) as u32
+}
+
+/// Time on air (seconds) of a packet with `payload_len` payload bytes.
+pub fn airtime_s(cfg: &LoRaConfig, payload_len: usize) -> f64 {
+    let t_sym = cfg.symbol_time_s();
+    let t_preamble = (cfg.preamble_symbols as f64 + 4.25) * t_sym;
+    let t_payload = payload_symbols(cfg, payload_len) as f64 * t_sym;
+    t_preamble + t_payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Bandwidth, CodingRate, LoRaConfig, SpreadingFactor};
+
+    #[test]
+    fn known_airtime_sf10_20_bytes() {
+        // SF10/125 kHz/4-5, explicit header, CRC, 8-sym preamble, 20 B:
+        // n_payload = 8 + ceil((160-40+28+16)/40)·5 = 8 + ceil(164/40)·5
+        //           = 8 + 5·5 = 33 symbols.
+        // T = (12.25 + 33) · 8.192 ms = 370.7 ms.
+        let cfg = LoRaConfig::dts_beacon();
+        assert_eq!(payload_symbols(&cfg, 20), 33);
+        let t = airtime_s(&cfg, 20);
+        assert!((t - 0.370_688).abs() < 1e-6, "airtime {t}");
+    }
+
+    #[test]
+    fn known_airtime_sf7_small() {
+        // SF7/125/4-5, 10 B: n = 8 + ceil((80-28+28+16)/28)·5 = 8 + ceil(96/28)·5
+        //                      = 8 + 4·5 = 28; T = (12.25+28)·1.024 ms = 41.2 ms.
+        let cfg = LoRaConfig {
+            sf: SpreadingFactor::Sf7,
+            ..LoRaConfig::dts_beacon()
+        };
+        assert_eq!(payload_symbols(&cfg, 10), 28);
+        assert!((airtime_s(&cfg, 10) - 0.041_216).abs() < 1e-6);
+    }
+
+    #[test]
+    fn airtime_grows_with_payload() {
+        let cfg = LoRaConfig::dts_beacon();
+        let mut prev = 0.0;
+        for len in [0, 10, 20, 60, 120, 255] {
+            let t = airtime_s(&cfg, len);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn airtime_grows_with_sf() {
+        let mut prev = 0.0;
+        for sf in SpreadingFactor::ALL {
+            let cfg = LoRaConfig {
+                sf,
+                ..LoRaConfig::dts_beacon()
+            };
+            let t = airtime_s(&cfg, 20);
+            assert!(t > prev, "sf {sf:?}");
+            prev = t;
+        }
+        // A 20-byte SF12 packet lasts over a second — the "hundreds to
+        // thousands of ms" the paper cites for DtS transmissions.
+        let sf12 = LoRaConfig {
+            sf: SpreadingFactor::Sf12,
+            ..LoRaConfig::dts_beacon()
+        };
+        assert!(airtime_s(&sf12, 20) > 1.0);
+    }
+
+    #[test]
+    fn stronger_fec_lengthens_packets() {
+        let base = LoRaConfig::dts_beacon();
+        let fec = LoRaConfig {
+            cr: CodingRate::Cr4_8,
+            ..base
+        };
+        assert!(airtime_s(&fec, 60) > airtime_s(&base, 60));
+    }
+
+    #[test]
+    fn wider_bandwidth_shortens_packets() {
+        let narrow = LoRaConfig::dts_beacon();
+        let wide = LoRaConfig {
+            bw: Bandwidth::Khz250,
+            ..narrow
+        };
+        assert!((airtime_s(&narrow, 20) / airtime_s(&wide, 20) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ldro_changes_symbol_count() {
+        let sf11 = LoRaConfig {
+            sf: SpreadingFactor::Sf11,
+            ..LoRaConfig::dts_beacon()
+        };
+        assert!(sf11.low_data_rate_optimization());
+        // DE=1: denominator 4(11−2)=36 instead of 44.
+        // n = 8 + ceil((8·20−44+28+16)/36)·5 = 8 + ceil(160/36)·5 = 33.
+        assert_eq!(payload_symbols(&sf11, 20), 33);
+    }
+
+    #[test]
+    fn implicit_header_and_no_crc_shorten() {
+        let base = LoRaConfig::dts_beacon();
+        let bare = LoRaConfig {
+            explicit_header: false,
+            crc_on: false,
+            ..base
+        };
+        assert!(payload_symbols(&bare, 20) < payload_symbols(&base, 20));
+    }
+
+    #[test]
+    fn empty_payload_still_has_header_symbols() {
+        let cfg = LoRaConfig::dts_beacon();
+        assert!(payload_symbols(&cfg, 0) >= 8);
+        assert!(airtime_s(&cfg, 0) > 0.0);
+    }
+}

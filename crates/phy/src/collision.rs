@@ -1,0 +1,193 @@
+//! Collision arithmetic: SINR and the LoRa capture effect.
+//!
+//! When a satellite's footprint covers thousands of km², many ground
+//! nodes can transmit in the same contact window (paper §3.1 and
+//! Fig 12b). Overlapping same-SF transmissions are not automatically all
+//! lost: LoRa exhibits a *capture effect* — the strongest signal decodes
+//! if it exceeds the aggregate of the others by a threshold (≈ 6 dB
+//! co-SF). Different SFs are quasi-orthogonal and interfere only as
+//! broadband noise (rejection ≈ 16 dB).
+
+use crate::params::SpreadingFactor;
+
+/// Co-SF capture threshold, dB.
+pub const CO_SF_CAPTURE_DB: f64 = 6.0;
+
+/// Inter-SF rejection, dB (quasi-orthogonality of distinct SFs).
+pub const INTER_SF_REJECTION_DB: f64 = 16.0;
+
+/// One concurrent transmission as seen by a receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overlap {
+    /// Received power of this transmission, dBm.
+    pub rssi_dbm: f64,
+    /// Spreading factor of this transmission.
+    pub sf: SpreadingFactor,
+}
+
+/// Convert dBm to milliwatts.
+fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Convert milliwatts to dBm.
+fn mw_to_dbm(mw: f64) -> f64 {
+    10.0 * mw.max(1e-300).log10()
+}
+
+/// Aggregate interference power (dBm) experienced by a target at
+/// `target_sf`, given the other overlapping transmissions. Inter-SF
+/// interferers are attenuated by [`INTER_SF_REJECTION_DB`].
+pub fn interference_dbm(target_sf: SpreadingFactor, others: &[Overlap]) -> Option<f64> {
+    if others.is_empty() {
+        return None;
+    }
+    let total_mw: f64 = others
+        .iter()
+        .map(|o| {
+            let rejection = if o.sf == target_sf {
+                0.0
+            } else {
+                INTER_SF_REJECTION_DB
+            };
+            dbm_to_mw(o.rssi_dbm - rejection)
+        })
+        .sum();
+    Some(mw_to_dbm(total_mw))
+}
+
+/// Signal-to-(interference+noise) ratio (dB) for a target packet.
+pub fn sinr_db(
+    target_rssi_dbm: f64,
+    target_sf: SpreadingFactor,
+    others: &[Overlap],
+    noise_floor_dbm: f64,
+) -> f64 {
+    let noise_mw = dbm_to_mw(noise_floor_dbm);
+    let interference_mw = interference_dbm(target_sf, others)
+        .map(dbm_to_mw)
+        .unwrap_or(0.0);
+    target_rssi_dbm - mw_to_dbm(noise_mw + interference_mw)
+}
+
+/// Does the target survive the collision via capture? True when the
+/// target is at least [`CO_SF_CAPTURE_DB`] above the aggregate same-band
+/// interference.
+pub fn captures(target_rssi_dbm: f64, target_sf: SpreadingFactor, others: &[Overlap]) -> bool {
+    match interference_dbm(target_sf, others) {
+        None => true,
+        Some(i) => target_rssi_dbm - i >= CO_SF_CAPTURE_DB,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SF: SpreadingFactor = SpreadingFactor::Sf10;
+
+    #[test]
+    fn lone_packet_always_captures() {
+        assert!(captures(-130.0, SF, &[]));
+        let s = sinr_db(-120.0, SF, &[], -117.0);
+        assert!((s - (-3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_packet_captures_over_weak() {
+        let others = [Overlap {
+            rssi_dbm: -130.0,
+            sf: SF,
+        }];
+        assert!(captures(-120.0, SF, &others));
+        // And the weak one does not.
+        let strong = [Overlap {
+            rssi_dbm: -120.0,
+            sf: SF,
+        }];
+        assert!(!captures(-130.0, SF, &strong));
+    }
+
+    #[test]
+    fn near_equal_packets_destroy_each_other() {
+        let a = [Overlap {
+            rssi_dbm: -122.0,
+            sf: SF,
+        }];
+        assert!(!captures(-120.0, SF, &a)); // Only 2 dB above.
+        let b = [Overlap {
+            rssi_dbm: -120.0,
+            sf: SF,
+        }];
+        assert!(!captures(-122.0, SF, &b));
+    }
+
+    #[test]
+    fn aggregate_interference_sums_in_linear_domain() {
+        // Two equal interferers are 3 dB stronger than one.
+        let one = interference_dbm(
+            SF,
+            &[Overlap {
+                rssi_dbm: -125.0,
+                sf: SF,
+            }],
+        )
+        .unwrap();
+        let two = interference_dbm(
+            SF,
+            &[
+                Overlap {
+                    rssi_dbm: -125.0,
+                    sf: SF,
+                },
+                Overlap {
+                    rssi_dbm: -125.0,
+                    sf: SF,
+                },
+            ],
+        )
+        .unwrap();
+        assert!((two - one - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn different_sf_barely_interferes() {
+        let other_sf = [Overlap {
+            rssi_dbm: -118.0,
+            sf: SpreadingFactor::Sf7,
+        }];
+        // A same-power co-SF interferer would kill the packet; an SF7 one
+        // is rejected by 16 dB and the packet captures.
+        assert!(captures(-118.0, SF, &other_sf));
+        let same_sf = [Overlap {
+            rssi_dbm: -118.0,
+            sf: SF,
+        }];
+        assert!(!captures(-118.0, SF, &same_sf));
+    }
+
+    #[test]
+    fn sinr_degrades_with_interference() {
+        let clean = sinr_db(-120.0, SF, &[], -117.0);
+        let busy = sinr_db(
+            -120.0,
+            SF,
+            &[Overlap {
+                rssi_dbm: -121.0,
+                sf: SF,
+            }],
+            -117.0,
+        );
+        assert!(busy < clean);
+        // Noise −117 dBm (2.0 fW) + interferer −121 dBm (0.79 fW) sum to
+        // −115.5 dBm, so SINR = −120 − (−115.5) ≈ −4.5 dB.
+        assert!((busy - (-4.46)).abs() < 0.05, "busy {busy}");
+    }
+
+    #[test]
+    fn dbm_mw_round_trip() {
+        for dbm in [-150.0, -117.0, -3.0, 0.0, 20.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! LEO Doppler penalties for LoRa demodulation.
+//!
+//! Two distinct effects (Appendix C of the paper lists Doppler as a major
+//! beacon-loss factor):
+//!
+//! 1. **Static offset.** A LEO pass at 400 MHz sweeps roughly ±10 kHz.
+//!    LoRa tolerates carrier offsets up to about ±25 % of the bandwidth
+//!    (±31 kHz at 125 kHz), so a raw offset alone rarely kills a packet —
+//!    but it erodes margin quadratically as it approaches the limit.
+//! 2. **Drift rate.** Near closest approach the Doppler *rate* peaks
+//!    (≈ 100–300 Hz/s). An SF10–SF12 packet lasts 0.4–1.5 s, during which
+//!    the carrier slides across multiple FFT bins (bin width = BW/2^SF =
+//!    122 Hz at SF10/125 kHz). Uncompensated, each bin crossed smears
+//!    symbol energy and costs SNR. This is the LEO-specific mechanism
+//!    that makes high SFs *worse* near zenith, where geometry is
+//!    otherwise best.
+
+use crate::airtime::airtime_s;
+use crate::params::LoRaConfig;
+
+/// Fraction of the bandwidth beyond which LoRa sync fails outright.
+pub const MAX_OFFSET_FRACTION: f64 = 0.25;
+
+/// SNR penalty (dB) per FFT bin crossed during one packet.
+const DB_PER_BIN: f64 = 1.4;
+
+/// Cap on the drift penalty — beyond this the packet is effectively gone
+/// anyway (the logistic PER curve saturates).
+const MAX_DRIFT_PENALTY_DB: f64 = 12.0;
+
+/// Effective SNR penalty (dB) from a static carrier offset of
+/// `offset_hz` on a link with bandwidth `bw_hz`. Returns `None` when the
+/// offset exceeds the sync limit (packet cannot be received at all).
+pub fn offset_penalty_db(offset_hz: f64, bw_hz: f64) -> Option<f64> {
+    let frac = (offset_hz / bw_hz).abs();
+    if frac > MAX_OFFSET_FRACTION {
+        return None;
+    }
+    // Quadratic erosion: 0 dB at DC, ~2 dB at the sync limit.
+    Some(2.0 * (frac / MAX_OFFSET_FRACTION).powi(2))
+}
+
+/// FFT bin width (Hz) of the LoRa demodulator for `cfg`.
+pub fn bin_width_hz(cfg: &LoRaConfig) -> f64 {
+    cfg.bw.hz() / cfg.sf.chips() as f64
+}
+
+/// SNR penalty (dB) from a Doppler drift of `rate_hz_s` over the airtime
+/// of a `payload_len`-byte packet.
+pub fn drift_penalty_db(cfg: &LoRaConfig, payload_len: usize, rate_hz_s: f64) -> f64 {
+    let drift_hz = rate_hz_s.abs() * airtime_s(cfg, payload_len);
+    let bins = drift_hz / bin_width_hz(cfg);
+    // Less than half a bin of drift is absorbed by the demodulator.
+    if bins <= 0.5 {
+        0.0
+    } else {
+        ((bins - 0.5) * DB_PER_BIN).min(MAX_DRIFT_PENALTY_DB)
+    }
+}
+
+/// Total Doppler SNR penalty for a packet; `None` = unreceivable offset.
+pub fn total_penalty_db(
+    cfg: &LoRaConfig,
+    payload_len: usize,
+    offset_hz: f64,
+    rate_hz_s: f64,
+) -> Option<f64> {
+    let off = offset_penalty_db(offset_hz, cfg.bw.hz())?;
+    Some(off + drift_penalty_db(cfg, payload_len, rate_hz_s))
+}
+
+/// Residual fraction of the Doppler left after TLE-based pre-compensation
+/// (ephemeris and oscillator error).
+pub const COMPENSATION_RESIDUAL: f64 = 0.08;
+
+/// Total Doppler SNR penalty when the transmitter/receiver pre-compensates
+/// using ephemeris knowledge (the optimisation the paper calls for): only
+/// the residual offset and drift remain, so the sync-loss regime
+/// disappears and high-SF packets stop paying the drift tax.
+pub fn compensated_penalty_db(
+    cfg: &LoRaConfig,
+    payload_len: usize,
+    offset_hz: f64,
+    rate_hz_s: f64,
+) -> Option<f64> {
+    total_penalty_db(
+        cfg,
+        payload_len,
+        offset_hz * COMPENSATION_RESIDUAL,
+        rate_hz_s * COMPENSATION_RESIDUAL,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SpreadingFactor;
+
+    #[test]
+    fn leo_offsets_are_tolerated_at_125khz() {
+        // ±10 kHz at 125 kHz BW: well inside the 25 % limit.
+        let p = offset_penalty_db(10_000.0, 125_000.0).unwrap();
+        assert!(p < 0.3, "penalty {p}");
+        assert_eq!(offset_penalty_db(0.0, 125_000.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn excessive_offset_fails_sync() {
+        assert!(offset_penalty_db(40_000.0, 125_000.0).is_none());
+        assert!(offset_penalty_db(-40_000.0, 125_000.0).is_none());
+        assert!(offset_penalty_db(31_000.0, 125_000.0).is_some());
+    }
+
+    #[test]
+    fn bin_width_sf10_is_122hz() {
+        let cfg = LoRaConfig::dts_beacon();
+        assert!((bin_width_hz(&cfg) - 122.07).abs() < 0.1);
+    }
+
+    #[test]
+    fn tca_drift_hurts_sf10_but_not_sf7() {
+        // 150 Hz/s at closest approach.
+        let sf10 = LoRaConfig::dts_beacon();
+        let sf7 = LoRaConfig {
+            sf: SpreadingFactor::Sf7,
+            ..sf10
+        };
+        let p10 = drift_penalty_db(&sf10, 20, 150.0);
+        let p7 = drift_penalty_db(&sf7, 20, 150.0);
+        // SF10: 150 Hz/s · 0.37 s ≈ 55 Hz ≈ 0.45 bins → essentially free…
+        assert!(p10 < 0.5, "sf10 {p10}");
+        // …but SF12 (1.6 s airtime, 30.5 Hz bins) loses several dB.
+        let sf12 = LoRaConfig {
+            sf: SpreadingFactor::Sf12,
+            ..sf10
+        };
+        let p12 = drift_penalty_db(&sf12, 20, 150.0);
+        assert!(p12 > 3.0, "sf12 {p12}");
+        assert!(p7 <= p10 && p10 <= p12);
+    }
+
+    #[test]
+    fn drift_penalty_is_capped() {
+        let cfg = LoRaConfig {
+            sf: SpreadingFactor::Sf12,
+            ..LoRaConfig::dts_beacon()
+        };
+        assert_eq!(drift_penalty_db(&cfg, 255, 5_000.0), MAX_DRIFT_PENALTY_DB);
+    }
+
+    #[test]
+    fn zero_rate_is_free() {
+        let cfg = LoRaConfig::dts_beacon();
+        assert_eq!(drift_penalty_db(&cfg, 120, 0.0), 0.0);
+    }
+
+    #[test]
+    fn total_combines_both() {
+        let cfg = LoRaConfig {
+            sf: SpreadingFactor::Sf12,
+            ..LoRaConfig::dts_beacon()
+        };
+        let total = total_penalty_db(&cfg, 20, 10_000.0, 150.0).unwrap();
+        let off = offset_penalty_db(10_000.0, cfg.bw.hz()).unwrap();
+        let drift = drift_penalty_db(&cfg, 20, 150.0);
+        assert!((total - off - drift).abs() < 1e-12);
+        assert!(total_penalty_db(&cfg, 20, 50_000.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn longer_packets_accumulate_more_drift() {
+        let cfg = LoRaConfig {
+            sf: SpreadingFactor::Sf11,
+            ..LoRaConfig::dts_beacon()
+        };
+        assert!(drift_penalty_db(&cfg, 120, 200.0) > drift_penalty_db(&cfg, 10, 200.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! The logical wire image of a LoRa PHY frame.
+//!
+//! Real LoRa is chirp-spread on air; what matters to a packet-level
+//! simulator and to the application stack is the byte layout the modem
+//! exposes: sync word, explicit header (length, coding rate, CRC flag),
+//! payload, and the CRC-16 trailer. This codec gives the protocol layers
+//! of `satiot-core` a concrete, checkable serialisation — corrupting any
+//! byte breaks the CRC, exactly like on hardware.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! +--------+--------+---------+------------+----------+---------+
+//! | sync   | hdr:len| hdr:cr  | hdr:flags  | payload  | crc16   |
+//! | 1 B    | 1 B    | 1 B     | 1 B        | 0–255 B  | 2 B     |
+//! +--------+--------+---------+------------+----------+---------+
+//! ```
+
+use crate::params::CodingRate;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Public LoRa sync word used by the measured DtS constellations (the
+/// "public network" value).
+pub const PUBLIC_SYNC_WORD: u8 = 0x34;
+
+/// Frame flags: CRC present.
+const FLAG_CRC: u8 = 0b0000_0001;
+
+/// Errors decoding a frame image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the fixed header requires.
+    Truncated,
+    /// Sync word mismatch (foreign network).
+    BadSyncWord {
+        /// The sync word found.
+        found: u8,
+    },
+    /// Header length field disagrees with the buffer.
+    LengthMismatch,
+    /// CRC-16 check failed.
+    BadCrc,
+    /// Reserved coding-rate encoding.
+    BadCodingRate,
+    /// Reserved flag bits were set.
+    BadFlags,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadSyncWord { found } => write!(f, "bad sync word {found:#04x}"),
+            FrameError::LengthMismatch => write!(f, "header length disagrees with buffer"),
+            FrameError::BadCrc => write!(f, "payload CRC mismatch"),
+            FrameError::BadCodingRate => write!(f, "reserved coding rate"),
+            FrameError::BadFlags => write!(f, "reserved flag bits set"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A decoded LoRa frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoRaFrame {
+    /// Sync word (network discriminator).
+    pub sync_word: u8,
+    /// Coding rate from the explicit header.
+    pub coding_rate: CodingRate,
+    /// Whether the CRC trailer is present (always true for uplink data).
+    pub crc_on: bool,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl LoRaFrame {
+    /// Build a frame around `payload` with the public sync word and CRC.
+    pub fn new(payload: impl Into<Bytes>, coding_rate: CodingRate) -> Self {
+        LoRaFrame {
+            sync_word: PUBLIC_SYNC_WORD,
+            coding_rate,
+            crc_on: true,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serialise into the wire image.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(6 + self.payload.len());
+        buf.put_u8(self.sync_word);
+        buf.put_u8(self.payload.len() as u8);
+        buf.put_u8(self.coding_rate.cr_value() as u8);
+        buf.put_u8(if self.crc_on { FLAG_CRC } else { 0 });
+        buf.put_slice(&self.payload);
+        if self.crc_on {
+            buf.put_u16(crc16_ccitt(&self.payload));
+        }
+        buf.freeze()
+    }
+
+    /// Parse and validate a wire image.
+    pub fn decode(mut buf: Bytes) -> Result<LoRaFrame, FrameError> {
+        if buf.len() < 4 {
+            return Err(FrameError::Truncated);
+        }
+        let sync_word = buf.get_u8();
+        if sync_word != PUBLIC_SYNC_WORD {
+            return Err(FrameError::BadSyncWord { found: sync_word });
+        }
+        let len = buf.get_u8() as usize;
+        let cr_raw = buf.get_u8();
+        let coding_rate = match cr_raw {
+            1 => CodingRate::Cr4_5,
+            2 => CodingRate::Cr4_6,
+            3 => CodingRate::Cr4_7,
+            4 => CodingRate::Cr4_8,
+            _ => return Err(FrameError::BadCodingRate),
+        };
+        let flags = buf.get_u8();
+        if flags & !FLAG_CRC != 0 {
+            // Reserved flag bits must be zero: strict parsing makes every
+            // single-bit corruption of the header detectable.
+            return Err(FrameError::BadFlags);
+        }
+        let crc_on = flags & FLAG_CRC != 0;
+        let expected = len + if crc_on { 2 } else { 0 };
+        if buf.len() != expected {
+            return Err(FrameError::LengthMismatch);
+        }
+        let payload = buf.split_to(len);
+        if crc_on {
+            let stated = buf.get_u16();
+            if stated != crc16_ccitt(&payload) {
+                return Err(FrameError::BadCrc);
+            }
+        }
+        Ok(LoRaFrame {
+            sync_word,
+            coding_rate,
+            crc_on,
+            payload,
+        })
+    }
+
+    /// Total on-air byte count of the image (what airtime should be
+    /// computed over at the PHY payload level).
+    pub fn wire_len(&self) -> usize {
+        4 + self.payload.len() + if self.crc_on { 2 } else { 0 }
+    }
+}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — the CRC LoRa uses for
+/// its payload check.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+        assert_eq!(crc16_ccitt(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = LoRaFrame::new(&b"hello satellite"[..], CodingRate::Cr4_8);
+        let wire = frame.encode();
+        assert_eq!(wire.len(), frame.wire_len());
+        let back = LoRaFrame::decode(wire).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = LoRaFrame::new(Bytes::new(), CodingRate::Cr4_5);
+        let back = LoRaFrame::decode(frame.encode()).unwrap();
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn corrupting_any_byte_is_detected() {
+        let frame = LoRaFrame::new(&b"20-byte sensor data."[..], CodingRate::Cr4_5);
+        let wire = frame.encode();
+        for i in 0..wire.len() {
+            let mut corrupted = wire.to_vec();
+            corrupted[i] ^= 0x40;
+            let result = LoRaFrame::decode(Bytes::from(corrupted));
+            assert!(
+                result.is_err() || result.as_ref().unwrap() != &frame,
+                "byte {i}: corruption not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let frame = LoRaFrame::new(&b"payload"[..], CodingRate::Cr4_5);
+        let wire = frame.encode();
+        for cut in 0..wire.len() {
+            assert!(LoRaFrame::decode(wire.slice(..cut)).is_err(), "cut {cut}");
+        }
+        assert!(matches!(
+            LoRaFrame::decode(wire.slice(..2)),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn foreign_sync_word_is_rejected() {
+        let frame = LoRaFrame::new(&b"x"[..], CodingRate::Cr4_5);
+        let mut wire = frame.encode().to_vec();
+        wire[0] = 0x12; // Private-network sync word.
+        assert_eq!(
+            LoRaFrame::decode(Bytes::from(wire)),
+            Err(FrameError::BadSyncWord { found: 0x12 })
+        );
+    }
+
+    #[test]
+    fn bad_crc_is_rejected_specifically() {
+        let frame = LoRaFrame::new(&b"data"[..], CodingRate::Cr4_5);
+        let mut wire = frame.encode().to_vec();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        assert_eq!(LoRaFrame::decode(Bytes::from(wire)), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn reserved_coding_rate_is_rejected() {
+        let frame = LoRaFrame::new(&b"x"[..], CodingRate::Cr4_5);
+        let mut wire = frame.encode().to_vec();
+        wire[2] = 7;
+        assert_eq!(
+            LoRaFrame::decode(Bytes::from(wire)),
+            Err(FrameError::BadCodingRate)
+        );
+    }
+
+    #[test]
+    fn max_payload_round_trips() {
+        let payload: Vec<u8> = (0..255).map(|i| i as u8).collect();
+        let frame = LoRaFrame::new(payload, CodingRate::Cr4_6);
+        let back = LoRaFrame::decode(frame.encode()).unwrap();
+        assert_eq!(back.payload.len(), 255);
+        assert_eq!(back.coding_rate, CodingRate::Cr4_6);
+    }
+}

@@ -1,0 +1,227 @@
+//! LoRa modulation parameters.
+
+/// LoRa spreading factor (chips per symbol = 2^SF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpreadingFactor {
+    /// SF7 — fastest, least sensitive.
+    Sf7,
+    /// SF8.
+    Sf8,
+    /// SF9.
+    Sf9,
+    /// SF10 — the workhorse for DtS beacons.
+    Sf10,
+    /// SF11 (low-data-rate optimisation kicks in at 125 kHz).
+    Sf11,
+    /// SF12 — slowest, most sensitive.
+    Sf12,
+}
+
+impl SpreadingFactor {
+    /// All factors, ascending.
+    pub const ALL: [SpreadingFactor; 6] = [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+        SpreadingFactor::Sf10,
+        SpreadingFactor::Sf11,
+        SpreadingFactor::Sf12,
+    ];
+
+    /// Numeric SF value (7–12).
+    pub fn value(self) -> u32 {
+        match self {
+            SpreadingFactor::Sf7 => 7,
+            SpreadingFactor::Sf8 => 8,
+            SpreadingFactor::Sf9 => 9,
+            SpreadingFactor::Sf10 => 10,
+            SpreadingFactor::Sf11 => 11,
+            SpreadingFactor::Sf12 => 12,
+        }
+    }
+
+    /// Chips per symbol.
+    pub fn chips(self) -> u32 {
+        1 << self.value()
+    }
+}
+
+/// LoRa channel bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bandwidth {
+    /// 62.5 kHz.
+    Khz62,
+    /// 125 kHz — what the measured DtS constellations use.
+    Khz125,
+    /// 250 kHz.
+    Khz250,
+    /// 500 kHz.
+    Khz500,
+}
+
+impl Bandwidth {
+    /// Bandwidth in Hz.
+    pub fn hz(self) -> f64 {
+        match self {
+            Bandwidth::Khz62 => 62_500.0,
+            Bandwidth::Khz125 => 125_000.0,
+            Bandwidth::Khz250 => 250_000.0,
+            Bandwidth::Khz500 => 500_000.0,
+        }
+    }
+}
+
+/// LoRa forward-error-correction coding rate (4/(4+n)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodingRate {
+    /// 4/5.
+    Cr4_5,
+    /// 4/6.
+    Cr4_6,
+    /// 4/7.
+    Cr4_7,
+    /// 4/8 — strongest FEC, often used on noisy DtS links.
+    Cr4_8,
+}
+
+impl CodingRate {
+    /// The `CR` value in the airtime formula (1–4).
+    pub fn cr_value(self) -> u32 {
+        match self {
+            CodingRate::Cr4_5 => 1,
+            CodingRate::Cr4_6 => 2,
+            CodingRate::Cr4_7 => 3,
+            CodingRate::Cr4_8 => 4,
+        }
+    }
+
+    /// Code rate as a fraction.
+    pub fn rate(self) -> f64 {
+        4.0 / (4.0 + self.cr_value() as f64)
+    }
+}
+
+/// A complete LoRa transmission configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoRaConfig {
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+    /// Bandwidth.
+    pub bw: Bandwidth,
+    /// Coding rate.
+    pub cr: CodingRate,
+    /// Preamble length in symbols (typical: 8).
+    pub preamble_symbols: u32,
+    /// Explicit header present.
+    pub explicit_header: bool,
+    /// Payload CRC enabled.
+    pub crc_on: bool,
+}
+
+impl LoRaConfig {
+    /// The configuration the measured DtS beacons use: SF10/125 kHz/4-5,
+    /// 8-symbol preamble, explicit header, CRC on.
+    pub fn dts_beacon() -> Self {
+        LoRaConfig {
+            sf: SpreadingFactor::Sf10,
+            bw: Bandwidth::Khz125,
+            cr: CodingRate::Cr4_5,
+            preamble_symbols: 8,
+            explicit_header: true,
+            crc_on: true,
+        }
+    }
+
+    /// The uplink configuration of Tianqi-class IoT nodes (stronger FEC).
+    pub fn dts_uplink() -> Self {
+        LoRaConfig {
+            cr: CodingRate::Cr4_8,
+            ..Self::dts_beacon()
+        }
+    }
+
+    /// A typical terrestrial LoRaWAN configuration. Rural deployments run
+    /// their ADR floor at SF12 (gateways are km away at the cell edge),
+    /// which is also what makes Tx the dominant energy consumer in the
+    /// paper's Figure 11 despite its tiny time share.
+    pub fn terrestrial() -> Self {
+        LoRaConfig {
+            sf: SpreadingFactor::Sf12,
+            ..Self::dts_beacon()
+        }
+    }
+
+    /// Symbol duration in seconds.
+    pub fn symbol_time_s(&self) -> f64 {
+        self.sf.chips() as f64 / self.bw.hz()
+    }
+
+    /// Whether low-data-rate optimisation is mandatory (symbol > 16 ms).
+    pub fn low_data_rate_optimization(&self) -> bool {
+        self.symbol_time_s() > 0.016
+    }
+
+    /// Raw physical bit rate (bits/s) before FEC.
+    pub fn bit_rate_bps(&self) -> f64 {
+        self.sf.value() as f64 * self.cr.rate() / self.symbol_time_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_values_and_chips() {
+        assert_eq!(SpreadingFactor::Sf7.value(), 7);
+        assert_eq!(SpreadingFactor::Sf12.chips(), 4096);
+        assert_eq!(SpreadingFactor::ALL.len(), 6);
+        // Ascending order.
+        for w in SpreadingFactor::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn symbol_time_sf10_125khz_is_8_192_ms() {
+        let cfg = LoRaConfig::dts_beacon();
+        assert!((cfg.symbol_time_s() - 0.008_192).abs() < 1e-9);
+        assert!(!cfg.low_data_rate_optimization());
+    }
+
+    #[test]
+    fn ldro_kicks_in_at_sf11_125khz() {
+        let cfg = LoRaConfig {
+            sf: SpreadingFactor::Sf11,
+            ..LoRaConfig::dts_beacon()
+        };
+        assert!(cfg.low_data_rate_optimization());
+        // SF12/125: 32.8 ms symbols.
+        let cfg12 = LoRaConfig {
+            sf: SpreadingFactor::Sf12,
+            ..cfg
+        };
+        assert!((cfg12.symbol_time_s() - 0.032_768).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coding_rates() {
+        assert_eq!(CodingRate::Cr4_5.cr_value(), 1);
+        assert!((CodingRate::Cr4_8.rate() - 0.5).abs() < 1e-12);
+        assert!(CodingRate::Cr4_5.rate() > CodingRate::Cr4_8.rate());
+    }
+
+    #[test]
+    fn bit_rate_sf10_is_about_980bps() {
+        // SF10/125 kHz/4-5: 10 bits · 0.8 / 8.192 ms ≈ 976 bps.
+        let rate = LoRaConfig::dts_beacon().bit_rate_bps();
+        assert!((rate - 976.56).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn bandwidths() {
+        assert_eq!(Bandwidth::Khz125.hz(), 125_000.0);
+        assert_eq!(Bandwidth::Khz500.hz(), 500_000.0);
+        assert!(Bandwidth::Khz62.hz() < Bandwidth::Khz125.hz());
+    }
+}

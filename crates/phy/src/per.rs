@@ -1,0 +1,126 @@
+//! Packet error rate as a function of SNR.
+//!
+//! LoRa's PER-vs-SNR curve is a steep waterfall: a couple of dB around the
+//! demodulation threshold separates near-certain loss from near-certain
+//! success. We model success probability with a logistic curve centred
+//! slightly above the threshold, shifted further for long packets (more
+//! symbols ⇒ more chances for a symbol error to slip past the FEC). The
+//! shape constants were chosen so that:
+//!
+//! * +3 dB of margin gives ≳ 97 % packet success,
+//! * −3 dB gives ≲ 3 %, and
+//! * a 120-byte packet needs ≈ 1 dB more SNR than a 10-byte packet for
+//!   the same PER — which reproduces the payload-size reliability
+//!   ordering of the paper's Figure 12a.
+
+use crate::airtime::payload_symbols;
+use crate::params::LoRaConfig;
+use crate::sensitivity::demod_threshold_db;
+use satiot_sim::Rng;
+
+/// Logistic slope, dB. Smaller = steeper waterfall.
+const SLOPE_DB: f64 = 0.85;
+
+/// Per-symbol length penalty scale, dB per doubling beyond the reference.
+const LENGTH_PENALTY_DB_PER_DOUBLING: f64 = 0.55;
+
+/// Reference payload symbol count for the length penalty.
+const REFERENCE_SYMBOLS: f64 = 30.0;
+
+/// The SNR (dB) at which packet success probability is 50 %.
+pub fn snr_50_db(cfg: &LoRaConfig, payload_len: usize) -> f64 {
+    let n_sym = payload_symbols(cfg, payload_len) as f64;
+    let length_penalty =
+        LENGTH_PENALTY_DB_PER_DOUBLING * (n_sym.max(1.0) / REFERENCE_SYMBOLS).log2().max(-1.0);
+    demod_threshold_db(cfg.sf) + 0.5 + length_penalty
+}
+
+/// Probability that a packet of `payload_len` bytes decodes at `snr_db`.
+pub fn packet_success_probability(cfg: &LoRaConfig, payload_len: usize, snr_db: f64) -> f64 {
+    let x = (snr_db - snr_50_db(cfg, payload_len)) / SLOPE_DB;
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Bernoulli draw: does this packet decode?
+pub fn packet_decodes(cfg: &LoRaConfig, payload_len: usize, snr_db: f64, rng: &mut Rng) -> bool {
+    rng.chance(packet_success_probability(cfg, payload_len, snr_db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SpreadingFactor;
+
+    #[test]
+    fn waterfall_shape() {
+        let cfg = LoRaConfig::dts_beacon();
+        let mid = snr_50_db(&cfg, 20);
+        assert!(
+            (packet_success_probability(&cfg, 20, mid) - 0.5).abs() < 1e-9,
+            "midpoint"
+        );
+        assert!(packet_success_probability(&cfg, 20, mid + 3.0) > 0.97);
+        assert!(packet_success_probability(&cfg, 20, mid - 3.0) < 0.03);
+        assert!(packet_success_probability(&cfg, 20, mid + 10.0) > 0.999_99);
+        assert!(packet_success_probability(&cfg, 20, mid - 10.0) < 1e-4);
+    }
+
+    #[test]
+    fn success_is_monotone_in_snr() {
+        let cfg = LoRaConfig::dts_beacon();
+        let mut prev = 0.0;
+        for snr10 in -300..0 {
+            let p = packet_success_probability(&cfg, 20, snr10 as f64 / 10.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn longer_packets_need_more_snr() {
+        let cfg = LoRaConfig::dts_uplink();
+        let s10 = snr_50_db(&cfg, 10);
+        let s60 = snr_50_db(&cfg, 60);
+        let s120 = snr_50_db(&cfg, 120);
+        assert!(s10 < s60 && s60 < s120, "{s10} {s60} {s120}");
+        // The 10 → 120 byte gap is on the order of 1 dB.
+        assert!((0.5..2.5).contains(&(s120 - s10)), "gap {}", s120 - s10);
+    }
+
+    #[test]
+    fn higher_sf_decodes_weaker_signals() {
+        let sf10 = LoRaConfig::dts_beacon();
+        let sf12 = LoRaConfig {
+            sf: SpreadingFactor::Sf12,
+            ..sf10
+        };
+        let snr = -17.0;
+        assert!(
+            packet_success_probability(&sf12, 20, snr)
+                > packet_success_probability(&sf10, 20, snr)
+        );
+    }
+
+    #[test]
+    fn fifty_percent_point_sits_above_threshold() {
+        let cfg = LoRaConfig::dts_beacon();
+        let mid = snr_50_db(&cfg, 20);
+        let thresh = demod_threshold_db(cfg.sf);
+        assert!(mid > thresh, "{mid} !> {thresh}");
+        assert!(mid - thresh < 2.5, "offset {}", mid - thresh);
+    }
+
+    #[test]
+    fn draws_match_probability() {
+        let cfg = LoRaConfig::dts_beacon();
+        let snr = snr_50_db(&cfg, 20) + 1.0;
+        let p = packet_success_probability(&cfg, 20, snr);
+        let mut rng = Rng::from_seed(42);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| packet_decodes(&cfg, 20, snr, &mut rng))
+            .count() as f64
+            / n as f64;
+        assert!((hits - p).abs() < 0.01, "rate {hits} vs p {p}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Demodulation thresholds and receiver sensitivity.
+
+use crate::params::{Bandwidth, SpreadingFactor};
+
+/// Minimum SNR (dB, in the receiver bandwidth) at which the LoRa
+/// demodulator achieves its rated sensitivity for a given spreading
+/// factor (Semtech SX126x datasheet values).
+pub fn demod_threshold_db(sf: SpreadingFactor) -> f64 {
+    match sf {
+        SpreadingFactor::Sf7 => -7.5,
+        SpreadingFactor::Sf8 => -10.0,
+        SpreadingFactor::Sf9 => -12.5,
+        SpreadingFactor::Sf10 => -15.0,
+        SpreadingFactor::Sf11 => -17.5,
+        SpreadingFactor::Sf12 => -20.0,
+    }
+}
+
+/// Receiver sensitivity (dBm): the RSSI at which the SNR equals the
+/// demodulation threshold for a front-end with `noise_figure_db`.
+pub fn sensitivity_dbm(sf: SpreadingFactor, bw: Bandwidth, noise_figure_db: f64) -> f64 {
+    -174.0 + 10.0 * bw.hz().log10() + noise_figure_db + demod_threshold_db(sf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_decrease_2_5db_per_sf() {
+        let mut prev = demod_threshold_db(SpreadingFactor::Sf7);
+        for sf in &SpreadingFactor::ALL[1..] {
+            let t = demod_threshold_db(*sf);
+            assert!((prev - t - 2.5).abs() < 1e-12);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn sf10_sensitivity_matches_datasheet_class() {
+        // SX126x @ SF10/125 kHz is rated around −132 dBm.
+        let s = sensitivity_dbm(SpreadingFactor::Sf10, Bandwidth::Khz125, 6.0);
+        assert!((s - (-132.0)).abs() < 0.5, "sensitivity {s}");
+    }
+
+    #[test]
+    fn sf12_sensitivity_is_about_minus_137() {
+        let s = sensitivity_dbm(SpreadingFactor::Sf12, Bandwidth::Khz125, 6.0);
+        assert!((s - (-137.0)).abs() < 0.5, "sensitivity {s}");
+    }
+
+    #[test]
+    fn better_front_end_improves_sensitivity() {
+        let a = sensitivity_dbm(SpreadingFactor::Sf10, Bandwidth::Khz125, 6.0);
+        let b = sensitivity_dbm(SpreadingFactor::Sf10, Bandwidth::Khz125, 4.5);
+        assert!(b < a);
+    }
+}

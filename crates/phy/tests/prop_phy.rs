@@ -1,0 +1,122 @@
+//! Property-based tests for the PHY layer.
+
+use proptest::prelude::*;
+use satiot_phy::airtime::{airtime_s, payload_symbols};
+use satiot_phy::collision::{captures, interference_dbm, sinr_db, Overlap};
+use satiot_phy::doppler::{drift_penalty_db, offset_penalty_db, total_penalty_db};
+use satiot_phy::frame::crc16_ccitt;
+use satiot_phy::params::{Bandwidth, CodingRate, LoRaConfig, SpreadingFactor};
+use satiot_phy::sensitivity::{demod_threshold_db, sensitivity_dbm};
+
+fn any_config() -> impl Strategy<Value = LoRaConfig> {
+    (
+        0usize..6,
+        prop_oneof![Just(Bandwidth::Khz125), Just(Bandwidth::Khz250)],
+        prop_oneof![
+            Just(CodingRate::Cr4_5),
+            Just(CodingRate::Cr4_6),
+            Just(CodingRate::Cr4_7),
+            Just(CodingRate::Cr4_8)
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(sf, bw, cr, hdr, crc)| LoRaConfig {
+            sf: SpreadingFactor::ALL[sf],
+            bw,
+            cr,
+            preamble_symbols: 8,
+            explicit_header: hdr,
+            crc_on: crc,
+        })
+}
+
+proptest! {
+    /// Airtime equals (preamble + payload symbols) × symbol time exactly,
+    /// for every configuration.
+    #[test]
+    fn airtime_is_symbol_accounting(cfg in any_config(), len in 0usize..255) {
+        let t_sym = cfg.symbol_time_s();
+        let expected = (cfg.preamble_symbols as f64 + 4.25
+            + payload_symbols(&cfg, len) as f64) * t_sym;
+        prop_assert!((airtime_s(&cfg, len) - expected).abs() < 1e-12);
+        prop_assert!(payload_symbols(&cfg, len) >= 8);
+    }
+
+    /// CRC-16 detects any single-bit flip in any message.
+    #[test]
+    fn crc16_detects_single_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 1..100),
+        byte_frac in 0.0_f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let original = crc16_ccitt(&data);
+        let mut flipped = data.clone();
+        let pos = ((byte_frac * flipped.len() as f64) as usize).min(flipped.len() - 1);
+        flipped[pos] ^= 1 << bit;
+        prop_assert_ne!(crc16_ccitt(&flipped), original);
+    }
+
+    /// Sensitivity decomposes into floor + threshold; lower thresholds
+    /// (higher SF) always mean better sensitivity.
+    #[test]
+    fn sensitivity_decomposition(nf in 0.0_f64..10.0, sf_idx in 0usize..5) {
+        let sf = SpreadingFactor::ALL[sf_idx];
+        let next = SpreadingFactor::ALL[sf_idx + 1];
+        let s = sensitivity_dbm(sf, Bandwidth::Khz125, nf);
+        let s_next = sensitivity_dbm(next, Bandwidth::Khz125, nf);
+        prop_assert!(s_next < s);
+        let floor = -174.0 + 10.0 * 125_000.0_f64.log10() + nf;
+        prop_assert!((s - floor - demod_threshold_db(sf)).abs() < 1e-9);
+    }
+
+    /// Capture and SINR are mutually consistent: a captured packet always
+    /// has SINR above the interference-free SNR minus the capture margin.
+    #[test]
+    fn capture_and_sinr_agree(
+        target in -140.0_f64..-100.0,
+        others in proptest::collection::vec(-145.0_f64..-100.0, 0..6),
+    ) {
+        let sf = SpreadingFactor::Sf10;
+        let overlaps: Vec<Overlap> = others
+            .iter()
+            .map(|&rssi_dbm| Overlap { rssi_dbm, sf })
+            .collect();
+        let noise = -117.0;
+        let sinr = sinr_db(target, sf, &overlaps, noise);
+        let snr_clean = target - noise;
+        prop_assert!(sinr <= snr_clean + 1e-9, "interference improved SINR");
+        if captures(target, sf, &overlaps) {
+            if let Some(i) = interference_dbm(sf, &overlaps) {
+                prop_assert!(target - i >= 6.0 - 1e-9);
+            }
+        }
+        // Adding an interferer never raises the aggregate.
+        if !overlaps.is_empty() {
+            let fewer = &overlaps[..overlaps.len() - 1];
+            let i_all = interference_dbm(sf, &overlaps).unwrap();
+            if let Some(i_fewer) = interference_dbm(sf, fewer) {
+                prop_assert!(i_all >= i_fewer - 1e-9);
+            }
+        }
+    }
+
+    /// Doppler penalties are non-negative, monotone in |rate|, and the
+    /// total splits into its components.
+    #[test]
+    fn doppler_penalties_behave(
+        offset in -35_000.0_f64..35_000.0,
+        rate in -400.0_f64..400.0,
+        len in 1usize..200,
+    ) {
+        let cfg = LoRaConfig::dts_beacon();
+        let d = drift_penalty_db(&cfg, len, rate);
+        prop_assert!((0.0..=12.0).contains(&d));
+        prop_assert!(drift_penalty_db(&cfg, len, rate * 2.0) >= d - 1e-12);
+        match (offset_penalty_db(offset, cfg.bw.hz()), total_penalty_db(&cfg, len, offset, rate)) {
+            (Some(o), Some(t)) => prop_assert!((t - o - d).abs() < 1e-12),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "inconsistent: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # satiot-scenarios
+//!
+//! The concrete deployments the reproduced paper measured, rebuilt as
+//! data: constellation catalogs matching Table 3 (satellite counts,
+//! altitude bands, inclinations, DtS frequencies), the eight measurement
+//! sites of Table 1 (station counts, start months, climates), Tianqi's
+//! 12 Chinese ground stations, and the Yunnan coffee-plantation site of
+//! the active deployment.
+//!
+//! Everything here is deterministic data — no RNG — so the same catalog
+//! is generated on every run.
+
+pub mod constellations;
+pub mod sites;
+
+pub use constellations::{
+    all_constellations, constellation_by_name, ConstellationSpec, SatelliteDef, Shell,
+};
+pub use sites::{
+    campaign_epoch, campaign_end, measurement_sites, tianqi_ground_stations, yunnan_farm,
+    hong_kong_server, Climate, Site,
+};

@@ -1,0 +1,85 @@
+//! Property-based tests for the simulation engine: ordering, stability,
+//! and RNG statistics must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use satiot_sim::{Engine, EventQueue, Rng, SimTime};
+
+proptest! {
+    /// The queue pops a permutation of its input in non-decreasing time
+    /// order, with FIFO stability among equal timestamps.
+    #[test]
+    fn queue_is_a_stable_sort(times in proptest::collection::vec(0u32..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(*t as f64), (*t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((time, item)) = q.pop() {
+            popped.push((time, item));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1.1 < w[1].1.1, "FIFO violated on ties");
+            }
+        }
+    }
+
+    /// The engine clock never runs backwards, whatever the schedule.
+    #[test]
+    fn engine_clock_is_monotone(delays in proptest::collection::vec(0.0_f64..100.0, 1..100)) {
+        let mut engine: Engine<usize> = Engine::new();
+        for (i, d) in delays.iter().enumerate() {
+            engine.schedule_in(*d, i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = 0;
+        engine.run_to_exhaustion(|_, now, _| {
+            assert!(now >= last);
+            last = now;
+            seen += 1;
+        });
+        prop_assert_eq!(seen, delays.len());
+    }
+
+    /// Forked streams are reproducible and label-sensitive.
+    #[test]
+    fn rng_forks_are_stable(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let root = Rng::from_seed(seed);
+        let mut a = root.fork(&label);
+        let mut b = root.fork(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = root.fork(&format!("{label}x"));
+        // Overwhelmingly unlikely to collide on the next draw.
+        prop_assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    /// Uniform draws respect their bounds for arbitrary ranges.
+    #[test]
+    fn uniform_respects_bounds(seed in any::<u64>(), lo in -1e6_f64..1e6, span in 1e-3_f64..1e6) {
+        let mut rng = Rng::from_seed(seed);
+        let hi = lo + span;
+        for _ in 0..100 {
+            let v = rng.uniform(lo, hi);
+            prop_assert!((lo..hi).contains(&v), "{v} outside [{lo}, {hi})");
+        }
+    }
+
+    /// Exponential draws are non-negative with roughly the right mean.
+    #[test]
+    fn exponential_is_nonnegative(seed in any::<u64>(), mean in 0.1_f64..1e4) {
+        let mut rng = Rng::from_seed(seed);
+        let n = 2_000;
+        let sum: f64 = (0..n).map(|_| {
+            let v = rng.exponential(mean);
+            assert!(v >= 0.0);
+            v
+        }).sum();
+        let sample_mean = sum / n as f64;
+        // 2000 samples of an exponential: mean within ±25 % almost surely.
+        prop_assert!((sample_mean / mean - 1.0).abs() < 0.25, "mean {sample_mean} vs {mean}");
+    }
+}

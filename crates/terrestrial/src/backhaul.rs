@@ -1,0 +1,43 @@
+//! LTE backhaul delay model.
+//!
+//! The paper's gateways use a China Mobile LTE plan (42 Mbps). At IoT
+//! data volumes the link is never throughput-limited; end-to-end delay is
+//! gateway batching + LTE scheduling + Internet transit. The paper
+//! measures 0.2 min (12 s) average end to end, so the backhaul model is a
+//! shifted-exponential: a small fixed floor (radio + transit RTT) plus an
+//! exponential batching component.
+
+use satiot_sim::Rng;
+
+/// Fixed delay floor: LTE attach/scheduling plus Internet transit, s.
+pub const FLOOR_S: f64 = 0.8;
+
+/// Mean of the exponential batching component, s (fitted so the overall
+/// mean end-to-end terrestrial latency lands at the paper's ~12 s).
+pub const BATCH_MEAN_S: f64 = 11.0;
+
+/// Draw one gateway→server delivery delay, seconds.
+pub fn delivery_delay_s(rng: &mut Rng) -> f64 {
+    FLOOR_S + rng.exponential(BATCH_MEAN_S)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_about_12_seconds() {
+        let mut rng = Rng::from_seed(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| delivery_delay_s(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - (FLOOR_S + BATCH_MEAN_S)).abs() < 0.2, "mean {mean}");
+        // ≈ 0.2 min, the paper's terrestrial average.
+        assert!((mean / 60.0 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn never_below_floor() {
+        let mut rng = Rng::from_seed(4);
+        assert!((0..10_000).all(|_| delivery_delay_s(&mut rng) >= FLOOR_S));
+    }
+}

@@ -1,0 +1,122 @@
+//! The class-A LoRaWAN node duty cycle and its energy residencies.
+//!
+//! A terrestrial node never waits for infrastructure: at each reporting
+//! instant it wakes (Standby), transmits, opens its two receive windows,
+//! and goes back to Sleep. The residency arithmetic here generates the
+//! paper's Figure 11 (time/energy breakdown) and the terrestrial half of
+//! Figure 6d (battery lifetime).
+
+use satiot_energy::accounting::EnergyAccount;
+use satiot_energy::profile::{TerrestrialMode, TerrestrialProfile};
+use satiot_phy::airtime::airtime_s;
+use satiot_phy::params::LoRaConfig;
+
+/// Fixed per-cycle overheads of a class-A uplink.
+#[derive(Debug, Clone, Copy)]
+pub struct DutyCycleParams {
+    /// MCU wake + sensor read + frame build, s (Standby).
+    pub standby_s: f64,
+    /// Total receive-window time (RX1 + RX2), s.
+    pub rx_windows_s: f64,
+}
+
+impl Default for DutyCycleParams {
+    fn default() -> Self {
+        DutyCycleParams {
+            standby_s: 1.5,
+            rx_windows_s: 2.2,
+        }
+    }
+}
+
+/// LoRaWAN MAC overhead added to the application payload, bytes
+/// (MHDR + DevAddr + FCtrl + FCnt + FPort + MIC).
+pub const LORAWAN_OVERHEAD_BYTES: usize = 13;
+
+/// Accumulate the energy of `cycles` reporting cycles over `horizon_s`
+/// of wall time into a fresh account.
+pub fn account_for(
+    cfg: &LoRaConfig,
+    payload_bytes: usize,
+    params: &DutyCycleParams,
+    cycles: u64,
+    horizon_s: f64,
+) -> EnergyAccount<TerrestrialMode> {
+    let profile = TerrestrialProfile;
+    let tx_airtime = airtime_s(cfg, payload_bytes + LORAWAN_OVERHEAD_BYTES);
+    let mut acc = EnergyAccount::new();
+    let active_per_cycle = params.standby_s + tx_airtime + params.rx_windows_s;
+    let total_active = active_per_cycle * cycles as f64;
+    acc.record(&profile, TerrestrialMode::Standby, params.standby_s * cycles as f64);
+    acc.record(&profile, TerrestrialMode::Tx, tx_airtime * cycles as f64);
+    acc.record(&profile, TerrestrialMode::Rx, params.rx_windows_s * cycles as f64);
+    acc.record(
+        &profile,
+        TerrestrialMode::Sleep,
+        (horizon_s - total_active).max(0.0),
+    );
+    acc
+}
+
+/// EU868-style duty-cycle compliance: the fraction of a sub-band's time a
+/// device may occupy (1 %). Returns whether the reporting schedule
+/// complies.
+pub fn duty_cycle_compliant(cfg: &LoRaConfig, payload_bytes: usize, period_s: f64) -> bool {
+    let airtime = airtime_s(cfg, payload_bytes + LORAWAN_OVERHEAD_BYTES);
+    airtime / period_s <= 0.01
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satiot_energy::profile::PowerProfile;
+
+    #[test]
+    fn sleep_dominates_time_radio_dominates_energy() {
+        // The paper's Figure 11 pattern: ≥ 95 % of time in Sleep/Standby,
+        // the majority of energy in Tx+Rx.
+        let cfg = LoRaConfig::terrestrial();
+        let cycles = 48 * 30; // One month at 48/day.
+        let horizon = 30.0 * 86_400.0;
+        let acc = account_for(&cfg, 20, &DutyCycleParams::default(), cycles, horizon);
+        let sleepish = acc.time_fraction(TerrestrialMode::Sleep)
+            + acc.time_fraction(TerrestrialMode::Standby);
+        assert!(sleepish > 0.95, "sleepish {sleepish}");
+        let radio_energy = acc.energy_fraction(TerrestrialMode::Tx)
+            + acc.energy_fraction(TerrestrialMode::Rx);
+        assert!(radio_energy > 0.02, "radio energy {radio_energy}");
+        assert!((acc.total_time_s() - horizon).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_power_is_sleep_dominated() {
+        let cfg = LoRaConfig::terrestrial();
+        let acc = account_for(
+            &cfg,
+            20,
+            &DutyCycleParams::default(),
+            48 * 30,
+            30.0 * 86_400.0,
+        );
+        let sleep_power = TerrestrialProfile.power_mw(TerrestrialMode::Sleep);
+        // Avg power is close to (slightly above) the sleep floor.
+        assert!(acc.average_power_mw() > sleep_power);
+        assert!(acc.average_power_mw() < sleep_power * 2.0);
+    }
+
+    #[test]
+    fn thirty_minute_reporting_is_duty_cycle_compliant() {
+        let cfg = LoRaConfig::terrestrial();
+        assert!(duty_cycle_compliant(&cfg, 20, 1_800.0));
+        // One packet a second at SF9 is not.
+        assert!(!duty_cycle_compliant(&cfg, 20, 1.0));
+    }
+
+    #[test]
+    fn airtime_includes_mac_overhead() {
+        let cfg = LoRaConfig::terrestrial();
+        let bare = airtime_s(&cfg, 20);
+        let framed = airtime_s(&cfg, 20 + LORAWAN_OVERHEAD_BYTES);
+        assert!(framed > bare);
+    }
+}

@@ -1,0 +1,335 @@
+//! Argument parsing for the `satiot` command-line tool.
+//!
+//! Hand-rolled (the workspace's dependency policy admits no CLI crate)
+//! and kept in the library so the grammar is unit-testable; the binary
+//! in `src/bin/satiot.rs` only dispatches.
+
+use satiot_channel::antenna::AntennaPattern;
+use satiot_channel::weather::Weather;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `passes <SITE> [days]` — pass timetable for a Table 1 site.
+    Passes {
+        /// Site code (HK, SYD, …).
+        site: String,
+        /// Days to plan.
+        days: f64,
+    },
+    /// `budget <constellation> [antenna] [weather]` — link-budget table.
+    Budget {
+        /// Constellation label.
+        constellation: String,
+        /// Ground antenna.
+        antenna: AntennaPattern,
+        /// Sky condition.
+        weather: Weather,
+    },
+    /// `campaign <passive|active|terrestrial> [days]` — run a campaign
+    /// and print its summary.
+    Campaign {
+        /// Which campaign.
+        kind: CampaignKind,
+        /// Days to simulate.
+        days: f64,
+    },
+    /// `catalog` — print the synthetic 39-satellite 3LE catalog.
+    Catalog,
+    /// `coverage <SITE> [hours]` — hourly satellites-in-view counts.
+    Coverage {
+        /// Site code.
+        site: String,
+        /// Hours to tabulate.
+        hours: u32,
+    },
+    /// `track <CONSTELLATION> [SAT_ID] [hours]` — ASCII ground track.
+    Track {
+        /// Constellation label.
+        constellation: String,
+        /// Satellite index within the constellation.
+        sat_id: u32,
+        /// Hours of track.
+        hours: f64,
+    },
+    /// `help` or no arguments.
+    Help,
+}
+
+/// Campaign selector for `satiot campaign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// The 27-station passive campaign.
+    Passive,
+    /// The Yunnan-farm active campaign.
+    Active,
+    /// The LoRaWAN baseline.
+    Terrestrial,
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+satiot — satellite-IoT measurement & simulation toolkit
+
+USAGE:
+    satiot passes <SITE> [DAYS]                     pass timetable (default 1 day)
+    satiot budget <CONSTELLATION> [ANTENNA] [SKY]   DtS link budget vs elevation
+    satiot campaign <passive|active|terrestrial> [DAYS]
+    satiot catalog                                  print the 39-satellite 3LE catalog
+    satiot track <CONSTELLATION> [SAT_ID] [HOURS]   ASCII ground track
+    satiot coverage <SITE> [HOURS]                  satellites-in-view timeline
+    satiot help
+
+ARGS:
+    SITE           HK SYD LDN PGH SH GZ NC YC
+    CONSTELLATION  tianqi fossa pico cstp
+    ANTENNA        quarter | five8          (default five8)
+    SKY            sunny | cloudy | rainy   (default sunny)
+";
+
+/// Parse `args` (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("passes") => {
+            let site = it
+                .next()
+                .ok_or_else(|| "passes: missing SITE".to_string())?
+                .to_uppercase();
+            let days = parse_days(it.next(), 1.0)?;
+            Ok(Command::Passes { site, days })
+        }
+        Some("budget") => {
+            let constellation = match it.next() {
+                Some(c) => normalize_constellation(c)?,
+                None => return Err("budget: missing CONSTELLATION".into()),
+            };
+            let antenna = match it.next() {
+                None | Some("five8") => AntennaPattern::FiveEighthsWaveMonopole,
+                Some("quarter") => AntennaPattern::QuarterWaveMonopole,
+                Some(other) => return Err(format!("unknown antenna {other:?}")),
+            };
+            let weather = match it.next() {
+                None | Some("sunny") => Weather::Sunny,
+                Some("cloudy") => Weather::Cloudy,
+                Some("rainy") => Weather::Rainy,
+                Some(other) => return Err(format!("unknown sky {other:?}")),
+            };
+            Ok(Command::Budget {
+                constellation,
+                antenna,
+                weather,
+            })
+        }
+        Some("campaign") => {
+            let kind = match it.next() {
+                Some("passive") => CampaignKind::Passive,
+                Some("active") => CampaignKind::Active,
+                Some("terrestrial") => CampaignKind::Terrestrial,
+                Some(other) => return Err(format!("unknown campaign {other:?}")),
+                None => return Err("campaign: missing kind".into()),
+            };
+            let days = parse_days(it.next(), 7.0)?;
+            Ok(Command::Campaign { kind, days })
+        }
+        Some("catalog") => Ok(Command::Catalog),
+        Some("coverage") => {
+            let site = it
+                .next()
+                .ok_or_else(|| "coverage: missing SITE".to_string())?
+                .to_uppercase();
+            let hours = match it.next() {
+                None => 24,
+                Some(s) => {
+                    let h: u32 = s.parse().map_err(|_| format!("bad HOURS {s:?}"))?;
+                    if !(1..=168).contains(&h) {
+                        return Err(format!("HOURS must be 1..=168, got {h}"));
+                    }
+                    h
+                }
+            };
+            Ok(Command::Coverage { site, hours })
+        }
+        Some("track") => {
+            let constellation = match it.next() {
+                Some(c) => normalize_constellation(c)?,
+                None => return Err("track: missing CONSTELLATION".into()),
+            };
+            let sat_id = match it.next() {
+                None => 0,
+                Some(s) => s.parse().map_err(|_| format!("bad SAT_ID {s:?}"))?,
+            };
+            let hours = match it.next() {
+                None => 3.0,
+                Some(s) => {
+                    let h: f64 = s.parse().map_err(|_| format!("bad HOURS {s:?}"))?;
+                    if !(h > 0.0 && h <= 48.0) {
+                        return Err(format!("HOURS must be in (0, 48], got {h}"));
+                    }
+                    h
+                }
+            };
+            Ok(Command::Track {
+                constellation,
+                sat_id,
+                hours,
+            })
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn parse_days(arg: Option<&str>, default: f64) -> Result<f64, String> {
+    match arg {
+        None => Ok(default),
+        Some(s) => {
+            let d: f64 = s.parse().map_err(|_| format!("bad DAYS value {s:?}"))?;
+            if !(d > 0.0 && d <= 365.0) {
+                return Err(format!("DAYS must be in (0, 365], got {d}"));
+            }
+            Ok(d)
+        }
+    }
+}
+
+fn normalize_constellation(c: &str) -> Result<String, String> {
+    match c.to_lowercase().as_str() {
+        "tianqi" => Ok("Tianqi".into()),
+        "fossa" => Ok("FOSSA".into()),
+        "pico" => Ok("PICO".into()),
+        "cstp" => Ok("CSTP".into()),
+        other => Err(format!("unknown constellation {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn passes_defaults_and_overrides() {
+        assert_eq!(
+            parse(&args("passes hk")).unwrap(),
+            Command::Passes {
+                site: "HK".into(),
+                days: 1.0
+            }
+        );
+        assert_eq!(
+            parse(&args("passes SYD 3.5")).unwrap(),
+            Command::Passes {
+                site: "SYD".into(),
+                days: 3.5
+            }
+        );
+        assert!(parse(&args("passes")).is_err());
+        assert!(parse(&args("passes HK nonsense")).is_err());
+        assert!(parse(&args("passes HK 0")).is_err());
+        assert!(parse(&args("passes HK 9999")).is_err());
+    }
+
+    #[test]
+    fn budget_grammar() {
+        assert_eq!(
+            parse(&args("budget tianqi")).unwrap(),
+            Command::Budget {
+                constellation: "Tianqi".into(),
+                antenna: AntennaPattern::FiveEighthsWaveMonopole,
+                weather: Weather::Sunny,
+            }
+        );
+        assert_eq!(
+            parse(&args("budget FOSSA quarter rainy")).unwrap(),
+            Command::Budget {
+                constellation: "FOSSA".into(),
+                antenna: AntennaPattern::QuarterWaveMonopole,
+                weather: Weather::Rainy,
+            }
+        );
+        assert!(parse(&args("budget starlink")).is_err());
+        assert!(parse(&args("budget tianqi yagi")).is_err());
+        assert!(parse(&args("budget tianqi five8 hail")).is_err());
+    }
+
+    #[test]
+    fn campaign_grammar() {
+        assert_eq!(
+            parse(&args("campaign active")).unwrap(),
+            Command::Campaign {
+                kind: CampaignKind::Active,
+                days: 7.0
+            }
+        );
+        assert_eq!(
+            parse(&args("campaign terrestrial 2")).unwrap(),
+            Command::Campaign {
+                kind: CampaignKind::Terrestrial,
+                days: 2.0
+            }
+        );
+        assert!(parse(&args("campaign")).is_err());
+        assert!(parse(&args("campaign orbital")).is_err());
+    }
+
+    #[test]
+    fn coverage_grammar() {
+        assert_eq!(
+            parse(&args("coverage hk")).unwrap(),
+            Command::Coverage {
+                site: "HK".into(),
+                hours: 24
+            }
+        );
+        assert_eq!(
+            parse(&args("coverage YC 48")).unwrap(),
+            Command::Coverage {
+                site: "YC".into(),
+                hours: 48
+            }
+        );
+        assert!(parse(&args("coverage")).is_err());
+        assert!(parse(&args("coverage HK 0")).is_err());
+        assert!(parse(&args("coverage HK 500")).is_err());
+    }
+
+    #[test]
+    fn track_grammar() {
+        assert_eq!(
+            parse(&args("track pico")).unwrap(),
+            Command::Track {
+                constellation: "PICO".into(),
+                sat_id: 0,
+                hours: 3.0
+            }
+        );
+        assert_eq!(
+            parse(&args("track tianqi 7 12")).unwrap(),
+            Command::Track {
+                constellation: "Tianqi".into(),
+                sat_id: 7,
+                hours: 12.0
+            }
+        );
+        assert!(parse(&args("track")).is_err());
+        assert!(parse(&args("track tianqi x")).is_err());
+        assert!(parse(&args("track tianqi 0 99")).is_err());
+    }
+
+    #[test]
+    fn unknown_commands_show_usage() {
+        let err = parse(&args("frobnicate")).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # satiot — facade crate
+//!
+//! Re-exports every subsystem of the satellite-IoT measurement toolkit
+//! under one roof, so examples and downstream users can depend on a single
+//! crate:
+//!
+//! ```
+//! use satiot::orbit::tle::Tle;
+//! let _ = Tle::parse_lines(
+//!     "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    87",
+//!     "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1058",
+//! ).unwrap();
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the paper-reproduction index.
+
+pub mod cli;
+
+pub use satiot_channel as channel;
+pub use satiot_core as core;
+pub use satiot_econ as econ;
+pub use satiot_energy as energy;
+pub use satiot_measure as measure;
+pub use satiot_orbit as orbit;
+pub use satiot_phy as phy;
+pub use satiot_scenarios as scenarios;
+pub use satiot_sim as sim;
+pub use satiot_terrestrial as terrestrial;
