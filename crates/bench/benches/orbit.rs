@@ -26,7 +26,9 @@ fn bench_orbit(c: &mut Criterion) {
         b.iter(|| Tle::parse_lines(black_box(L1), black_box(L2)).unwrap())
     });
 
-    c.bench_function("sgp4_init", |b| b.iter(|| Sgp4::new(black_box(&tle)).unwrap()));
+    c.bench_function("sgp4_init", |b| {
+        b.iter(|| Sgp4::new(black_box(&tle)).unwrap())
+    });
 
     c.bench_function("sgp4_propagate", |b| {
         let mut t = 0.0;

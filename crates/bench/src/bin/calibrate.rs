@@ -27,7 +27,10 @@ fn main() {
     println!("=== PASSIVE (HK, {days} days) ===");
     println!("traces: {}", passive.traces.len());
     for c in ["Tianqi", "FOSSA", "PICO", "CSTP"] {
-        println!("  {c}: {} traces", passive.traces.by_constellation(c).count());
+        println!(
+            "  {c}: {} traces",
+            passive.traces.by_constellation(c).count()
+        );
     }
     for c in ["Tianqi", "FOSSA", "PICO", "CSTP"] {
         let all = passive.contact_stats(c, &[]);
@@ -53,9 +56,12 @@ fn main() {
     }
     // Reception concentration (paper: 70.4% in 30–70% of window).
     let pos = passive.reception_positions();
-    let mid = pos.iter().filter(|p| (0.3..0.7).contains(*p)).count() as f64
-        / pos.len().max(1) as f64;
-    println!("mid-window (30-70%) reception share: {:.1}% (paper 70.4%)", mid * 100.0);
+    let mid =
+        pos.iter().filter(|p| (0.3..0.7).contains(*p)).count() as f64 / pos.len().max(1) as f64;
+    println!(
+        "mid-window (30-70%) reception share: {:.1}% (paper 70.4%)",
+        mid * 100.0
+    );
     // Tianqi daily theoretical hours (paper 18.5 h at 22 sats).
     let th = theoretical_daily_hours(&tianqi(), &hk[0], days.min(5.0) as u32);
     println!(
@@ -79,8 +85,15 @@ fn main() {
     let active = ActiveCampaign::new(acfg).run();
     let b = LatencyBreakdown::compute(&active.timelines);
     println!("\n=== ACTIVE ({days} days) ===");
-    println!("sent={} delivered={}", active.sent.len(), active.delivered_seqs.len());
-    println!("reliability: {:.1}% (paper ~96% with retx)", active.reliability() * 100.0);
+    println!(
+        "sent={} delivered={}",
+        active.sent.len(),
+        active.delivered_seqs.len()
+    );
+    println!(
+        "reliability: {:.1}% (paper ~96% with retx)",
+        active.reliability() * 100.0
+    );
     println!(
         "latency: wait={:.1} dts={:.1} delivery={:.1} e2e={:.1} min (paper 55.2/10.4/56.9/135.2)",
         b.wait_min.mean, b.dts_min.mean, b.delivery_min.mean, b.end_to_end_min.mean
@@ -88,7 +101,10 @@ fn main() {
     println!("mean attempts: {:.2}", active.mean_attempts());
     let no_retx_share = active.sent.iter().filter(|p| p.attempts == 1).count() as f64
         / active.sent.iter().filter(|p| p.attempts > 0).count().max(1) as f64;
-    println!("share with no retx: {:.1}% (paper ~50%)", no_retx_share * 100.0);
+    println!(
+        "share with no retx: {:.1}% (paper ~50%)",
+        no_retx_share * 100.0
+    );
     println!("counters: {:?}", active.counters);
     let acc = &active.node_energy[0];
     use satiot_energy::profile::SatNodeMode;
@@ -126,7 +142,9 @@ fn main() {
     let terr_days = pack.lifetime_days(terr_deploy.average_power_mw());
     println!(
         "deployment lifetimes: sat {:.0} d, terr {:.0} d, ratio {:.1}x (paper 48/718/14.9x)",
-        sat_days, terr_days, terr_days / sat_days
+        sat_days,
+        terr_days,
+        terr_days / sat_days
     );
     println!(
         "e2e latency ratio: {:.0}x (paper 643.6x)",

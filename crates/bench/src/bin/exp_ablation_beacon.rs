@@ -1,16 +1,21 @@
 //! Ablation A4: satellite beacon interval vs. effective-window detection
 //! — how beacon cadence shapes what a passive observer can measure.
 
+use satiot_bench::Scale;
 use satiot_core::passive::{PassiveCampaign, PassiveConfig};
 use satiot_measure::table::{num, pct, Table};
-use satiot_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
     let days = scale.passive_days().min(10.0);
     let mut t = Table::new(
         "Ablation A4: Tianqi beacon interval vs measured windows",
-        &["Beacon interval (s)", "traces", "eff. contact (min)", "measured shrink"],
+        &[
+            "Beacon interval (s)",
+            "traces",
+            "eff. contact (min)",
+            "measured shrink",
+        ],
     );
     for interval in [15.0f64, 30.0, 60.0, 120.0] {
         let mut cfg = PassiveConfig::quick(days);

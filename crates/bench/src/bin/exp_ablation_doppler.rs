@@ -11,9 +11,18 @@ fn main() {
     let scale = Scale::from_env();
     let mut t = Table::new(
         "Ablation A6: Doppler pre-compensation on the DtS link",
-        &["Mode", "reliability", "mean attempts", "uplink success", "e2e latency (min)"],
+        &[
+            "Mode",
+            "reliability",
+            "mean attempts",
+            "uplink success",
+            "e2e latency (min)",
+        ],
     );
-    for (label, comp) in [("uncompensated (paper)", false), ("TLE pre-compensated", true)] {
+    for (label, comp) in [
+        ("uncompensated (paper)", false),
+        ("TLE pre-compensated", true),
+    ] {
         let r = runners::run_active_with(scale, |c| c.doppler_compensation = comp);
         let b = LatencyBreakdown::compute(&r.timelines);
         let up = if r.counters.uplinks_tx == 0 {

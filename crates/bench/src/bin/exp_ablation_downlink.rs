@@ -14,7 +14,13 @@ fn main() {
     let scale = Scale::from_env();
     let mut t = Table::new(
         "Ablation A5: downlink service time vs delivery latency",
-        &["Service (s/pkt)", "delivery mean (min)", "delivery p90", "e2e mean", "reliability"],
+        &[
+            "Service (s/pkt)",
+            "delivery mean (min)",
+            "delivery p90",
+            "e2e mean",
+            "reliability",
+        ],
     );
     for service in [0.1f64, 30.0, 120.0, 300.0, 600.0] {
         let r = runners::run_active_with(scale, |c| c.downlink_service_s = service);

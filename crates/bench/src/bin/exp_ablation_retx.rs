@@ -8,7 +8,13 @@ fn main() {
     let scale = Scale::from_env();
     let mut t = Table::new(
         "Ablation A2: retransmission cap vs reliability and energy",
-        &["Max attempts", "reliability", "mean attempts", "tx time/node (s)", "duplicates"],
+        &[
+            "Max attempts",
+            "reliability",
+            "mean attempts",
+            "tx time/node (s)",
+            "duplicates",
+        ],
     );
     for max_attempts in [1u32, 2, 4, 6, 8] {
         let r = runners::run_active_with(scale, |c| c.max_attempts = max_attempts);

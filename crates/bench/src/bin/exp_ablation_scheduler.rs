@@ -2,21 +2,32 @@
 //! vanilla TinyGS rotation — how much measurement coverage does
 //! pass-aware assignment buy?
 
+use satiot_bench::Scale;
 use satiot_core::passive::{PassiveCampaign, PassiveConfig, SchedulerKind};
 use satiot_measure::table::{num, Table};
-use satiot_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
     let days = scale.passive_days().min(14.0);
     let mut t = Table::new(
         "Ablation A1: scheduler policy vs. captured measurements",
-        &["Scheduler", "traces", "covered passes", "Tianqi eff. contact (min)"],
+        &[
+            "Scheduler",
+            "traces",
+            "covered passes",
+            "Tianqi eff. contact (min)",
+        ],
     );
     for (label, kind) in [
         ("Predictive (paper's custom)", SchedulerKind::Predictive),
-        ("Vanilla TinyGS (600 s dwell)", SchedulerKind::Vanilla { dwell_s: 600.0 }),
-        ("Vanilla TinyGS (1800 s dwell)", SchedulerKind::Vanilla { dwell_s: 1_800.0 }),
+        (
+            "Vanilla TinyGS (600 s dwell)",
+            SchedulerKind::Vanilla { dwell_s: 600.0 },
+        ),
+        (
+            "Vanilla TinyGS (1800 s dwell)",
+            SchedulerKind::Vanilla { dwell_s: 1_800.0 },
+        ),
     ] {
         let mut cfg = PassiveConfig::quick(days);
         cfg.scheduler = kind;

@@ -27,7 +27,11 @@ fn main() {
     let mut t = Table::new(
         "Ablation A7: spreading factor on a LEO DtS link (30 B beacon)",
         &[
-            "SF", "airtime (ms)", "threshold (dB)", "P(decode) raw", "P(decode) compensated",
+            "SF",
+            "airtime (ms)",
+            "threshold (dB)",
+            "P(decode) raw",
+            "P(decode) compensated",
         ],
     );
     for sf in SpreadingFactor::ALL {

@@ -17,7 +17,13 @@ fn main() {
 
     let mut t = Table::new(
         "Extension E3: TCO crossover (months until terrestrial wins)",
-        &["Nodes/gateway", "4 pkt/day", "12 pkt/day", "48 pkt/day", "96 pkt/day"],
+        &[
+            "Nodes/gateway",
+            "4 pkt/day",
+            "12 pkt/day",
+            "48 pkt/day",
+            "96 pkt/day",
+        ],
     );
     for nodes in [1usize, 2, 5, 10, 25] {
         let mut cells = vec![nodes.to_string()];

@@ -12,7 +12,13 @@ fn main() {
     let scale = Scale::from_env();
     let mut t = Table::new(
         "Extension E4: gateway count x uptime vs terrestrial reliability",
-        &["Gateways", "uptime 100%", "uptime 90%", "uptime 70%", "uptime 50%"],
+        &[
+            "Gateways",
+            "uptime 100%",
+            "uptime 90%",
+            "uptime 70%",
+            "uptime 50%",
+        ],
     );
     for gateways in [1u32, 2, 3] {
         let mut cells = vec![gateways.to_string()];

@@ -13,7 +13,14 @@ fn main() {
     let scale = Scale::from_env();
     let mut t = Table::new(
         "Extension E2: uplink MAC policy vs collisions",
-        &["Nodes", "MAC", "uplinks", "collided", "collision rate", "reliability"],
+        &[
+            "Nodes",
+            "MAC",
+            "uplinks",
+            "collided",
+            "collision rate",
+            "reliability",
+        ],
     );
     for nodes in [3u32, 10, 24] {
         for (label, mac) in [("random", MacPolicy::RandomSlot), ("TDMA", MacPolicy::Tdma)] {

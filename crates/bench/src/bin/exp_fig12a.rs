@@ -7,7 +7,10 @@ fn main() {
     let runs: Vec<(usize, _)> = [10usize, 60, 120]
         .iter()
         .map(|&payload| {
-            (payload, runners::run_active_with(scale, |c| c.payload_bytes = payload))
+            (
+                payload,
+                runners::run_active_with(scale, |c| c.payload_bytes = payload),
+            )
         })
         .collect();
     let refs: Vec<(usize, &_)> = runs.iter().map(|(p, r)| (*p, r)).collect();

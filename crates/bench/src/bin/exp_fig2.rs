@@ -49,12 +49,7 @@ fn main() {
     for site in measurement_sites() {
         println!(
             "  # {:4} {:12} {:7.2}N {:8.2}E  {} stations from day {:.0}",
-            site.code,
-            site.name,
-            site.lat_deg,
-            site.lon_deg,
-            site.station_count,
-            site.start_day
+            site.code, site.name, site.lat_deg, site.lon_deg, site.station_count, site.start_day
         );
     }
     println!(

@@ -7,10 +7,26 @@ use satiot_channel::weather::Weather;
 fn main() {
     let scale = Scale::from_env();
     let conditions: [(&str, AntennaPattern, Weather); 4] = [
-        ("5/8-wave, sunny", AntennaPattern::FiveEighthsWaveMonopole, Weather::Sunny),
-        ("5/8-wave, rainy", AntennaPattern::FiveEighthsWaveMonopole, Weather::Rainy),
-        ("1/4-wave, sunny", AntennaPattern::QuarterWaveMonopole, Weather::Sunny),
-        ("1/4-wave, rainy", AntennaPattern::QuarterWaveMonopole, Weather::Rainy),
+        (
+            "5/8-wave, sunny",
+            AntennaPattern::FiveEighthsWaveMonopole,
+            Weather::Sunny,
+        ),
+        (
+            "5/8-wave, rainy",
+            AntennaPattern::FiveEighthsWaveMonopole,
+            Weather::Rainy,
+        ),
+        (
+            "1/4-wave, sunny",
+            AntennaPattern::QuarterWaveMonopole,
+            Weather::Sunny,
+        ),
+        (
+            "1/4-wave, rainy",
+            AntennaPattern::QuarterWaveMonopole,
+            Weather::Rainy,
+        ),
     ];
     let results: Vec<_> = conditions
         .iter()

@@ -35,7 +35,13 @@ pub const CONSTELLATIONS: [&str; 4] = ["Tianqi", "FOSSA", "PICO", "CSTP"];
 pub fn table1(passive: &PassiveResults) -> String {
     let mut t = Table::new(
         "Table 1: Dataset overview (simulated campaign)",
-        &["City", "# GS", "Start", "# Traces (paper)", "# Traces (ours)"],
+        &[
+            "City",
+            "# GS",
+            "Start",
+            "# Traces (paper)",
+            "# Traces (ours)",
+        ],
     );
     let paper: &[(&str, &str, u32)] = &[
         ("PGH", "2025/02", 15_612),
@@ -99,15 +105,23 @@ pub fn table2() -> String {
     let d = Deployment::paper_farm();
     let sat = satellite_cost(&SatellitePricing::default(), &d);
     let terr = terrestrial_cost(&TerrestrialPricing::default(), &d);
-    let per_sensor_sat = satellite_cost(
-        &SatellitePricing::default(),
-        &Deployment { nodes: 1, ..d },
-    );
+    let per_sensor_sat =
+        satellite_cost(&SatellitePricing::default(), &Deployment { nodes: 1, ..d });
     let mut t = Table::new(
         "Table 2: System expenditure comparison (USD)",
-        &["Network", "Device cost", "Infrastructure", "Operational/month"],
+        &[
+            "Network",
+            "Device cost",
+            "Infrastructure",
+            "Operational/month",
+        ],
     );
-    t.row_str(&["Terrestrial IoT", "$35 per unit", "$219 per gateway", "$4.9 per month"]);
+    t.row_str(&[
+        "Terrestrial IoT",
+        "$35 per unit",
+        "$219 per gateway",
+        "$4.9 per month",
+    ]);
     t.row(&[
         "Satellite IoT".into(),
         "$220 per unit".into(),
@@ -138,11 +152,23 @@ pub fn table3(passive: &PassiveResults) -> String {
     let mut t = Table::new(
         "Table 3: Overview of measured constellations",
         &[
-            "SNO", "Region", "# SATs", "Altitude (km)", "Footprint (km^2)", "Incl.",
-            "DtS freq (MHz)", "Traces (paper)", "Traces (ours)",
+            "SNO",
+            "Region",
+            "# SATs",
+            "Altitude (km)",
+            "Footprint (km^2)",
+            "Incl.",
+            "DtS freq (MHz)",
+            "Traces (paper)",
+            "Traces (ours)",
         ],
     );
-    let paper_traces = [("Tianqi", 108_767), ("FOSSA", 2_715), ("PICO", 3_186), ("CSTP", 3_766)];
+    let paper_traces = [
+        ("Tianqi", 108_767),
+        ("FOSSA", 2_715),
+        ("PICO", 3_186),
+        ("CSTP", 3_766),
+    ];
     for spec in all_constellations() {
         for (i, shell) in spec.shells.iter().enumerate() {
             let mid_alt = 0.5 * (shell.alt_lo_km + shell.alt_hi_km);
@@ -155,15 +181,35 @@ pub fn table3(passive: &PassiveResults) -> String {
                 .map(|(_, c)| *c)
                 .unwrap_or(0);
             t.row(&[
-                if first { spec.name.to_string() } else { String::new() },
-                if first { spec.region.to_string() } else { String::new() },
+                if first {
+                    spec.name.to_string()
+                } else {
+                    String::new()
+                },
+                if first {
+                    spec.region.to_string()
+                } else {
+                    String::new()
+                },
                 shell.count.to_string(),
                 format!("{:.1}-{:.1}", shell.alt_lo_km, shell.alt_hi_km),
                 format!("{:.2e}", footprint),
                 format!("{:.2}°", shell.inclination_deg),
-                if first { format!("{}", spec.dts_frequency_mhz) } else { String::new() },
-                if first { paper.to_string() } else { String::new() },
-                if first { ours.to_string() } else { String::new() },
+                if first {
+                    format!("{}", spec.dts_frequency_mhz)
+                } else {
+                    String::new()
+                },
+                if first {
+                    paper.to_string()
+                } else {
+                    String::new()
+                },
+                if first {
+                    ours.to_string()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }
@@ -189,9 +235,7 @@ pub fn fig3a(days: u32) -> String {
         t.row(&cells);
     }
     let mut out = t.render();
-    out.push_str(
-        "\nPaper: FOSSA (3 sats) 1.1-3.0 h, PICO (9) ~5.7 h, Tianqi 13.4-19.1 h/day.\n",
-    );
+    out.push_str("\nPaper: FOSSA (3 sats) 1.1-3.0 h, PICO (9) ~5.7 h, Tianqi 13.4-19.1 h/day.\n");
     out
 }
 
@@ -199,7 +243,15 @@ pub fn fig3a(days: u32) -> String {
 pub fn fig3b(passive: &PassiveResults) -> String {
     let mut t = Table::new(
         "Fig 3b: Beacon signal strength per constellation",
-        &["Constellation", "n", "RSSI mean", "RSSI p10", "RSSI p90", "SNR mean (dB)", "SNR p90"],
+        &[
+            "Constellation",
+            "n",
+            "RSSI mean",
+            "RSSI p10",
+            "RSSI p90",
+            "SNR mean (dB)",
+            "SNR p90",
+        ],
     );
     for c in CONSTELLATIONS {
         let rssi = passive.traces.rssi_of(c);
@@ -296,7 +348,14 @@ pub fn fig3d(passive: &PassiveResults) -> String {
 pub fn fig4a(passive: &PassiveResults) -> String {
     let mut t = Table::new(
         "Fig 4a: Contact-window durations, theoretical vs effective (min)",
-        &["Constellation", "windows", "theo mean", "eff mean", "shorter by", "paper"],
+        &[
+            "Constellation",
+            "windows",
+            "theo mean",
+            "eff mean",
+            "shorter by",
+            "paper",
+        ],
     );
     for c in CONSTELLATIONS {
         let s = passive.contact_stats_covered(c, &[]);
@@ -317,7 +376,12 @@ pub fn fig4b(passive: &PassiveResults) -> String {
     let mut t = Table::new(
         "Fig 4b: Inter-contact intervals, theoretical vs effective (min)",
         &[
-            "Constellation", "theo gap", "eff gap", "expansion", "paper exp", "daily shrink",
+            "Constellation",
+            "theo gap",
+            "eff gap",
+            "expansion",
+            "paper exp",
+            "daily shrink",
             "paper shrink",
         ],
     );
@@ -337,7 +401,10 @@ pub fn fig4b(passive: &PassiveResults) -> String {
     let tianqi = passive.contact_stats("Tianqi", &[]);
     out.push_str(&format!(
         "\nTianqi effective contact {:.1} min / interval {:.1} min (paper: 3.8 / 15.6 min).\n",
-        passive.contact_stats_covered("Tianqi", &[]).effective_min.mean,
+        passive
+            .contact_stats_covered("Tianqi", &[])
+            .effective_min
+            .mean,
         tianqi.effective_interval_min.mean,
     ));
     out
@@ -587,10 +654,7 @@ pub fn fig9(passive: &PassiveResults) -> String {
         &["Window position", "share of receptions"],
     );
     for i in 0..10 {
-        t.row(&[
-            format!("{}-{}%", i * 10, (i + 1) * 10),
-            pct(h.fraction(i)),
-        ]);
+        t.row(&[format!("{}-{}%", i * 10, (i + 1) * 10), pct(h.fraction(i))]);
     }
     let mid = h.fraction_between(0.3, 0.7);
     let mut out = t.render();
@@ -607,7 +671,12 @@ pub fn fig10() -> String {
         "Fig 10: Terrestrial LoRaWAN node power consumption",
         &["Mode", "power (mW)", "paper (mW)"],
     );
-    let paper = [("tx", 1_630.0), ("rx", 265.0), ("standby", 146.0), ("sleep", 19.1)];
+    let paper = [
+        ("tx", 1_630.0),
+        ("rx", 265.0),
+        ("standby", 146.0),
+        ("sleep", 19.1),
+    ];
     for mode in [
         TerrestrialMode::Tx,
         TerrestrialMode::Rx,
@@ -641,8 +710,8 @@ pub fn fig11(terrestrial: &TerrestrialResults) -> String {
             pct(acc.energy_fraction(mode)),
         ]);
     }
-    let sleepish = acc.time_fraction(TerrestrialMode::Sleep)
-        + acc.time_fraction(TerrestrialMode::Standby);
+    let sleepish =
+        acc.time_fraction(TerrestrialMode::Sleep) + acc.time_fraction(TerrestrialMode::Standby);
     let radio = acc.energy_fraction(TerrestrialMode::Tx) + acc.energy_fraction(TerrestrialMode::Rx);
     let mut out = t.render();
     out.push_str(&format!(
@@ -658,8 +727,13 @@ pub fn fig12a(runs: &[(usize, &ActiveResults)]) -> String {
     let mut t = Table::new(
         "Fig 12a: Tianqi reliability vs payload size",
         &[
-            "Payload (B)", "sent", "delivered", "e2e reliability",
-            "per-attempt uplink success", "mean attempts", "days >= 90% reliable",
+            "Payload (B)",
+            "sent",
+            "delivered",
+            "e2e reliability",
+            "per-attempt uplink success",
+            "mean attempts",
+            "days >= 90% reliable",
         ],
     );
     for (payload, r) in runs {
@@ -717,7 +791,12 @@ pub fn per_node_reliability(results: &ActiveResults) -> String {
     });
     let mut t = Table::new("Per-node delivery", &["Node", "sent", "delivered", "ratio"]);
     for (node, r) in groups {
-        t.row(&[node, r.sent.to_string(), r.delivered.to_string(), pct(r.ratio())]);
+        t.row(&[
+            node,
+            r.sent.to_string(),
+            r.delivered.to_string(),
+            pct(r.ratio()),
+        ]);
     }
     t.render()
 }
@@ -835,7 +914,12 @@ mod tests {
     #[test]
     fn fig3a_has_all_constellations_and_cities() {
         let out = fig3a(2);
-        for name in ["Tianqi (22 sats)", "FOSSA (3 sats)", "PICO (9 sats)", "CSTP (5 sats)"] {
+        for name in [
+            "Tianqi (22 sats)",
+            "FOSSA (3 sats)",
+            "PICO (9 sats)",
+            "CSTP (5 sats)",
+        ] {
             assert!(out.contains(name), "missing {name}");
         }
         for city in ["HK", "SYD", "LDN", "PGH"] {

@@ -100,7 +100,11 @@ mod tests {
             let horizon = ant.gain_dbi(0.0);
             let zenith = ant.gain_dbi(FRAC_PI_2);
             assert!(horizon > zenith, "{ant:?}: {horizon} !> {zenith}");
-            let floor = if ant == AntennaPattern::Dipole { -3.0 } else { -6.0 };
+            let floor = if ant == AntennaPattern::Dipole {
+                -3.0
+            } else {
+                -6.0
+            };
             assert_eq!(zenith, floor, "{ant:?} null should hit the floor");
         }
     }

@@ -14,11 +14,23 @@ use crate::antenna::AntennaPattern;
 use crate::atmosphere::{clutter_loss_db, tropo_loss_db, weather_loss_db};
 use crate::fading::FadingParams;
 use crate::fspl::fspl_db;
-use crate::noise::{
-    noise_floor_dbm, SATELLITE_RX_NOISE_FIGURE_DB, SX126X_NOISE_FIGURE_DB,
-};
+use crate::noise::{noise_floor_dbm, SATELLITE_RX_NOISE_FIGURE_DB, SX126X_NOISE_FIGURE_DB};
 use crate::weather::Weather;
+use satiot_obs::metrics::{Counter, Histogram};
 use satiot_sim::Rng;
+
+/// Packet-level link samples drawn (metrics).
+static LINK_SAMPLES: Counter = Counter::new("channel.budget.samples");
+/// Distribution of the sampled link margin — SNR relative to a 0 dB
+/// reference — in dB (metrics).
+static SNR_DB: Histogram = Histogram::new(
+    "channel.budget.snr_db",
+    &[-30.0, -20.0, -15.0, -10.0, -5.0, 0.0, 5.0, 10.0, 20.0],
+);
+/// Samples drawn under each weather state (metrics).
+static WEATHER_SUNNY: Counter = Counter::new("channel.budget.weather_sunny");
+static WEATHER_CLOUDY: Counter = Counter::new("channel.budget.weather_cloudy");
+static WEATHER_RAINY: Counter = Counter::new("channel.budget.weather_rainy");
 
 /// A fully parameterised radio link.
 ///
@@ -153,11 +165,21 @@ impl LinkBudget {
         shadowing_db: f64,
         rng: &mut Rng,
     ) -> LinkSample {
+        satiot_obs::invariants::check_elevation_rad("budget::sample", elevation_rad);
+        satiot_obs::invariants::check_non_negative("budget::sample distance", distance_km);
         let fast = self.fading.draw_fast_fading_db(elevation_rad, rng);
         let rssi = self.mean_rssi_dbm(distance_km, elevation_rad, weather) + shadowing_db + fast;
+        let snr_db = rssi - self.noise_floor_dbm();
+        LINK_SAMPLES.inc();
+        SNR_DB.record(snr_db);
+        match weather {
+            Weather::Sunny => WEATHER_SUNNY.inc(),
+            Weather::Cloudy => WEATHER_CLOUDY.inc(),
+            Weather::Rainy => WEATHER_RAINY.inc(),
+        }
         LinkSample {
             rssi_dbm: rssi,
-            snr_db: rssi - self.noise_floor_dbm(),
+            snr_db,
         }
     }
 
@@ -177,10 +199,7 @@ mod tests {
         let lb = LinkBudget::dts_downlink(400.45, AntennaPattern::QuarterWaveMonopole);
         let rssi = lb.mean_rssi_dbm(900.0, core::f64::consts::FRAC_PI_2, Weather::Sunny);
         // Paper Fig 3b/3c: satellite signals arrive at −140…−110 dBm.
-        assert!(
-            (-140.0..=-110.0).contains(&rssi),
-            "zenith RSSI {rssi} dBm"
-        );
+        assert!((-140.0..=-110.0).contains(&rssi), "zenith RSSI {rssi} dBm");
     }
 
     #[test]
@@ -224,7 +243,10 @@ mod tests {
         let q = LinkBudget::dts_uplink(400.45, AntennaPattern::QuarterWaveMonopole);
         let f = LinkBudget::dts_uplink(400.45, AntennaPattern::FiveEighthsWaveMonopole);
         let el = 15.0_f64.to_radians();
-        assert!(f.mean_rssi_dbm(2_000.0, el, Weather::Sunny) > q.mean_rssi_dbm(2_000.0, el, Weather::Sunny));
+        assert!(
+            f.mean_rssi_dbm(2_000.0, el, Weather::Sunny)
+                > q.mean_rssi_dbm(2_000.0, el, Weather::Sunny)
+        );
     }
 
     #[test]

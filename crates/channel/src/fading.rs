@@ -98,9 +98,7 @@ mod tests {
             .filter(|_| p.draw_fast_fading_db(0.0, &mut rng) < -6.0)
             .count();
         let deep_zenith = (0..n)
-            .filter(|_| {
-                p.draw_fast_fading_db(core::f64::consts::FRAC_PI_2, &mut rng) < -6.0
-            })
+            .filter(|_| p.draw_fast_fading_db(core::f64::consts::FRAC_PI_2, &mut rng) < -6.0)
             .count();
         assert!(
             deep_horizon > 4 * deep_zenith.max(1),

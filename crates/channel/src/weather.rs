@@ -175,10 +175,7 @@ impl WeatherProcess {
 
     /// Weather at time `t` (clamped to the last generated spell).
     pub fn at(&self, t: SimTime) -> Weather {
-        match self
-            .spells
-            .binary_search_by(|s| s.start.cmp(&t))
-        {
+        match self.spells.binary_search_by(|s| s.start.cmp(&t)) {
             Ok(i) => self.spells[i].state,
             Err(0) => self.spells[0].state,
             Err(i) => self.spells[i - 1].state,
@@ -234,11 +231,8 @@ mod tests {
     #[test]
     fn default_climate_is_mostly_sunny_with_some_rain() {
         let horizon = SimTime::from_days(365.0);
-        let w = WeatherProcess::generate(
-            &WeatherParams::default(),
-            horizon,
-            &mut Rng::from_seed(9),
-        );
+        let w =
+            WeatherProcess::generate(&WeatherParams::default(), horizon, &mut Rng::from_seed(9));
         let sunny = w.fraction_in(Weather::Sunny, horizon);
         let rainy = w.fraction_in(Weather::Rainy, horizon);
         let cloudy = w.fraction_in(Weather::Cloudy, horizon);

@@ -33,6 +33,7 @@ use satiot_energy::accounting::EnergyAccount;
 use satiot_energy::profile::{SatNodeMode, SatNodeProfile};
 use satiot_measure::latency::PacketTimeline;
 use satiot_measure::reliability::SentPacket;
+use satiot_obs::metrics::{Counter, Timer};
 use satiot_orbit::pass::{Pass, PassPredictor};
 use satiot_orbit::time::JulianDate;
 use satiot_phy::airtime::airtime_s;
@@ -45,6 +46,12 @@ use satiot_scenarios::sites::{campaign_epoch, tianqi_ground_stations, yunnan_far
 use satiot_sim::{Engine, Rng, SimTime};
 
 use bytes::Bytes;
+
+/// Farm passes driving the active campaign's event schedule (metrics).
+static FARM_PASSES: Counter = Counter::new("core.active.farm_passes");
+/// Wall-clock seconds each per-satellite contact-plan shard took
+/// (metrics).
+static CONTACT_PLAN_SHARD_S: Timer = Timer::new("core.active.contact_plan_shard_s");
 
 /// Uplink medium-access policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,7 +211,11 @@ enum Event {
     /// A node's sensor fires.
     DataGen { node: usize },
     /// A satellite starts emitting a beacon during a farm pass.
-    BeaconTx { sat: usize, pass: usize, counter: u32 },
+    BeaconTx {
+        sat: usize,
+        pass: usize,
+        counter: u32,
+    },
     /// A node's uplink transmission completes at the satellite.
     UplinkEnd {
         node: usize,
@@ -213,7 +224,12 @@ enum Event {
         start_s: f64,
     },
     /// A satellite's ACK completes at the node.
-    AckEnd { node: usize, seq: u64, sat: usize, pass: usize },
+    AckEnd {
+        node: usize,
+        seq: u64,
+        sat: usize,
+        pass: usize,
+    },
     /// A node's ACK-wait deadline.
     AckTimeout { node: usize, seq: u64 },
     /// A farm pass ends (LOS).
@@ -267,31 +283,30 @@ impl ActiveCampaign {
             predictors.push(predictor);
         }
         farm_passes.sort_by(|a, b| a.1.aos.partial_cmp(&b.1.aos).expect("no NaN"));
+        FARM_PASSES.add(farm_passes.len() as u64);
 
         // GS contact plans, sharded across threads (22 sats × 12 stations
         // of pass prediction dominates setup time).
         let mut contact_plans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); catalog.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (i, plan) in contact_plans.iter_mut().enumerate() {
                 let sat = &catalog[i];
                 let gs_sites = &gs_sites;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
+                    let _shard_span = CONTACT_PLAN_SHARD_S.start();
                     let sgp4 = sat.sgp4().expect("valid Tianqi catalog");
                     let mut intervals = Vec::new();
                     for (_, gs) in gs_sites {
                         let p = PassPredictor::new(sgp4.clone(), *gs, cfg.gs_mask_rad);
                         for pass in p.passes(t0, t0 + cfg.days + 1.0) {
-                            intervals.push((
-                                pass.aos.seconds_since(t0),
-                                pass.los.seconds_since(t0),
-                            ));
+                            intervals
+                                .push((pass.aos.seconds_since(t0), pass.los.seconds_since(t0)));
                         }
                     }
                     *plan = merge_contacts(intervals);
                 });
             }
-        })
-        .expect("contact-plan worker panicked");
+        });
 
         let mut sats: Vec<SatellitePayload> = contact_plans
             .into_iter()
@@ -386,7 +401,10 @@ impl ActiveCampaign {
         let mut engine: Engine<Event> = Engine::new();
         for n in 0..cfg.nodes as usize {
             // Nodes boot staggered over the first minute.
-            engine.schedule_at(SimTime::from_secs(n as f64 * 17.0), Event::DataGen { node: n });
+            engine.schedule_at(
+                SimTime::from_secs(n as f64 * 17.0),
+                Event::DataGen { node: n },
+            );
         }
         for (idx, (sat, pass)) in farm_passes.iter().enumerate() {
             let aos_s = pass.aos.seconds_since(t0);
@@ -438,22 +456,17 @@ impl ActiveCampaign {
                         #[allow(clippy::needless_range_loop)] // Index is a node id used in events.
                         for n in 0..nodes.len() {
                             // Half-duplex: a transmitting node cannot hear.
-                            let busy = in_flight.iter().any(|u| {
-                                u.node == n && t_rx >= u.start_s && t_rx <= u.end_s
-                            });
+                            let busy = in_flight
+                                .iter()
+                                .any(|u| u.node == n && t_rx >= u.start_s && t_rx <= u.end_s);
                             if busy || !nodes[n].is_listening(t) {
                                 continue;
                             }
                             let mut link = downlink;
                             link.clutter_scale = clutter(pass, n);
                             let sh = shadow(pass, n, wx, &link);
-                            let s = link.sample(
-                                geom.range_km,
-                                geom.elevation_rad,
-                                wx,
-                                sh,
-                                &mut rng,
-                            );
+                            let s =
+                                link.sample(geom.range_km, geom.elevation_rad, wx, sh, &mut rng);
                             let Some(pen) = doppler_penalty(
                                 &beacon_cfg,
                                 beacon_len,
@@ -462,8 +475,7 @@ impl ActiveCampaign {
                             ) else {
                                 continue;
                             };
-                            if !packet_decodes(&beacon_cfg, beacon_len, s.snr_db - pen, &mut rng)
-                            {
+                            if !packet_decodes(&beacon_cfg, beacon_len, s.snr_db - pen, &mut rng) {
                                 continue;
                             }
                             heard = true;
@@ -486,7 +498,10 @@ impl ActiveCampaign {
                                             // absorb clock skew.
                                             let width = max_slot / cfg.nodes.max(1) as f64;
                                             0.05 + width * n as f64
-                                                + rng.uniform(0.0, (width - uplink_airtime).clamp(0.01, 0.2))
+                                                + rng.uniform(
+                                                    0.0,
+                                                    (width - uplink_airtime).clamp(0.01, 0.2),
+                                                )
                                         }
                                     };
                                     let start = t_rx + slot;
@@ -643,8 +658,7 @@ impl ActiveCampaign {
                                 if let Some(done) =
                                     sats[me.sat].schedule_downlink(t, cfg.downlink_service_s)
                                 {
-                                    let proc =
-                                        rng.exponential(calib::DELIVERY_PROCESSING_MEAN_S);
+                                    let proc = rng.exponential(calib::DELIVERY_PROCESSING_MEAN_S);
                                     let d = done + proc;
                                     server.record(seq, me.node as u32, d);
                                     rec.delivered_s = Some(match rec.delivered_s {
@@ -667,7 +681,12 @@ impl ActiveCampaign {
                         }
                     }
                 }
-                Event::AckEnd { node, seq, sat, pass } => {
+                Event::AckEnd {
+                    node,
+                    seq,
+                    sat,
+                    pass,
+                } => {
                     let when = t0.plus_seconds(t);
                     if let Some(geom) =
                         sample_at(&predictors[sat], when, spec.dts_frequency_mhz * 1e6)
@@ -675,21 +694,14 @@ impl ActiveCampaign {
                         let mut link = downlink;
                         link.clutter_scale = clutter(pass, node);
                         let sh = shadow(pass, node, wx, &link);
-                        let s = link.sample(
-                            geom.range_km,
-                            geom.elevation_rad,
-                            wx,
-                            sh,
-                            &mut rng,
-                        );
+                        let s = link.sample(geom.range_km, geom.elevation_rad, wx, sh, &mut rng);
                         let pen = doppler_penalty(
                             &beacon_cfg,
                             ack_len,
                             geom.doppler_hz,
                             geom.doppler_rate_hz_s,
                         );
-                        let snr =
-                            s.snr_db + calib::ACK_TX_POWER_DELTA_DB - pen.unwrap_or(99.0);
+                        let snr = s.snr_db + calib::ACK_TX_POWER_DELTA_DB - pen.unwrap_or(99.0);
                         if nodes[node].is_listening(t)
                             && packet_decodes(&beacon_cfg, ack_len, snr, &mut rng)
                         {
@@ -840,12 +852,12 @@ mod tests {
     fn campaign_moves_data_end_to_end() {
         let r = quick_results(3.0, 1);
         // 3 nodes × 48 packets/day × 3 days ≈ 432 generated.
+        assert!((400..=440).contains(&r.sent.len()), "sent {}", r.sent.len());
         assert!(
-            (400..=440).contains(&r.sent.len()),
-            "sent {}",
-            r.sent.len()
+            r.counters.beacons_tx > 1_000,
+            "beacons {}",
+            r.counters.beacons_tx
         );
-        assert!(r.counters.beacons_tx > 1_000, "beacons {}", r.counters.beacons_tx);
         assert!(r.counters.uplinks_tx > 0);
         assert!(r.counters.uplinks_ok > 0);
         assert!(!r.delivered_seqs.is_empty(), "nothing delivered");
@@ -872,7 +884,11 @@ mod tests {
         // tens of minutes on average, not seconds.
         assert!(b.wait_min.mean > 5.0, "wait {}", b.wait_min.mean);
         // Delivery (GS wait + processing) is also tens of minutes.
-        assert!(b.delivery_min.mean > 5.0, "delivery {}", b.delivery_min.mean);
+        assert!(
+            b.delivery_min.mean > 5.0,
+            "delivery {}",
+            b.delivery_min.mean
+        );
         // End-to-end is hour-scale (paper: 135 min) — far above terrestrial.
         assert!(
             b.end_to_end_min.mean > 30.0,

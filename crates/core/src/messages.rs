@@ -274,8 +274,7 @@ mod tests {
         let mut wire = msg.to_frame(CodingRate::Cr4_8).encode().to_vec();
         let mid = wire.len() / 2;
         wire[mid] ^= 0xA5;
-        let result =
-            LoRaFrame::decode(Bytes::from(wire)).map_err(MessageError::from);
+        let result = LoRaFrame::decode(Bytes::from(wire)).map_err(MessageError::from);
         assert!(result.is_err());
     }
 

@@ -418,16 +418,14 @@ mod tests {
         // The engagement winds down to `t + 1`; past that, the node is in
         // backoff and not listening even inside the plan window.
         assert!(!node.is_listening(deadline + 2.0));
-        assert!(node.is_listening(deadline + calib::RETRY_BACKOFF_S + 1.0).eq(&node
-            .in_plan(deadline + calib::RETRY_BACKOFF_S + 1.0)));
+        assert!(node
+            .is_listening(deadline + calib::RETRY_BACKOFF_S + 1.0)
+            .eq(&node.in_plan(deadline + calib::RETRY_BACKOFF_S + 1.0)));
         // A beacon after backoff triggers attempt 2.
         let t2 = deadline + calib::RETRY_BACKOFF_S + 5.0;
         assert_eq!(
             node.on_beacon(t2, t2 + 100.0),
-            BeaconReaction::Transmit {
-                seq: 7,
-                attempt: 2
-            }
+            BeaconReaction::Transmit { seq: 7, attempt: 2 }
         );
     }
 
@@ -483,7 +481,11 @@ mod tests {
             node.engaged_s
         );
         assert!((node.pending_wait_s() - 150.0).abs() < 1e-9);
-        assert!((node.plan_rx_s() - 50.0).abs() < 1e-9, "plan rx {}", node.plan_rx_s());
+        assert!(
+            (node.plan_rx_s() - 50.0).abs() < 1e-9,
+            "plan rx {}",
+            node.plan_rx_s()
+        );
         assert!((node.tx_airtime_s - 0.5).abs() < 1e-12);
     }
 
@@ -494,7 +496,11 @@ mod tests {
         // Never engaged; campaign ends at 2 000 s.
         node.finalize(2_000.0);
         // Pending 0→2 000 overlaps both plan windows: 300 + 300 s.
-        assert!((node.plan_rx_s() - 600.0).abs() < 1e-9, "{}", node.plan_rx_s());
+        assert!(
+            (node.plan_rx_s() - 600.0).abs() < 1e-9,
+            "{}",
+            node.plan_rx_s()
+        );
         assert!((node.pending_wait_s() - 2_000.0).abs() < 1e-9);
     }
 

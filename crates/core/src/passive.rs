@@ -11,8 +11,8 @@
 //!    [`EffectiveWindow`] records.
 //!
 //! Sites are simulated on independent RNG streams and sharded across
-//! threads with `crossbeam`; results merge in site order, so a campaign
-//! is reproducible regardless of thread scheduling.
+//! scoped threads; results merge in site order, so a campaign is
+//! reproducible regardless of thread scheduling.
 
 use crate::calib;
 use crate::geometry::{beacon_times, sample_at};
@@ -23,6 +23,7 @@ use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::WeatherProcess;
 use satiot_measure::contact::{ContactStats, EffectiveWindow, TheoreticalWindow};
 use satiot_measure::trace::{BeaconTrace, TraceSet};
+use satiot_obs::metrics::{Counter, Timer};
 use satiot_orbit::pass::PassPredictor;
 use satiot_phy::doppler::total_penalty_db;
 use satiot_phy::params::LoRaConfig;
@@ -30,6 +31,15 @@ use satiot_phy::per::packet_decodes;
 use satiot_scenarios::constellations::{all_constellations, ConstellationSpec, SatelliteDef};
 use satiot_scenarios::sites::{campaign_epoch, Site};
 use satiot_sim::{Rng, SimTime};
+
+/// Candidate passes predicted across all sites and satellites (metrics).
+static PASSES_PREDICTED: Counter = Counter::new("core.passive.passes_predicted");
+/// Beacons transmitted inside predicted windows (metrics).
+static BEACONS_EMITTED: Counter = Counter::new("core.passive.beacons_emitted");
+/// Beacons that survived the link, Doppler, and PER draws (metrics).
+static BEACONS_DECODED: Counter = Counter::new("core.passive.beacons_decoded");
+/// Wall-clock seconds each per-site shard took (metrics).
+static SITE_SHARD_S: Timer = Timer::new("core.passive.site_shard_s");
 
 /// Which station-assignment policy a campaign uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -226,23 +236,18 @@ impl PassiveCampaign {
         if self.config.parallel && self.config.sites.len() > 1 {
             let mut slots: Vec<Option<PassiveResults>> =
                 (0..self.config.sites.len()).map(|_| None).collect();
-            crossbeam::thread::scope(|scope| {
-                for (idx, (site, slot)) in self
-                    .config
-                    .sites
-                    .iter()
-                    .zip(slots.iter_mut())
-                    .enumerate()
+            std::thread::scope(|scope| {
+                for (idx, (site, slot)) in
+                    self.config.sites.iter().zip(slots.iter_mut()).enumerate()
                 {
                     let rng = root.fork_indexed("site", idx as u64);
                     let sats = &sats;
                     let cfg = &self.config;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         *slot = Some(run_site(cfg, site, sats, rng));
                     });
                 }
-            })
-            .expect("site worker panicked");
+            });
             partials.extend(slots.into_iter().map(|s| s.expect("site not run")));
         } else {
             for (idx, site) in self.config.sites.iter().enumerate() {
@@ -279,12 +284,8 @@ impl PassiveCampaign {
 }
 
 /// Simulate one site end to end.
-fn run_site(
-    cfg: &PassiveConfig,
-    site: &Site,
-    sats: &[FlatSat],
-    rng: Rng,
-) -> PassiveResults {
+fn run_site(cfg: &PassiveConfig, site: &Site, sats: &[FlatSat], rng: Rng) -> PassiveResults {
+    let _shard_span = SITE_SHARD_S.start();
     let mut results = PassiveResults::default();
     let start = site.start();
     let days = site.active_days().min(cfg.max_days);
@@ -315,6 +316,7 @@ fn run_site(
         }
         predictors.push(predictor);
     }
+    PASSES_PREDICTED.add(candidates.len() as u64);
     candidates.sort_by(|a, b| a.pass.aos.partial_cmp(&b.pass.aos).expect("no NaN times"));
 
     // Station assignment.
@@ -404,6 +406,7 @@ fn run_site(
         let phase = (sat.sat_id as f64 * 1.37) % sat.beacon_interval_s;
         let emissions = beacon_times(&cp.pass, sat.beacon_interval_s, phase);
         let transmitted = emissions.len();
+        BEACONS_EMITTED.add(transmitted as u64);
 
         let mut received_times_rel: Vec<f64> = Vec::new();
         let mut positions: Vec<f64> = Vec::new();
@@ -434,15 +437,19 @@ fn run_site(
                 shadowing,
                 &mut pass_rng,
             );
-            let Some(doppler_penalty) =
-                total_penalty_db(&beacon_cfg, beacon_len, geom.doppler_hz, geom.doppler_rate_hz_s)
-            else {
+            let Some(doppler_penalty) = total_penalty_db(
+                &beacon_cfg,
+                beacon_len,
+                geom.doppler_hz,
+                geom.doppler_rate_hz_s,
+            ) else {
                 continue; // Offset beyond sync range.
             };
             let snr = sample.snr_db - doppler_penalty;
             if !packet_decodes(&beacon_cfg, beacon_len, snr, &mut pass_rng) {
                 continue;
             }
+            BEACONS_DECODED.inc();
             let t_rel_campaign = t.seconds_since(epoch);
             received_times_rel.push(t.seconds_since(start));
             positions.push(cp.pass.normalized_position(*t));
@@ -495,11 +502,7 @@ fn run_site(
 /// Theoretical daily availability (hours/day) of a constellation over a
 /// site: the union of all satellites' above-mask intervals, per day —
 /// the paper's Figure 3a quantity.
-pub fn theoretical_daily_hours(
-    spec: &ConstellationSpec,
-    site: &Site,
-    days: u32,
-) -> Vec<f64> {
+pub fn theoretical_daily_hours(spec: &ConstellationSpec, site: &Site, days: u32) -> Vec<f64> {
     let epoch = campaign_epoch();
     let start = site.start();
     let end = start + days as f64;
@@ -509,10 +512,7 @@ pub fn theoretical_daily_hours(
         let sgp4 = sat.sgp4().expect("valid LEO catalog");
         let predictor = PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD);
         for pass in predictor.passes(start, end) {
-            intervals.push((
-                pass.aos.seconds_since(start),
-                pass.los.seconds_since(start),
-            ));
+            intervals.push((pass.aos.seconds_since(start), pass.los.seconds_since(start)));
         }
     }
     intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -572,7 +572,11 @@ mod tests {
         for t in &results.traces.traces {
             assert_eq!(t.site, "HK");
             assert_eq!(t.constellation, "FOSSA");
-            assert!((-150.0..=-100.0).contains(&t.rssi_dbm), "rssi {}", t.rssi_dbm);
+            assert!(
+                (-150.0..=-100.0).contains(&t.rssi_dbm),
+                "rssi {}",
+                t.rssi_dbm
+            );
             assert!(t.elevation_deg >= -0.5, "elevation {}", t.elevation_deg);
             assert!(t.distance_km > 400.0 && t.distance_km < 3_500.0);
             assert!(t.doppler_hz.abs() < 12_000.0);
@@ -642,10 +646,7 @@ mod tests {
         let fossa_mean: f64 = fossa_hours.iter().sum::<f64>() / 3.0;
         let tianqi_mean: f64 = tianqi_hours.iter().sum::<f64>() / 3.0;
         // Paper Fig 3a: FOSSA (3 sats) ≈ 1–3 h/day; Tianqi (22) ≈ 13–19 h.
-        assert!(
-            (0.3..5.0).contains(&fossa_mean),
-            "FOSSA {fossa_mean} h/day"
-        );
+        assert!((0.3..5.0).contains(&fossa_mean), "FOSSA {fossa_mean} h/day");
         assert!(
             (8.0..24.0).contains(&tianqi_mean),
             "Tianqi {tianqi_mean} h/day"

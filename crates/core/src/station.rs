@@ -61,7 +61,11 @@ impl StationAvailability {
         let mut up = rng.chance(params.uptime_fraction());
         while t <= horizon.as_secs() {
             spells.push((t, up));
-            let mean_h = if up { params.mean_up_h } else { params.mean_down_h };
+            let mean_h = if up {
+                params.mean_up_h
+            } else {
+                params.mean_down_h
+            };
             t += rng.exponential(mean_h * 3_600.0).max(300.0);
             up = !up;
         }
@@ -118,7 +122,9 @@ mod tests {
         }
         // Degenerate targets clamp instead of dividing by zero.
         assert!(AvailabilityParams::with_uptime(0.0, 6.0).mean_up_h > 0.0);
-        assert!(AvailabilityParams::with_uptime(1.0, 6.0).mean_up_h.is_finite());
+        assert!(AvailabilityParams::with_uptime(1.0, 6.0)
+            .mean_up_h
+            .is_finite());
     }
 
     #[test]

@@ -116,8 +116,7 @@ pub fn billed_packets_per_message(payload_bytes: usize, max_packet_bytes: usize)
 
 /// Cost the satellite option for a deployment.
 pub fn satellite_cost(pricing: &SatellitePricing, d: &Deployment) -> CostBreakdown {
-    let billed =
-        billed_packets_per_message(d.payload_bytes, pricing.max_packet_bytes);
+    let billed = billed_packets_per_message(d.payload_bytes, pricing.max_packet_bytes);
     let packets_month = d.nodes as f64 * d.packets_per_node_day * billed * DAYS_PER_MONTH;
     CostBreakdown {
         device_usd: pricing.node_usd * d.nodes as f64,
@@ -139,8 +138,8 @@ pub fn terrestrial_cost(pricing: &TerrestrialPricing, d: &Deployment) -> CostBre
 /// becomes cheaper in total cost of ownership; `None` if it is cheaper
 /// from month zero or never catches up.
 pub fn crossover_month(sat: &CostBreakdown, terr: &CostBreakdown) -> Option<f64> {
-    let upfront_gap = (terr.device_usd + terr.infrastructure_usd)
-        - (sat.device_usd + sat.infrastructure_usd);
+    let upfront_gap =
+        (terr.device_usd + terr.infrastructure_usd) - (sat.device_usd + sat.infrastructure_usd);
     let monthly_gap = sat.monthly_usd - terr.monthly_usd;
     if upfront_gap <= 0.0 {
         return None; // Terrestrial is cheaper up front already.
@@ -163,7 +162,11 @@ mod tests {
             ..Deployment::paper_farm()
         };
         let c = satellite_cost(&SatellitePricing::default(), &d);
-        assert!((c.monthly_usd - 23.76).abs() < 1e-9, "monthly {}", c.monthly_usd);
+        assert!(
+            (c.monthly_usd - 23.76).abs() < 1e-9,
+            "monthly {}",
+            c.monthly_usd
+        );
         assert_eq!(c.device_usd, 220.0);
         assert_eq!(c.infrastructure_usd, 0.0);
     }

@@ -243,7 +243,10 @@ impl ContactStats {
 
 /// Normalised positions (0–1) of receptions within their windows — the
 /// paper's Figure 9 series.
-pub fn normalized_reception_positions(windows: &[EffectiveWindow], beacon_times_s: &[f64]) -> Vec<f64> {
+pub fn normalized_reception_positions(
+    windows: &[EffectiveWindow],
+    beacon_times_s: &[f64],
+) -> Vec<f64> {
     let mut out = Vec::new();
     for w in windows {
         let d = w.theoretical.duration_s();

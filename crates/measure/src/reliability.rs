@@ -36,7 +36,10 @@ pub struct Reliability {
 impl Reliability {
     /// Match sent records against received sequence IDs.
     pub fn compute(sent: &[SentPacket], received_seqs: &HashSet<u64>) -> Reliability {
-        let delivered = sent.iter().filter(|p| received_seqs.contains(&p.seq)).count();
+        let delivered = sent
+            .iter()
+            .filter(|p| received_seqs.contains(&p.seq))
+            .count();
         Reliability {
             sent: sent.len(),
             delivered,

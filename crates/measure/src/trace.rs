@@ -3,12 +3,9 @@
 //! [`BeaconTrace`] mirrors what the paper's customised TinyGS stations
 //! log for every received beacon (§2.2): timestamp, RSSI, SNR, and sender
 //! metadata (constellation, satellite, elevation, distance, Doppler).
-//! Serde derives let campaigns persist traces for offline re-analysis.
-
-use serde::{Deserialize, Serialize};
 
 /// One received beacon, as logged by a ground station.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BeaconTrace {
     /// Reception time, seconds since campaign start.
     pub time_s: f64,

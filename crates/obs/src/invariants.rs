@@ -1,0 +1,78 @@
+//! Debug-assertion checks for the physical quantities the simulator
+//! passes between crates.
+//!
+//! Each helper is an `#[inline]` call that expands to a `debug_assert!`
+//! — active in `cargo test` and debug builds, compiled out entirely in
+//! release builds, so hot paths can call them unconditionally.
+
+/// Assert an elevation angle is a plausible radian value in
+/// [−90°, +90°].
+#[inline]
+pub fn check_elevation_rad(context: &str, el: f64) {
+    debug_assert!(
+        el.is_finite()
+            && (-std::f64::consts::FRAC_PI_2..=std::f64::consts::FRAC_PI_2).contains(&el),
+        "{context}: elevation {el} rad outside [-pi/2, pi/2]"
+    );
+}
+
+/// Assert a probability lies in [0, 1].
+#[inline]
+pub fn check_probability(context: &str, p: f64) {
+    debug_assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "{context}: probability {p} outside [0, 1]"
+    );
+}
+
+/// Assert a duration / airtime / distance style quantity is finite and
+/// non-negative.
+#[inline]
+pub fn check_non_negative(context: &str, v: f64) {
+    debug_assert!(
+        v.is_finite() && v >= 0.0,
+        "{context}: value {v} negative or non-finite"
+    );
+}
+
+/// Assert a value is finite (no NaN/inf escaped a computation).
+#[inline]
+pub fn check_finite(context: &str, v: f64) {
+    debug_assert!(v.is_finite(), "{context}: value {v} is not finite");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass() {
+        check_elevation_rad("t", 0.3);
+        check_elevation_rad("t", -std::f64::consts::FRAC_PI_2);
+        check_probability("t", 0.0);
+        check_probability("t", 1.0);
+        check_non_negative("t", 0.0);
+        check_finite("t", -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "elevation")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_elevation_panics() {
+        check_elevation_rad("t", 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_probability_panics() {
+        check_probability("t", 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    #[cfg(debug_assertions)]
+    fn nan_duration_panics() {
+        check_non_negative("t", f64::NAN);
+    }
+}

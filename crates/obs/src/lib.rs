@@ -1,0 +1,25 @@
+//! Dependency-free observability and invariant checking for the satiot
+//! workspace.
+//!
+//! Two concerns live here:
+//!
+//! - [`metrics`] — a process-global registry of counters, gauges,
+//!   fixed-bucket histograms, and span timers. Recording is a handful of
+//!   relaxed atomic operations and is gated on a single flag (the
+//!   `SATIOT_METRICS` environment variable, or [`metrics::set_enabled`]),
+//!   so instrumented hot paths cost two atomic loads when metrics are
+//!   off.
+//! - [`invariants`] — debug-assertion helpers for the physical
+//!   quantities the simulator passes between crates (elevations,
+//!   probabilities, durations). They compile to nothing in release
+//!   builds.
+//!
+//! The crate is std-only by design: the build environment has no
+//! crates.io access, and the instrumented crates sit at the bottom of
+//! the dependency graph where pulling in an external metrics stack
+//! would be disproportionate.
+
+pub mod invariants;
+pub mod metrics;
+
+pub use metrics::{Counter, Gauge, Histogram, Timer};

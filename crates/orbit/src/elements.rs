@@ -361,7 +361,11 @@ mod precession_tests {
         // ISS-like: Ω̇ ≈ −5°/day.
         let rate = nodal_precession_rad_per_day(420.0, 51.6_f64.to_radians(), 0.001);
         assert!(rate < 0.0);
-        assert!((rate.to_degrees() + 5.0).abs() < 0.3, "rate {}", rate.to_degrees());
+        assert!(
+            (rate.to_degrees() + 5.0).abs() < 0.3,
+            "rate {}",
+            rate.to_degrees()
+        );
         // Polar orbits barely precess.
         let polar = nodal_precession_rad_per_day(500.0, 90.0_f64.to_radians(), 0.0);
         assert!(polar.abs() < 1e-6);

@@ -83,11 +83,21 @@ pub fn teme_to_ecef(state: &StateTeme, when: JulianDate) -> StateEcef {
     }
 }
 
-/// Convert an ECEF position to geodetic coordinates (WGS-84) using the
-/// standard iterative method (converges to sub-millimetre in ≤ 5 rounds
-/// for any LEO/ground point).
+/// Convert an ECEF position to geodetic coordinates (WGS-84) using
+/// Bowring's closed-form method with one Bowring refinement step.
+///
+/// The previous implementation fixed-point-iterated on the latitude,
+/// which loses accuracy near the poles where the `p / cos(lat)` height
+/// expression is ill-conditioned and the iteration increment stalls just
+/// above the convergence tolerance. Bowring's parametric-latitude form
+/// has no such singularity: one evaluation is accurate to ~1e-10 rad for
+/// any LEO/ground point and the refinement step brings it below 1e-12
+/// rad. The height uses the latitude-independent projection
+/// `h = p·cosφ + z·sinφ − a·√(1 − e²sin²φ)`, stable from equator to pole.
 pub fn ecef_to_geodetic(r: Vec3) -> Geodetic {
     let e2 = WGS84_F * (2.0 - WGS84_F);
+    let b = WGS84_A_KM * (1.0 - WGS84_F);
+    let ep2 = e2 / (1.0 - e2);
     let lon = r.y.atan2(r.x);
     let p = (r.x * r.x + r.y * r.y).sqrt();
     if p < 1e-9 {
@@ -97,36 +107,29 @@ pub fn ecef_to_geodetic(r: Vec3) -> Geodetic {
         } else {
             -core::f64::consts::FRAC_PI_2
         };
-        let b = WGS84_A_KM * (1.0 - WGS84_F);
         return Geodetic::new(lat, 0.0, r.z.abs() - b);
     }
-    let mut lat = (r.z / (p * (1.0 - e2))).atan();
-    for _ in 0..10 {
-        let sin_lat = lat.sin();
-        let n = WGS84_A_KM / (1.0 - e2 * sin_lat * sin_lat).sqrt();
-        // `p / cos(lat)` is ill-conditioned near the poles; switch to the
-        // z-based expression there (Vallado's recommendation).
-        let alt = if lat.abs() < 1.18 {
-            p / lat.cos() - n
-        } else {
-            r.z / sin_lat - n * (1.0 - e2)
-        };
-        let next = (r.z / (p * (1.0 - e2 * n / (n + alt)))).atan();
-        if (next - lat).abs() < 1e-14 {
-            lat = next;
-            break;
-        }
-        lat = next;
+
+    // Initial parametric (reduced) latitude: tan u = (z/p)(a/b).
+    let mut u = (r.z * WGS84_A_KM).atan2(p * b);
+    let mut lat = 0.0;
+    // One closed-form evaluation plus one refinement of u from the
+    // resulting geodetic latitude (tan u = (1−f)·tan φ).
+    for _ in 0..2 {
+        let (su, cu) = u.sin_cos();
+        lat = (r.z + ep2 * b * su * su * su).atan2(p - e2 * WGS84_A_KM * cu * cu * cu);
+        u = ((1.0 - WGS84_F) * lat.sin()).atan2(lat.cos());
     }
-    // Recompute the altitude once more at the converged latitude.
-    let sin_lat = lat.sin();
-    let n = WGS84_A_KM / (1.0 - e2 * sin_lat * sin_lat).sqrt();
-    let alt = if lat.abs() < 1.18 {
-        p / lat.cos() - n
-    } else {
-        r.z / sin_lat - n * (1.0 - e2)
-    };
-    Geodetic::new(lat, lon, alt)
+
+    let (sin_lat, cos_lat) = lat.sin_cos();
+    let alt = p * cos_lat + r.z * sin_lat - WGS84_A_KM * (1.0 - e2 * sin_lat * sin_lat).sqrt();
+    let g = Geodetic::new(lat, lon, alt);
+    satiot_obs::invariants::check_elevation_rad("frames::ecef_to_geodetic latitude", g.lat_rad);
+    debug_assert!(
+        (g.to_ecef() - r).norm() < 1e-3,
+        "geodetic round-trip residual exceeds 1 m at {r:?}"
+    );
+    g
 }
 
 /// Sub-satellite point: geodetic lat/lon/alt directly below a TEME state.
@@ -183,6 +186,49 @@ mod tests {
         let r = g.to_ecef();
         let b = WGS84_A_KM * (1.0 - WGS84_F);
         assert!((r.z - b).abs() < 1e-6, "z = {}", r.z);
+    }
+
+    /// Pinned from `tests/props.proptest-regressions` (seed `f77f9e90…`):
+    /// the near-pole point where the old fixed-point iteration stalled
+    /// just above the 1e-9 rad round-trip tolerance.
+    #[test]
+    fn regression_near_pole_roundtrip_seed() {
+        let g = Geodetic::from_degrees(89.75101093198926, 0.0, 4.3151289694631085);
+        let back = ecef_to_geodetic(g.to_ecef());
+        assert!(
+            (back.lat_rad - g.lat_rad).abs() < 1e-9,
+            "lat residual {:e}",
+            (back.lat_rad - g.lat_rad).abs()
+        );
+        assert!((back.lon_rad - g.lon_rad).abs() < 1e-9);
+        assert!(
+            (back.alt_km - g.alt_km).abs() < 1e-6,
+            "alt residual {:e}",
+            (back.alt_km - g.alt_km).abs()
+        );
+    }
+
+    /// Bowring's closed form must hold the 1e-9 rad round-trip tolerance
+    /// over a dense latitude sweep including both poles' neighbourhoods.
+    #[test]
+    fn bowring_roundtrip_latitude_sweep() {
+        for i in 0..=1800 {
+            let lat = -90.0 + i as f64 * 0.1;
+            for alt in [0.0, 0.5, 8.8] {
+                let g = Geodetic::from_degrees(lat, 12.5, alt);
+                let back = ecef_to_geodetic(g.to_ecef());
+                assert!(
+                    (back.lat_rad - g.lat_rad).abs() < 1e-9,
+                    "lat {lat}: residual {:e}",
+                    (back.lat_rad - g.lat_rad).abs()
+                );
+                assert!(
+                    (back.alt_km - g.alt_km).abs() < 1e-6,
+                    "lat {lat} alt {alt}: residual {:e}",
+                    (back.alt_km - g.alt_km).abs()
+                );
+            }
+        }
     }
 
     #[test]

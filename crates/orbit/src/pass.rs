@@ -10,6 +10,10 @@ use crate::frames::Geodetic;
 use crate::sgp4::Sgp4;
 use crate::time::JulianDate;
 use crate::topo::Observer;
+use satiot_obs::metrics::Counter;
+
+/// Completed contact windows emitted by all predictors (metrics).
+static PASSES_PREDICTED: Counter = Counter::new("orbit.pass.passes_predicted");
 
 /// One predicted contact window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,6 +233,15 @@ impl PassPredictor {
         }
         let tca = JulianDate(0.5 * (lo.0 + hi.0));
         let la = self.look_at(tca)?;
+        satiot_obs::invariants::check_elevation_rad(
+            "pass::finish_pass max elevation",
+            la.elevation_rad,
+        );
+        satiot_obs::invariants::check_non_negative(
+            "pass::finish_pass duration",
+            los.seconds_since(aos),
+        );
+        PASSES_PREDICTED.inc();
         Some(Pass {
             aos,
             los,
@@ -337,6 +350,40 @@ mod tests {
                 let t = JulianDate(pass.aos.0 + (pass.los.0 - pass.aos.0) * k as f64 / 20.0);
                 assert!(p.elevation_at(t) <= pass.max_elevation_rad + 1e-6);
             }
+        }
+    }
+
+    /// Pinned from `tests/prop_orbit.proptest-regressions` (seed
+    /// `1ddc6ac2…`): a 0° mask at an equatorial site, where AOS/LOS
+    /// refinement must still land within 0.5° of the mask for every
+    /// interior pass.
+    #[test]
+    fn regression_zero_mask_aos_seed() {
+        use crate::elements::Elements;
+        let epoch = JulianDate::from_calendar(2024, 9, 1, 0, 0, 0.0);
+        let e = Elements::circular(565.6677817861646, 45.0, epoch);
+        let predictor = PassPredictor::new(
+            e.to_sgp4().unwrap(),
+            Geodetic::from_degrees(0.0, 24.753319049866068, 0.0),
+            0.0,
+        );
+        let start = epoch;
+        let end = start + 1.0;
+        let passes = predictor.passes(start, end);
+        assert!(!passes.is_empty());
+        for p in &passes {
+            assert!(p.aos <= p.tca && p.tca <= p.los);
+            assert!(p.duration_min() < 20.0);
+            assert!(p.max_elevation_rad.to_degrees() >= -0.2);
+            if p.aos > start && p.los < end {
+                let el_aos = predictor.elevation_at(p.aos).to_degrees();
+                let el_los = predictor.elevation_at(p.los).to_degrees();
+                assert!(el_aos.abs() < 0.5, "AOS elevation {el_aos}");
+                assert!(el_los.abs() < 0.5, "LOS elevation {el_los}");
+            }
+        }
+        for w in passes.windows(2) {
+            assert!(w[1].aos >= w[0].los);
         }
     }
 

@@ -22,6 +22,15 @@ use crate::tle::Tle;
 use crate::vec3::Vec3;
 
 use core::f64::consts::TAU;
+use satiot_obs::metrics::{Counter, Histogram};
+
+/// Total [`Sgp4::propagate`] invocations (metrics).
+static PROPAGATE_CALLS: Counter = Counter::new("orbit.sgp4.propagate_calls");
+/// Newton iterations Kepler's equation needed per propagation (metrics).
+static KEPLER_ITERATIONS: Histogram = Histogram::new(
+    "orbit.sgp4.kepler_iterations",
+    &[1.0, 2.0, 3.0, 5.0, 8.0, 10.0],
+);
 
 /// WGS-72 gravitational parameter, km³/s².
 pub const MU_KM3_S2: f64 = 398_600.8;
@@ -191,9 +200,7 @@ impl Sgp4 {
         let cc2 = coef1
             * no_unkozai
             * (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq))
-                + 0.375 * J2 * tsi / psisq
-                    * con41
-                    * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+                + 0.375 * J2 * tsi / psisq * con41 * (8.0 + 3.0 * etasq * (8.0 + etasq)));
         let cc1 = bstar * cc2;
         let mut cc3 = 0.0;
         if ecco > 1.0e-4 {
@@ -212,8 +219,7 @@ impl Sgp4 {
                             * x1mth2
                             * (2.0 * etasq - eeta * (1.0 + etasq))
                             * (2.0 * argpo).cos()));
-        let cc5 =
-            2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+        let cc5 = 2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
 
         let cosio4 = cosio2 * cosio2;
         let temp1 = 1.5 * J2 * pinvsq * no_unkozai;
@@ -227,8 +233,7 @@ impl Sgp4 {
             + temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
         let xhdot1 = -temp1 * cosio;
         let nodedot = xhdot1
-            + (0.5 * temp2 * (4.0 - 19.0 * cosio2) + 2.0 * temp3 * (3.0 - 7.0 * cosio2))
-                * cosio;
+            + (0.5 * temp2 * (4.0 - 19.0 * cosio2) + 2.0 * temp3 * (3.0 - 7.0 * cosio2)) * cosio;
 
         let omgcof = bstar * cc3 * argpo.cos();
         let mut xmcof = 0.0;
@@ -261,10 +266,7 @@ impl Sgp4 {
             t3cof = d2 + 2.0 * cc1sq;
             t4cof = 0.25 * (3.0 * d3 + cc1 * (12.0 * d2 + 10.0 * cc1sq));
             t5cof = 0.2
-                * (3.0 * d4
-                    + 12.0 * cc1 * d3
-                    + 6.0 * d2 * d2
-                    + 15.0 * cc1sq * (2.0 * d2 + cc1sq));
+                * (3.0 * d4 + 12.0 * cc1 * d3 + 6.0 * d2 * d2 + 15.0 * cc1sq * (2.0 * d2 + cc1sq));
         }
 
         Ok(Sgp4 {
@@ -314,6 +316,7 @@ impl Sgp4 {
     /// Returns the TEME position/velocity, or a typed error if the element
     /// set degenerates (eccentricity blow-up, decay, …) at this offset.
     pub fn propagate(&self, tsince_min: f64) -> Result<StateTeme, OrbitError> {
+        PROPAGATE_CALLS.inc();
         let t = tsince_min;
 
         // ---- Secular gravity and atmospheric drag. ----
@@ -398,6 +401,7 @@ impl Sgp4 {
             eo1 += tem5;
             ktr += 1;
         }
+        KEPLER_ITERATIONS.record(ktr as f64 - 1.0);
 
         // ---- Short-period preliminary quantities. ----
         let ecose = axnl * coseo1 + aynl * sineo1;
@@ -423,8 +427,7 @@ impl Sgp4 {
         let temp2 = temp1 * temp;
 
         // ---- Short-period periodics. ----
-        let mrt = rl * (1.0 - 1.5 * temp2 * betal * self.con41)
-            + 0.5 * temp1 * self.x1mth2 * cos2u;
+        let mrt = rl * (1.0 - 1.5 * temp2 * betal * self.con41) + 0.5 * temp1 * self.x1mth2 * cos2u;
         let su = su - 0.25 * temp2 * self.x7thm1 * sin2u;
         let xnode = nodep + 1.5 * temp2 * cosip * sin2u;
         let xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;
@@ -716,6 +719,10 @@ mod eccentric_tests {
             );
         }
         // e = 0.186: apogee/perigee ratio ≈ (1+e)/(1−e) ≈ 1.46.
-        assert!((r_max / r_min - 1.456).abs() < 0.03, "ratio {}", r_max / r_min);
+        assert!(
+            (r_max / r_min - 1.456).abs() < 0.03,
+            "ratio {}",
+            r_max / r_min
+        );
     }
 }

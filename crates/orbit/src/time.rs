@@ -28,7 +28,14 @@ impl JulianDate {
     ///
     /// Valid for years 1900–2100, which covers every TLE epoch. Uses the
     /// standard Vallado `JDAY` algorithm.
-    pub fn from_calendar(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: f64) -> Self {
+    pub fn from_calendar(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: f64,
+    ) -> Self {
         let y = year as f64;
         let m = month as f64;
         let d = day as f64;

@@ -230,9 +230,10 @@ pub fn checksum(body: &str) -> u8 {
 }
 
 fn parse_u32(s: &str, fieldname: &'static str, line: u8) -> Result<u32, OrbitError> {
-    s.trim()
-        .parse::<u32>()
-        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })
+    s.trim().parse::<u32>().map_err(|_| OrbitError::TleFormat {
+        field: fieldname,
+        line,
+    })
 }
 
 /// Some fields (element number, rev number) may legitimately be blank.
@@ -252,8 +253,10 @@ fn parse_f64(s: &str, fieldname: &'static str, line: u8) -> Result<f64, OrbitErr
     }
     // TLEs may write "+.00012" or ".00012".
     let t = t.strip_prefix('+').unwrap_or(t);
-    t.parse::<f64>()
-        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })
+    t.parse::<f64>().map_err(|_| OrbitError::TleFormat {
+        field: fieldname,
+        line,
+    })
 }
 
 /// Parse the TLE "assumed decimal with exponent" format, e.g. ` 66816-4`
@@ -276,12 +279,17 @@ fn parse_exp_field(s: &str, fieldname: &'static str, line: u8) -> Result<f64, Or
         _ => (rest, "+0"),
     };
     let mantissa_digits = mantissa_str.trim();
-    let mantissa = format!("0.{mantissa_digits}")
-        .parse::<f64>()
-        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })?;
-    let exp = exp_str
-        .parse::<i32>()
-        .map_err(|_| OrbitError::TleFormat { field: fieldname, line })?;
+    let mantissa =
+        format!("0.{mantissa_digits}")
+            .parse::<f64>()
+            .map_err(|_| OrbitError::TleFormat {
+                field: fieldname,
+                line,
+            })?;
+    let exp = exp_str.parse::<i32>().map_err(|_| OrbitError::TleFormat {
+        field: fieldname,
+        line,
+    })?;
     Ok(sign * mantissa * 10f64.powi(exp))
 }
 

@@ -8,7 +8,11 @@ pub fn payload_symbols(cfg: &LoRaConfig, payload_len: usize) -> u32 {
     let sf = cfg.sf.value() as i64;
     let ih = if cfg.explicit_header { 0 } else { 1 };
     let crc = if cfg.crc_on { 1 } else { 0 };
-    let de = if cfg.low_data_rate_optimization() { 1 } else { 0 };
+    let de = if cfg.low_data_rate_optimization() {
+        1
+    } else {
+        0
+    };
     let cr = cfg.cr.cr_value() as i64;
 
     let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * ih;
@@ -26,7 +30,9 @@ pub fn airtime_s(cfg: &LoRaConfig, payload_len: usize) -> f64 {
     let t_sym = cfg.symbol_time_s();
     let t_preamble = (cfg.preamble_symbols as f64 + 4.25) * t_sym;
     let t_payload = payload_symbols(cfg, payload_len) as f64 * t_sym;
-    t_preamble + t_payload
+    let t = t_preamble + t_payload;
+    satiot_obs::invariants::check_non_negative("airtime::airtime_s", t);
+    t
 }
 
 #[cfg(test)]
@@ -131,6 +137,61 @@ mod tests {
             ..base
         };
         assert!(payload_symbols(&bare, 20) < payload_symbols(&base, 20));
+    }
+
+    /// Pinned from `tests/props.proptest-regressions` (seed `ad3be80f…`):
+    /// airtime monotonicity at SF7 across the FEC-block ceil boundary
+    /// around a 9 → 10 byte payload.
+    #[test]
+    fn regression_monotonicity_across_ceil_boundary_seed() {
+        let (len_a, extra, sf_idx) = (9usize, 1usize, 0usize);
+        let cfg = LoRaConfig {
+            sf: SpreadingFactor::ALL[sf_idx],
+            ..LoRaConfig::dts_beacon()
+        };
+        let cfg_next = LoRaConfig {
+            sf: SpreadingFactor::ALL[sf_idx + 1],
+            ..cfg
+        };
+        assert!(airtime_s(&cfg, len_a + extra) >= airtime_s(&cfg, len_a));
+        assert!(airtime_s(&cfg, len_a + 32) > airtime_s(&cfg, len_a));
+        assert!(airtime_s(&cfg_next, len_a) > airtime_s(&cfg, len_a));
+    }
+
+    /// Exhaustive audit of the ceil boundary: `payload_symbols` must be
+    /// non-decreasing byte-by-byte for every SF/CR/header/CRC combination
+    /// over the whole 0–255 byte payload range.
+    #[test]
+    fn payload_symbols_never_decrease() {
+        for sf in SpreadingFactor::ALL {
+            for cr in [
+                CodingRate::Cr4_5,
+                CodingRate::Cr4_6,
+                CodingRate::Cr4_7,
+                CodingRate::Cr4_8,
+            ] {
+                for (explicit_header, crc_on) in
+                    [(true, true), (true, false), (false, true), (false, false)]
+                {
+                    let cfg = LoRaConfig {
+                        sf,
+                        cr,
+                        explicit_header,
+                        crc_on,
+                        ..LoRaConfig::dts_beacon()
+                    };
+                    let mut prev = payload_symbols(&cfg, 0);
+                    for len in 1..=255usize {
+                        let n = payload_symbols(&cfg, len);
+                        assert!(
+                            n >= prev,
+                            "symbols decreased at sf={sf:?} cr={cr:?} len={len}: {n} < {prev}"
+                        );
+                        prev = n;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -239,7 +239,10 @@ mod tests {
         let mut wire = frame.encode().to_vec();
         let last = wire.len() - 1;
         wire[last] ^= 0xFF;
-        assert_eq!(LoRaFrame::decode(Bytes::from(wire)), Err(FrameError::BadCrc));
+        assert_eq!(
+            LoRaFrame::decode(Bytes::from(wire)),
+            Err(FrameError::BadCrc)
+        );
     }
 
     #[test]

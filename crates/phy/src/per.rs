@@ -38,7 +38,9 @@ pub fn snr_50_db(cfg: &LoRaConfig, payload_len: usize) -> f64 {
 /// Probability that a packet of `payload_len` bytes decodes at `snr_db`.
 pub fn packet_success_probability(cfg: &LoRaConfig, payload_len: usize, snr_db: f64) -> f64 {
     let x = (snr_db - snr_50_db(cfg, payload_len)) / SLOPE_DB;
-    1.0 / (1.0 + (-x).exp())
+    let p = 1.0 / (1.0 + (-x).exp());
+    satiot_obs::invariants::check_probability("per::packet_success_probability", p);
+    p
 }
 
 /// Bernoulli draw: does this packet decode?
@@ -96,8 +98,7 @@ mod tests {
         };
         let snr = -17.0;
         assert!(
-            packet_success_probability(&sf12, 20, snr)
-                > packet_success_probability(&sf10, 20, snr)
+            packet_success_probability(&sf12, 20, snr) > packet_success_probability(&sf10, 20, snr)
         );
     }
 
@@ -108,6 +109,21 @@ mod tests {
         let thresh = demod_threshold_db(cfg.sf);
         assert!(mid > thresh, "{mid} !> {thresh}");
         assert!(mid - thresh < 2.5, "offset {}", mid - thresh);
+    }
+
+    /// Pinned from `tests/props.proptest-regressions` (seed `ad3be80f…`):
+    /// the SNR-monotonicity half of the PHY regression at SF7, 9 bytes.
+    #[test]
+    fn regression_snr_monotonicity_seed() {
+        let (len_a, snr) = (9usize, 0.0f64);
+        let cfg = LoRaConfig {
+            sf: SpreadingFactor::Sf7,
+            ..LoRaConfig::dts_beacon()
+        };
+        let p_lo = packet_success_probability(&cfg, len_a, snr);
+        let p_hi = packet_success_probability(&cfg, len_a, snr + 1.0);
+        assert!(p_hi >= p_lo, "{p_hi} < {p_lo}");
+        assert!((0.0..=1.0).contains(&p_lo));
     }
 
     #[test]

@@ -86,8 +86,10 @@ impl SatelliteDef {
     /// Emit this satellite as a named TLE (round-trips through the full
     /// parser).
     pub fn tle(&self) -> Result<Tle, OrbitError> {
-        self.elements
-            .to_tle(70_000 + self.sat_id, &format!("{}-{}", self.constellation, self.sat_id))
+        self.elements.to_tle(
+            70_000 + self.sat_id,
+            &format!("{}-{}", self.constellation, self.sat_id),
+        )
     }
 }
 
@@ -209,12 +211,11 @@ impl ConstellationSpec {
                 let mut elements = Elements::circular(alt, shell.inclination_deg, epoch);
                 // RAAN: planes spread over the full circle, offset per
                 // shell so shells do not align artificially.
-                elements.raan_rad = (plane as f64 / planes as f64) * TAU
-                    + shell_idx as f64 * 0.61; // Golden-angle-ish offset.
-                // In-plane phase plus Walker phase offset between planes,
-                // plus a golden-angle jitter that breaks the RAAN+π /
-                // MA+π degeneracy (without it, opposite planes of a small
-                // shell start nearly coincident).
+                elements.raan_rad = (plane as f64 / planes as f64) * TAU + shell_idx as f64 * 0.61; // Golden-angle-ish offset.
+                                                                                                    // In-plane phase plus Walker phase offset between planes,
+                                                                                                    // plus a golden-angle jitter that breaks the RAAN+π /
+                                                                                                    // MA+π degeneracy (without it, opposite planes of a small
+                                                                                                    // shell start nearly coincident).
                 elements.mean_anomaly_rad = (slot as f64 / per_plane as f64) * TAU
                     + (plane as f64 / planes as f64) * (TAU / per_plane.max(1) as f64)
                     + i as f64 * 2.399_963; // Golden angle, radians.
@@ -311,9 +312,7 @@ mod tests {
             let (l1, l2) = tle.format_lines();
             let parsed = Tle::parse_lines(&l1, &l2).unwrap();
             assert_eq!(parsed.norad_id, 70_000 + sat.sat_id);
-            assert!(
-                (parsed.inclination_rad - sat.elements.inclination_rad).abs() < 1e-5
-            );
+            assert!((parsed.inclination_rad - sat.elements.inclination_rad).abs() < 1e-5);
         }
     }
 

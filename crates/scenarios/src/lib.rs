@@ -17,6 +17,6 @@ pub use constellations::{
     all_constellations, constellation_by_name, ConstellationSpec, SatelliteDef, Shell,
 };
 pub use sites::{
-    campaign_epoch, campaign_end, measurement_sites, tianqi_ground_stations, yunnan_farm,
-    hong_kong_server, Climate, Site,
+    campaign_end, campaign_epoch, hong_kong_server, measurement_sites, tianqi_ground_stations,
+    yunnan_farm, Climate, Site,
 };

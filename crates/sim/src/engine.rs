@@ -2,6 +2,13 @@
 
 use crate::queue::EventQueue;
 use crate::time::SimTime;
+use satiot_obs::metrics::{Counter, Gauge};
+
+/// Events processed across every engine instance (metrics).
+static EVENTS_PROCESSED: Counter = Counter::new("sim.engine.events_processed");
+/// Queue depth observed at each step; `.high_water` tracks the peak
+/// (metrics).
+static QUEUE_DEPTH: Gauge = Gauge::new("sim.engine.queue_depth");
 
 /// A discrete-event engine over event type `E`.
 ///
@@ -71,6 +78,8 @@ impl<E> Engine<E> {
         let (t, e) = self.queue.pop()?;
         self.now = t;
         self.processed += 1;
+        EVENTS_PROCESSED.inc();
+        QUEUE_DEPTH.set(self.queue.len() as i64);
         Some((t, e))
     }
 

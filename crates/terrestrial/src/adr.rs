@@ -56,7 +56,12 @@ impl AdrController {
 
     /// The recommendation from the current window (SF12 before any data).
     pub fn recommendation(&self) -> SpreadingFactor {
-        match self.window.iter().copied().fold(f64::NEG_INFINITY, f64::max) {
+        match self
+            .window
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+        {
             best if best.is_finite() => select_sf(best),
             _ => SpreadingFactor::Sf12,
         }

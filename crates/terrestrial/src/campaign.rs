@@ -10,11 +10,11 @@ use crate::backhaul::delivery_delay_s;
 use crate::node::{account_for, DutyCycleParams, LORAWAN_OVERHEAD_BYTES};
 use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::WeatherProcess;
+use satiot_core::station::{AvailabilityParams, StationAvailability};
 use satiot_energy::accounting::EnergyAccount;
 use satiot_energy::profile::TerrestrialMode;
 use satiot_measure::latency::PacketTimeline;
 use satiot_measure::reliability::SentPacket;
-use satiot_core::station::{AvailabilityParams, StationAvailability};
 use satiot_phy::params::LoRaConfig;
 use satiot_phy::per::packet_decodes;
 use satiot_sim::{Rng, SimTime};
@@ -139,8 +139,8 @@ impl TerrestrialCampaign {
                 // Any-gateway reception: sample each gateway link.
                 let mut received = false;
                 for g in 0..cfg.gateways {
-                    let d = cfg.gateway_distance_km
-                        [g as usize % cfg.gateway_distance_km.len().max(1)];
+                    let d =
+                        cfg.gateway_distance_km[g as usize % cfg.gateway_distance_km.len().max(1)];
                     let shadowing = budget.draw_shadowing_db(wx, &mut rng);
                     let s = budget.sample(d, 0.0, wx, shadowing, &mut rng);
                     let decodes = packet_decodes(&lora_cfg, phy_len, s.snr_db, &mut rng);

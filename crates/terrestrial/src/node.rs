@@ -47,9 +47,17 @@ pub fn account_for(
     let mut acc = EnergyAccount::new();
     let active_per_cycle = params.standby_s + tx_airtime + params.rx_windows_s;
     let total_active = active_per_cycle * cycles as f64;
-    acc.record(&profile, TerrestrialMode::Standby, params.standby_s * cycles as f64);
+    acc.record(
+        &profile,
+        TerrestrialMode::Standby,
+        params.standby_s * cycles as f64,
+    );
     acc.record(&profile, TerrestrialMode::Tx, tx_airtime * cycles as f64);
-    acc.record(&profile, TerrestrialMode::Rx, params.rx_windows_s * cycles as f64);
+    acc.record(
+        &profile,
+        TerrestrialMode::Rx,
+        params.rx_windows_s * cycles as f64,
+    );
     acc.record(
         &profile,
         TerrestrialMode::Sleep,
@@ -79,11 +87,11 @@ mod tests {
         let cycles = 48 * 30; // One month at 48/day.
         let horizon = 30.0 * 86_400.0;
         let acc = account_for(&cfg, 20, &DutyCycleParams::default(), cycles, horizon);
-        let sleepish = acc.time_fraction(TerrestrialMode::Sleep)
-            + acc.time_fraction(TerrestrialMode::Standby);
+        let sleepish =
+            acc.time_fraction(TerrestrialMode::Sleep) + acc.time_fraction(TerrestrialMode::Standby);
         assert!(sleepish > 0.95, "sleepish {sleepish}");
-        let radio_energy = acc.energy_fraction(TerrestrialMode::Tx)
-            + acc.energy_fraction(TerrestrialMode::Rx);
+        let radio_energy =
+            acc.energy_fraction(TerrestrialMode::Tx) + acc.energy_fraction(TerrestrialMode::Rx);
         assert!(radio_energy > 0.02, "radio energy {radio_energy}");
         assert!((acc.total_time_s() - horizon).abs() < 1e-6);
     }

@@ -16,7 +16,12 @@ fn main() {
     let site = measurement_sites()
         .into_iter()
         .find(|s| s.code == code)
-        .unwrap_or_else(|| measurement_sites().into_iter().find(|s| s.code == "HK").unwrap());
+        .unwrap_or_else(|| {
+            measurement_sites()
+                .into_iter()
+                .find(|s| s.code == "HK")
+                .unwrap()
+        });
 
     // The paper's measured effective/theoretical ratio for Tianqi-class
     // links (§3.1: daily duration shrinks ~90 %).
@@ -52,9 +57,7 @@ fn main() {
             let contacts_per_day = (mean * 60.0 / 12.0).max(1.0);
             off_hours * 60.0 / contacts_per_day
         };
-        println!(
-            "{count:>4}  {mean:>17.1}  {effective:>20.1}  {gap:>14.1}",
-        );
+        println!("{count:>4}  {mean:>17.1}  {effective:>20.1}  {gap:>14.1}",);
     }
     println!(
         "\nThe paper's Tianqi (22 sats) delivers ~18.5 theoretical but only ~1.8\n\

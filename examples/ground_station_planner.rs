@@ -17,7 +17,10 @@ fn main() {
         .find(|s| s.code == code)
         .unwrap_or_else(|| {
             eprintln!("unknown site {code}, using HK");
-            measurement_sites().into_iter().find(|s| s.code == "HK").unwrap()
+            measurement_sites()
+                .into_iter()
+                .find(|s| s.code == "HK")
+                .unwrap()
         });
     println!(
         "Pass plan for {} ({}), {} stations, one day:\n",
@@ -44,7 +47,11 @@ fn main() {
         }
     }
     candidates.sort_by(|a, b| a.pass.aos.partial_cmp(&b.pass.aos).unwrap());
-    println!("{} passes predicted across {} satellites.", candidates.len(), names.len());
+    println!(
+        "{} passes predicted across {} satellites.",
+        candidates.len(),
+        names.len()
+    );
 
     let coverage = PredictiveScheduler.schedule(&candidates, site.station_count);
     println!(

@@ -23,8 +23,7 @@ fn main() {
     println!("Collected {} beacon traces.", results.traces.len());
 
     let path = std::env::temp_dir().join("satiot_traces.csv");
-    write_traces(&results.traces, File::create(&path).expect("create csv"))
-        .expect("write csv");
+    write_traces(&results.traces, File::create(&path).expect("create csv")).expect("write csv");
     let bytes = std::fs::metadata(&path).expect("stat").len();
     println!("Archived to {} ({} bytes).", path.display(), bytes);
 

@@ -54,7 +54,10 @@ fn run(cmd: Command) {
 }
 
 fn coverage(site_code: &str, hours: u32) {
-    let Some(site) = measurement_sites().into_iter().find(|s| s.code == site_code) else {
+    let Some(site) = measurement_sites()
+        .into_iter()
+        .find(|s| s.code == site_code)
+    else {
         eprintln!("unknown site {site_code:?} (expected HK/SYD/LDN/PGH/SH/GZ/NC/YC)");
         std::process::exit(2);
     };
@@ -98,8 +101,10 @@ fn coverage(site_code: &str, hours: u32) {
             "#".repeat(total as usize),
         );
     }
-    println!("
-This is the *theoretical* picture; the paper shows the effective one is");
+    println!(
+        "
+This is the *theoretical* picture; the paper shows the effective one is"
+    );
     println!("an order of magnitude sparser (run `satiot campaign passive`).");
 }
 
@@ -151,12 +156,18 @@ fn track(constellation: &str, sat_id: u32, hours: f64) {
 }
 
 fn passes(site_code: &str, days: f64) {
-    let Some(site) = measurement_sites().into_iter().find(|s| s.code == site_code) else {
+    let Some(site) = measurement_sites()
+        .into_iter()
+        .find(|s| s.code == site_code)
+    else {
         eprintln!("unknown site {site_code:?} (expected HK/SYD/LDN/PGH/SH/GZ/NC/YC)");
         std::process::exit(2);
     };
     let start = campaign_epoch();
-    println!("Passes over {} ({site_code}) for {days} day(s):\n", site.name);
+    println!(
+        "Passes over {} ({site_code}) for {days} day(s):\n",
+        site.name
+    );
     println!("satellite   AOS(UTC)      dur(min)  max-el(deg)  freq(MHz)");
     let mut count = 0;
     for spec in satiot::scenarios::constellations::all_constellations() {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations_all-921ca09c4029880a.d: crates/bench/src/bin/ablations_all.rs
+
+/root/repo/target/debug/deps/ablations_all-921ca09c4029880a: crates/bench/src/bin/ablations_all.rs
+
+crates/bench/src/bin/ablations_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-85b70c347251bdd7.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-85b70c347251bdd7: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

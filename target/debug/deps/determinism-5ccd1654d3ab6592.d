@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5ccd1654d3ab6592.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-5ccd1654d3ab6592: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e056815501da179b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e056815501da179b: tests/determinism.rs
+
+tests/determinism.rs:

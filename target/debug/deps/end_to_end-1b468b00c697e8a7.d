@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1b468b00c697e8a7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1b468b00c697e8a7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

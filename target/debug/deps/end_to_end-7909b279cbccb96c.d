@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7909b279cbccb96c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7909b279cbccb96c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_beacon-777d49890330b9d9.d: crates/bench/src/bin/exp_ablation_beacon.rs
+
+/root/repo/target/debug/deps/exp_ablation_beacon-777d49890330b9d9: crates/bench/src/bin/exp_ablation_beacon.rs
+
+crates/bench/src/bin/exp_ablation_beacon.rs:

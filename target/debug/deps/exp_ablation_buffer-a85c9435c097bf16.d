@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_buffer-a85c9435c097bf16.d: crates/bench/src/bin/exp_ablation_buffer.rs
+
+/root/repo/target/debug/deps/exp_ablation_buffer-a85c9435c097bf16: crates/bench/src/bin/exp_ablation_buffer.rs
+
+crates/bench/src/bin/exp_ablation_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_doppler-967be0a1c7ff62fd.d: crates/bench/src/bin/exp_ablation_doppler.rs
+
+/root/repo/target/debug/deps/exp_ablation_doppler-967be0a1c7ff62fd: crates/bench/src/bin/exp_ablation_doppler.rs
+
+crates/bench/src/bin/exp_ablation_doppler.rs:

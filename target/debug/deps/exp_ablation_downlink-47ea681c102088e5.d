@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_downlink-47ea681c102088e5.d: crates/bench/src/bin/exp_ablation_downlink.rs
+
+/root/repo/target/debug/deps/exp_ablation_downlink-47ea681c102088e5: crates/bench/src/bin/exp_ablation_downlink.rs
+
+crates/bench/src/bin/exp_ablation_downlink.rs:

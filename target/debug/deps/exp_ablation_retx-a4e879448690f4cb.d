@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_retx-a4e879448690f4cb.d: crates/bench/src/bin/exp_ablation_retx.rs
+
+/root/repo/target/debug/deps/exp_ablation_retx-a4e879448690f4cb: crates/bench/src/bin/exp_ablation_retx.rs
+
+crates/bench/src/bin/exp_ablation_retx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_scheduler-f5b208b1fdef1cb2.d: crates/bench/src/bin/exp_ablation_scheduler.rs
+
+/root/repo/target/debug/deps/exp_ablation_scheduler-f5b208b1fdef1cb2: crates/bench/src/bin/exp_ablation_scheduler.rs
+
+crates/bench/src/bin/exp_ablation_scheduler.rs:

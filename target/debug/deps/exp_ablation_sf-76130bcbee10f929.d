@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_sf-76130bcbee10f929.d: crates/bench/src/bin/exp_ablation_sf.rs
+
+/root/repo/target/debug/deps/exp_ablation_sf-76130bcbee10f929: crates/bench/src/bin/exp_ablation_sf.rs
+
+crates/bench/src/bin/exp_ablation_sf.rs:

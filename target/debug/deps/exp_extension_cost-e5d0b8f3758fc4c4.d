@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_extension_cost-e5d0b8f3758fc4c4.d: crates/bench/src/bin/exp_extension_cost.rs
+
+/root/repo/target/debug/deps/exp_extension_cost-e5d0b8f3758fc4c4: crates/bench/src/bin/exp_extension_cost.rs
+
+crates/bench/src/bin/exp_extension_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_extension_gateways-0b4ac4203ed8d87b.d: crates/bench/src/bin/exp_extension_gateways.rs
+
+/root/repo/target/debug/deps/exp_extension_gateways-0b4ac4203ed8d87b: crates/bench/src/bin/exp_extension_gateways.rs
+
+crates/bench/src/bin/exp_extension_gateways.rs:

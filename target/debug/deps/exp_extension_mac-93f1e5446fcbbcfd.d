@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_extension_mac-93f1e5446fcbbcfd.d: crates/bench/src/bin/exp_extension_mac.rs
+
+/root/repo/target/debug/deps/exp_extension_mac-93f1e5446fcbbcfd: crates/bench/src/bin/exp_extension_mac.rs
+
+crates/bench/src/bin/exp_extension_mac.rs:

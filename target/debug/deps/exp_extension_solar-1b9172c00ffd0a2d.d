@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_extension_solar-1b9172c00ffd0a2d.d: crates/bench/src/bin/exp_extension_solar.rs
+
+/root/repo/target/debug/deps/exp_extension_solar-1b9172c00ffd0a2d: crates/bench/src/bin/exp_extension_solar.rs
+
+crates/bench/src/bin/exp_extension_solar.rs:

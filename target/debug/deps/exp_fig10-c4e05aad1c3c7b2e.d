@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10-c4e05aad1c3c7b2e.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/debug/deps/exp_fig10-c4e05aad1c3c7b2e: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11-836b2a6ae2c96c7e.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/debug/deps/exp_fig11-836b2a6ae2c96c7e: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

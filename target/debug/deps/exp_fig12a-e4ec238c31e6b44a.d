@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12a-e4ec238c31e6b44a.d: crates/bench/src/bin/exp_fig12a.rs
+
+/root/repo/target/debug/deps/exp_fig12a-e4ec238c31e6b44a: crates/bench/src/bin/exp_fig12a.rs
+
+crates/bench/src/bin/exp_fig12a.rs:

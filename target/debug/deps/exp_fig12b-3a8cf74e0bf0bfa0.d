@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12b-3a8cf74e0bf0bfa0.d: crates/bench/src/bin/exp_fig12b.rs
+
+/root/repo/target/debug/deps/exp_fig12b-3a8cf74e0bf0bfa0: crates/bench/src/bin/exp_fig12b.rs
+
+crates/bench/src/bin/exp_fig12b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-98781dc47bb0c04a.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-98781dc47bb0c04a: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

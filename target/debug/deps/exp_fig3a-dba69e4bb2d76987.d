@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3a-dba69e4bb2d76987.d: crates/bench/src/bin/exp_fig3a.rs
+
+/root/repo/target/debug/deps/exp_fig3a-dba69e4bb2d76987: crates/bench/src/bin/exp_fig3a.rs
+
+crates/bench/src/bin/exp_fig3a.rs:

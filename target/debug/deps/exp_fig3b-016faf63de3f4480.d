@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3b-016faf63de3f4480.d: crates/bench/src/bin/exp_fig3b.rs
+
+/root/repo/target/debug/deps/exp_fig3b-016faf63de3f4480: crates/bench/src/bin/exp_fig3b.rs
+
+crates/bench/src/bin/exp_fig3b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3c-2ed63e6744fe189e.d: crates/bench/src/bin/exp_fig3c.rs
+
+/root/repo/target/debug/deps/exp_fig3c-2ed63e6744fe189e: crates/bench/src/bin/exp_fig3c.rs
+
+crates/bench/src/bin/exp_fig3c.rs:

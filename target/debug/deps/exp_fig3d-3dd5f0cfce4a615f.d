@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3d-3dd5f0cfce4a615f.d: crates/bench/src/bin/exp_fig3d.rs
+
+/root/repo/target/debug/deps/exp_fig3d-3dd5f0cfce4a615f: crates/bench/src/bin/exp_fig3d.rs
+
+crates/bench/src/bin/exp_fig3d.rs:

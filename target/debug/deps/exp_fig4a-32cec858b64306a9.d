@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4a-32cec858b64306a9.d: crates/bench/src/bin/exp_fig4a.rs
+
+/root/repo/target/debug/deps/exp_fig4a-32cec858b64306a9: crates/bench/src/bin/exp_fig4a.rs
+
+crates/bench/src/bin/exp_fig4a.rs:

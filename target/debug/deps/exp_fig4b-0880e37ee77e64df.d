@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4b-0880e37ee77e64df.d: crates/bench/src/bin/exp_fig4b.rs
+
+/root/repo/target/debug/deps/exp_fig4b-0880e37ee77e64df: crates/bench/src/bin/exp_fig4b.rs
+
+crates/bench/src/bin/exp_fig4b.rs:

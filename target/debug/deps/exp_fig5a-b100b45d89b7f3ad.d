@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5a-b100b45d89b7f3ad.d: crates/bench/src/bin/exp_fig5a.rs
+
+/root/repo/target/debug/deps/exp_fig5a-b100b45d89b7f3ad: crates/bench/src/bin/exp_fig5a.rs
+
+crates/bench/src/bin/exp_fig5a.rs:

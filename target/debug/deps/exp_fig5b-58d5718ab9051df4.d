@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5b-58d5718ab9051df4.d: crates/bench/src/bin/exp_fig5b.rs
+
+/root/repo/target/debug/deps/exp_fig5b-58d5718ab9051df4: crates/bench/src/bin/exp_fig5b.rs
+
+crates/bench/src/bin/exp_fig5b.rs:

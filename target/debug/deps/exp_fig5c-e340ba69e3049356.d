@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5c-e340ba69e3049356.d: crates/bench/src/bin/exp_fig5c.rs
+
+/root/repo/target/debug/deps/exp_fig5c-e340ba69e3049356: crates/bench/src/bin/exp_fig5c.rs
+
+crates/bench/src/bin/exp_fig5c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5d-021ba09fd58e3b6f.d: crates/bench/src/bin/exp_fig5d.rs
+
+/root/repo/target/debug/deps/exp_fig5d-021ba09fd58e3b6f: crates/bench/src/bin/exp_fig5d.rs
+
+crates/bench/src/bin/exp_fig5d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-6b914f8cb1bd2062.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-6b914f8cb1bd2062: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

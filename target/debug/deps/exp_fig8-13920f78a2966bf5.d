@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-13920f78a2966bf5.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-13920f78a2966bf5: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9-d1504c380777ecdd.d: crates/bench/src/bin/exp_fig9.rs
+
+/root/repo/target/debug/deps/exp_fig9-d1504c380777ecdd: crates/bench/src/bin/exp_fig9.rs
+
+crates/bench/src/bin/exp_fig9.rs:

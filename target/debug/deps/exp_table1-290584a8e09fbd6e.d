@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-290584a8e09fbd6e.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-290584a8e09fbd6e: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-eafc1d20022552e5.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-eafc1d20022552e5: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

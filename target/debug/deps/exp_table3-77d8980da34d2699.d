@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-77d8980da34d2699.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-77d8980da34d2699: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

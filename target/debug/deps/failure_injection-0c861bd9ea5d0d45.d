@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-0c861bd9ea5d0d45.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-0c861bd9ea5d0d45: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-62c1e62cde7f4cc2.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-62c1e62cde7f4cc2: tests/failure_injection.rs
+
+tests/failure_injection.rs:

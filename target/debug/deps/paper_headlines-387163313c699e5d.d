@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_headlines-387163313c699e5d.d: tests/paper_headlines.rs
+
+/root/repo/target/debug/deps/paper_headlines-387163313c699e5d: tests/paper_headlines.rs
+
+tests/paper_headlines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_headlines-cec85a2423174c87.d: tests/paper_headlines.rs
+
+/root/repo/target/debug/deps/paper_headlines-cec85a2423174c87: tests/paper_headlines.rs
+
+tests/paper_headlines.rs:

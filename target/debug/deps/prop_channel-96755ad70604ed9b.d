@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_channel-96755ad70604ed9b.d: crates/channel/tests/prop_channel.rs
+
+/root/repo/target/debug/deps/prop_channel-96755ad70604ed9b: crates/channel/tests/prop_channel.rs
+
+crates/channel/tests/prop_channel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_measure-24dfff820cffd8c3.d: crates/measure/tests/prop_measure.rs
+
+/root/repo/target/debug/deps/prop_measure-24dfff820cffd8c3: crates/measure/tests/prop_measure.rs
+
+crates/measure/tests/prop_measure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_node-ab8e5bc5020306ea.d: crates/core/tests/prop_node.rs
+
+/root/repo/target/debug/deps/prop_node-ab8e5bc5020306ea: crates/core/tests/prop_node.rs
+
+crates/core/tests/prop_node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_orbit-b113022cae9d568c.d: crates/orbit/tests/prop_orbit.rs
+
+/root/repo/target/debug/deps/prop_orbit-b113022cae9d568c: crates/orbit/tests/prop_orbit.rs
+
+crates/orbit/tests/prop_orbit.rs:

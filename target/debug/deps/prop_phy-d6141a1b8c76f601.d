@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_phy-d6141a1b8c76f601.d: crates/phy/tests/prop_phy.rs
+
+/root/repo/target/debug/deps/prop_phy-d6141a1b8c76f601: crates/phy/tests/prop_phy.rs
+
+crates/phy/tests/prop_phy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sim-e90abe1449a25ed5.d: crates/sim/tests/prop_sim.rs
+
+/root/repo/target/debug/deps/prop_sim-e90abe1449a25ed5: crates/sim/tests/prop_sim.rs
+
+crates/sim/tests/prop_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-7a052005faf7de4f.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-7a052005faf7de4f: tests/props.rs
+
+tests/props.rs:

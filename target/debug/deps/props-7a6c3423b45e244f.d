@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-7a6c3423b45e244f.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-7a6c3423b45e244f: tests/props.rs
+
+tests/props.rs:

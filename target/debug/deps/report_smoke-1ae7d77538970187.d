@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_smoke-1ae7d77538970187.d: tests/report_smoke.rs
+
+/root/repo/target/debug/deps/report_smoke-1ae7d77538970187: tests/report_smoke.rs
+
+tests/report_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report_smoke-33bd72ebbe3465c8.d: tests/report_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_smoke-33bd72ebbe3465c8.rmeta: tests/report_smoke.rs Cargo.toml
+
+tests/report_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

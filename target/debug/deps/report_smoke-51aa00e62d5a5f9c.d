@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_smoke-51aa00e62d5a5f9c.d: tests/report_smoke.rs
+
+/root/repo/target/debug/deps/report_smoke-51aa00e62d5a5f9c: tests/report_smoke.rs
+
+tests/report_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-e33734cd14bfa42d.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-e33734cd14bfa42d: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/satiot-0364b062b927275c.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsatiot-0364b062b927275c.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsatiot-0364b062b927275c.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

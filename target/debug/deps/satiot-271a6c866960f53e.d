@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/satiot-271a6c866960f53e.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot-271a6c866960f53e.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

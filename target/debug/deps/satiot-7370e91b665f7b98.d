@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/satiot-7370e91b665f7b98.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsatiot-7370e91b665f7b98.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsatiot-7370e91b665f7b98.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot-772111b83091288c.d: src/bin/satiot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot-772111b83091288c.rmeta: src/bin/satiot.rs Cargo.toml
+
+src/bin/satiot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/satiot-7a96afb1810fe20b.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/satiot-7a96afb1810fe20b: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satiot-7d63a8fb2c3fc90e.d: src/bin/satiot.rs
+
+/root/repo/target/debug/deps/satiot-7d63a8fb2c3fc90e: src/bin/satiot.rs
+
+src/bin/satiot.rs:

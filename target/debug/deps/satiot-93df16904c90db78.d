@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/satiot-93df16904c90db78.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot-93df16904c90db78.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satiot-ae711d640240b55b.d: src/bin/satiot.rs
+
+/root/repo/target/debug/deps/satiot-ae711d640240b55b: src/bin/satiot.rs
+
+src/bin/satiot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satiot-b76a31361b580657.d: src/bin/satiot.rs
+
+/root/repo/target/debug/deps/satiot-b76a31361b580657: src/bin/satiot.rs
+
+src/bin/satiot.rs:

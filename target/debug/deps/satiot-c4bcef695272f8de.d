@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satiot-c4bcef695272f8de.d: src/bin/satiot.rs
+
+/root/repo/target/debug/deps/satiot-c4bcef695272f8de: src/bin/satiot.rs
+
+src/bin/satiot.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/satiot-e612692b86d48861.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/satiot-e612692b86d48861: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/satiot_bench-4379de3f19edde53.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/satiot_bench-4379de3f19edde53: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/runners.rs:

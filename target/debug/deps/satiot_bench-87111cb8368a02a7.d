@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satiot_bench-87111cb8368a02a7.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_bench-87111cb8368a02a7.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/runners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

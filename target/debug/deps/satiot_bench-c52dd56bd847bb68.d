@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_bench-c52dd56bd847bb68.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libsatiot_bench-c52dd56bd847bb68.rlib: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libsatiot_bench-c52dd56bd847bb68.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/runners.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_bench-f03f554073905940.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libsatiot_bench-f03f554073905940.rlib: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libsatiot_bench-f03f554073905940.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/runners.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/satiot_channel-a5ea44344654643b.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+/root/repo/target/debug/deps/libsatiot_channel-a5ea44344654643b.rlib: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+/root/repo/target/debug/deps/libsatiot_channel-a5ea44344654643b.rmeta: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/fspl.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/weather.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/satiot_channel-d9ea11624a3b7b91.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+/root/repo/target/debug/deps/satiot_channel-d9ea11624a3b7b91: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/fspl.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/weather.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/satiot_channel-e6b6d796f006f215.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_channel-e6b6d796f006f215.rmeta: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/fspl.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/weather.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/satiot_core-162a5e75da276ef4.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buffer.rs crates/core/src/calib.rs crates/core/src/geometry.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/passive.rs crates/core/src/satellite.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/station.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_core-162a5e75da276ef4.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buffer.rs crates/core/src/calib.rs crates/core/src/geometry.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/passive.rs crates/core/src/satellite.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/station.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/buffer.rs:
+crates/core/src/calib.rs:
+crates/core/src/geometry.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:
+crates/core/src/passive.rs:
+crates/core/src/satellite.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/server.rs:
+crates/core/src/station.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

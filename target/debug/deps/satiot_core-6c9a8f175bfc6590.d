@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/satiot_core-6c9a8f175bfc6590.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buffer.rs crates/core/src/calib.rs crates/core/src/geometry.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/passive.rs crates/core/src/satellite.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/station.rs
+
+/root/repo/target/debug/deps/libsatiot_core-6c9a8f175bfc6590.rlib: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buffer.rs crates/core/src/calib.rs crates/core/src/geometry.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/passive.rs crates/core/src/satellite.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/station.rs
+
+/root/repo/target/debug/deps/libsatiot_core-6c9a8f175bfc6590.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buffer.rs crates/core/src/calib.rs crates/core/src/geometry.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/passive.rs crates/core/src/satellite.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/station.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/buffer.rs:
+crates/core/src/calib.rs:
+crates/core/src/geometry.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:
+crates/core/src/passive.rs:
+crates/core/src/satellite.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/server.rs:
+crates/core/src/station.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/satiot_core-c643e64df66255bc.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buffer.rs crates/core/src/calib.rs crates/core/src/geometry.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/passive.rs crates/core/src/satellite.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/station.rs
+
+/root/repo/target/debug/deps/satiot_core-c643e64df66255bc: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buffer.rs crates/core/src/calib.rs crates/core/src/geometry.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/passive.rs crates/core/src/satellite.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/station.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/buffer.rs:
+crates/core/src/calib.rs:
+crates/core/src/geometry.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:
+crates/core/src/passive.rs:
+crates/core/src/satellite.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/server.rs:
+crates/core/src/station.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satiot_econ-09fed0888662e12b.d: crates/econ/src/lib.rs
+
+/root/repo/target/debug/deps/satiot_econ-09fed0888662e12b: crates/econ/src/lib.rs
+
+crates/econ/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/satiot_econ-619179910c030bf1.d: crates/econ/src/lib.rs
+
+/root/repo/target/debug/deps/libsatiot_econ-619179910c030bf1.rlib: crates/econ/src/lib.rs
+
+/root/repo/target/debug/deps/libsatiot_econ-619179910c030bf1.rmeta: crates/econ/src/lib.rs
+
+crates/econ/src/lib.rs:

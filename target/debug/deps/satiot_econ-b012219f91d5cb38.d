@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_econ-b012219f91d5cb38.d: crates/econ/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_econ-b012219f91d5cb38.rmeta: crates/econ/src/lib.rs Cargo.toml
+
+crates/econ/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

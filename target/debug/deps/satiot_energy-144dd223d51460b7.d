@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satiot_energy-144dd223d51460b7.d: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+/root/repo/target/debug/deps/libsatiot_energy-144dd223d51460b7.rlib: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+/root/repo/target/debug/deps/libsatiot_energy-144dd223d51460b7.rmeta: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/accounting.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/solar.rs:

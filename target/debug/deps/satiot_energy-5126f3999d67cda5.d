@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/satiot_energy-5126f3999d67cda5.d: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_energy-5126f3999d67cda5.rmeta: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/accounting.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/solar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

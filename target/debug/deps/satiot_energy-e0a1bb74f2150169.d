@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_energy-e0a1bb74f2150169.d: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+/root/repo/target/debug/deps/satiot_energy-e0a1bb74f2150169: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/accounting.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/solar.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/satiot_measure-28bf6545a2fdca2f.d: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+/root/repo/target/debug/deps/libsatiot_measure-28bf6545a2fdca2f.rlib: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+/root/repo/target/debug/deps/libsatiot_measure-28bf6545a2fdca2f.rmeta: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/contact.rs:
+crates/measure/src/csv.rs:
+crates/measure/src/latency.rs:
+crates/measure/src/reliability.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/table.rs:
+crates/measure/src/trace.rs:

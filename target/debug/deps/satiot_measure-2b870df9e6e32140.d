@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/satiot_measure-2b870df9e6e32140.d: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+/root/repo/target/debug/deps/satiot_measure-2b870df9e6e32140: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/contact.rs:
+crates/measure/src/csv.rs:
+crates/measure/src/latency.rs:
+crates/measure/src/reliability.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/table.rs:
+crates/measure/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/satiot_measure-3205e5e8868824bd.d: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_measure-3205e5e8868824bd.rmeta: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs Cargo.toml
+
+crates/measure/src/lib.rs:
+crates/measure/src/contact.rs:
+crates/measure/src/csv.rs:
+crates/measure/src/latency.rs:
+crates/measure/src/reliability.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/table.rs:
+crates/measure/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

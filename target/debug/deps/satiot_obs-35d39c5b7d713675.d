@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satiot_obs-35d39c5b7d713675.d: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_obs-35d39c5b7d713675.rmeta: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

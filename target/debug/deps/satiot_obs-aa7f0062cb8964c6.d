@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/satiot_obs-aa7f0062cb8964c6.d: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/satiot_obs-aa7f0062cb8964c6: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_obs-ef9e100b107364ef.d: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libsatiot_obs-ef9e100b107364ef.rlib: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libsatiot_obs-ef9e100b107364ef.rmeta: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/satiot_orbit-4e30b51ef1518402.d: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_orbit-4e30b51ef1518402.rmeta: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs Cargo.toml
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/elements.rs:
+crates/orbit/src/error.rs:
+crates/orbit/src/frames.rs:
+crates/orbit/src/pass.rs:
+crates/orbit/src/sgp4.rs:
+crates/orbit/src/sun.rs:
+crates/orbit/src/time.rs:
+crates/orbit/src/tle.rs:
+crates/orbit/src/topo.rs:
+crates/orbit/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

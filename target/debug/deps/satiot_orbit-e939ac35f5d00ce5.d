@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/satiot_orbit-e939ac35f5d00ce5.d: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs
+
+/root/repo/target/debug/deps/libsatiot_orbit-e939ac35f5d00ce5.rlib: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs
+
+/root/repo/target/debug/deps/libsatiot_orbit-e939ac35f5d00ce5.rmeta: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/elements.rs:
+crates/orbit/src/error.rs:
+crates/orbit/src/frames.rs:
+crates/orbit/src/pass.rs:
+crates/orbit/src/sgp4.rs:
+crates/orbit/src/sun.rs:
+crates/orbit/src/time.rs:
+crates/orbit/src/tle.rs:
+crates/orbit/src/topo.rs:
+crates/orbit/src/vec3.rs:

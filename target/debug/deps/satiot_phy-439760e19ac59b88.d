@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/satiot_phy-439760e19ac59b88.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libsatiot_phy-439760e19ac59b88.rlib: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libsatiot_phy-439760e19ac59b88.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/doppler.rs:
+crates/phy/src/frame.rs:
+crates/phy/src/params.rs:
+crates/phy/src/per.rs:
+crates/phy/src/sensitivity.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/satiot_phy-59d28661f315d16a.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_phy-59d28661f315d16a.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs Cargo.toml
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/doppler.rs:
+crates/phy/src/frame.rs:
+crates/phy/src/params.rs:
+crates/phy/src/per.rs:
+crates/phy/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

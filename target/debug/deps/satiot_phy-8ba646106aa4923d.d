@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/satiot_phy-8ba646106aa4923d.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/debug/deps/satiot_phy-8ba646106aa4923d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/doppler.rs:
+crates/phy/src/frame.rs:
+crates/phy/src/params.rs:
+crates/phy/src/per.rs:
+crates/phy/src/sensitivity.rs:

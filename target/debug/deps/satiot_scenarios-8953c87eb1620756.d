@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satiot_scenarios-8953c87eb1620756.d: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatiot_scenarios-8953c87eb1620756.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs Cargo.toml
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/constellations.rs:
+crates/scenarios/src/sites.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_scenarios-a9b39c886d8904e8.d: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+/root/repo/target/debug/deps/libsatiot_scenarios-a9b39c886d8904e8.rlib: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+/root/repo/target/debug/deps/libsatiot_scenarios-a9b39c886d8904e8.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/constellations.rs:
+crates/scenarios/src/sites.rs:

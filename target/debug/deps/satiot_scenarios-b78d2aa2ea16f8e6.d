@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/satiot_scenarios-b78d2aa2ea16f8e6.d: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+/root/repo/target/debug/deps/satiot_scenarios-b78d2aa2ea16f8e6: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/constellations.rs:
+crates/scenarios/src/sites.rs:

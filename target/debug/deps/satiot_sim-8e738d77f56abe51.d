@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_sim-8e738d77f56abe51.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/satiot_sim-8e738d77f56abe51: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satiot_terrestrial-1e139a49ddff387e.d: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/debug/deps/satiot_terrestrial-1e139a49ddff387e: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+crates/terrestrial/src/lib.rs:
+crates/terrestrial/src/adr.rs:
+crates/terrestrial/src/backhaul.rs:
+crates/terrestrial/src/campaign.rs:
+crates/terrestrial/src/node.rs:

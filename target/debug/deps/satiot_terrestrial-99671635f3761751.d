@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satiot_terrestrial-99671635f3761751.d: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/debug/deps/libsatiot_terrestrial-99671635f3761751.rlib: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/debug/deps/libsatiot_terrestrial-99671635f3761751.rmeta: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+crates/terrestrial/src/lib.rs:
+crates/terrestrial/src/adr.rs:
+crates/terrestrial/src/backhaul.rs:
+crates/terrestrial/src/campaign.rs:
+crates/terrestrial/src/node.rs:

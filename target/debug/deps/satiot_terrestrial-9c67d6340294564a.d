@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satiot_terrestrial-9c67d6340294564a.d: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/debug/deps/libsatiot_terrestrial-9c67d6340294564a.rlib: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/debug/deps/libsatiot_terrestrial-9c67d6340294564a.rmeta: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+crates/terrestrial/src/lib.rs:
+crates/terrestrial/src/adr.rs:
+crates/terrestrial/src/backhaul.rs:
+crates/terrestrial/src/campaign.rs:
+crates/terrestrial/src/node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/__probe-168560b20c9986a4.d: examples/__probe.rs
+
+/root/repo/target/debug/examples/__probe-168560b20c9986a4: examples/__probe.rs
+
+examples/__probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/constellation_designer-3cf279232d801996.d: examples/constellation_designer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconstellation_designer-3cf279232d801996.rmeta: examples/constellation_designer.rs Cargo.toml
+
+examples/constellation_designer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

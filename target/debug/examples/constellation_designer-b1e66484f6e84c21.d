@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/constellation_designer-b1e66484f6e84c21.d: examples/constellation_designer.rs
+
+/root/repo/target/debug/examples/constellation_designer-b1e66484f6e84c21: examples/constellation_designer.rs
+
+examples/constellation_designer.rs:

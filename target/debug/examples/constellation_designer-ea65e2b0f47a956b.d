@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/constellation_designer-ea65e2b0f47a956b.d: examples/constellation_designer.rs
+
+/root/repo/target/debug/examples/constellation_designer-ea65e2b0f47a956b: examples/constellation_designer.rs
+
+examples/constellation_designer.rs:

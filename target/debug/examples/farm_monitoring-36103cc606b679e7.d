@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/farm_monitoring-36103cc606b679e7.d: examples/farm_monitoring.rs
+
+/root/repo/target/debug/examples/farm_monitoring-36103cc606b679e7: examples/farm_monitoring.rs
+
+examples/farm_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/farm_monitoring-ae4380a27ce0d9cc.d: examples/farm_monitoring.rs
+
+/root/repo/target/debug/examples/farm_monitoring-ae4380a27ce0d9cc: examples/farm_monitoring.rs
+
+examples/farm_monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/farm_monitoring-b56e34828ed037f9.d: examples/farm_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfarm_monitoring-b56e34828ed037f9.rmeta: examples/farm_monitoring.rs Cargo.toml
+
+examples/farm_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

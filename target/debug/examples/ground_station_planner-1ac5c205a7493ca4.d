@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ground_station_planner-1ac5c205a7493ca4.d: examples/ground_station_planner.rs
+
+/root/repo/target/debug/examples/ground_station_planner-1ac5c205a7493ca4: examples/ground_station_planner.rs
+
+examples/ground_station_planner.rs:

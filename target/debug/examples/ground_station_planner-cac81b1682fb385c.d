@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ground_station_planner-cac81b1682fb385c.d: examples/ground_station_planner.rs
+
+/root/repo/target/debug/examples/ground_station_planner-cac81b1682fb385c: examples/ground_station_planner.rs
+
+examples/ground_station_planner.rs:

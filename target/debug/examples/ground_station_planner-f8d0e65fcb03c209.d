@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ground_station_planner-f8d0e65fcb03c209.d: examples/ground_station_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libground_station_planner-f8d0e65fcb03c209.rmeta: examples/ground_station_planner.rs Cargo.toml
+
+examples/ground_station_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

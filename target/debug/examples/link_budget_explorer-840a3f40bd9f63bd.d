@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_budget_explorer-840a3f40bd9f63bd.d: examples/link_budget_explorer.rs
+
+/root/repo/target/debug/examples/link_budget_explorer-840a3f40bd9f63bd: examples/link_budget_explorer.rs
+
+examples/link_budget_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_budget_explorer-ac795e97993b0dab.d: examples/link_budget_explorer.rs
+
+/root/repo/target/debug/examples/link_budget_explorer-ac795e97993b0dab: examples/link_budget_explorer.rs
+
+examples/link_budget_explorer.rs:

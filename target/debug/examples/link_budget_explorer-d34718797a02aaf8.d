@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/link_budget_explorer-d34718797a02aaf8.d: examples/link_budget_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblink_budget_explorer-d34718797a02aaf8.rmeta: examples/link_budget_explorer.rs Cargo.toml
+
+examples/link_budget_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-638a903b48515c42.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-638a903b48515c42: examples/quickstart.rs
+
+examples/quickstart.rs:

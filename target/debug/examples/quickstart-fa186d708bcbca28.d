@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fa186d708bcbca28.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fa186d708bcbca28: examples/quickstart.rs
+
+examples/quickstart.rs:

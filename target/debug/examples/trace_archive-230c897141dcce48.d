@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_archive-230c897141dcce48.d: examples/trace_archive.rs
+
+/root/repo/target/debug/examples/trace_archive-230c897141dcce48: examples/trace_archive.rs
+
+examples/trace_archive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_archive-c61325182de5893e.d: examples/trace_archive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_archive-c61325182de5893e.rmeta: examples/trace_archive.rs Cargo.toml
+
+examples/trace_archive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_archive-f76fbdf695551831.d: examples/trace_archive.rs
+
+/root/repo/target/debug/examples/trace_archive-f76fbdf695551831: examples/trace_archive.rs
+
+examples/trace_archive.rs:

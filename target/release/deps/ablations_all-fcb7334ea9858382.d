@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations_all-fcb7334ea9858382.d: crates/bench/src/bin/ablations_all.rs
+
+/root/repo/target/release/deps/ablations_all-fcb7334ea9858382: crates/bench/src/bin/ablations_all.rs
+
+crates/bench/src/bin/ablations_all.rs:

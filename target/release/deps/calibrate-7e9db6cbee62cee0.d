@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-7e9db6cbee62cee0.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-7e9db6cbee62cee0: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

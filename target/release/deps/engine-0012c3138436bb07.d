@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-0012c3138436bb07.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-0012c3138436bb07: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_beacon-a466e3b914fd1910.d: crates/bench/src/bin/exp_ablation_beacon.rs
+
+/root/repo/target/release/deps/exp_ablation_beacon-a466e3b914fd1910: crates/bench/src/bin/exp_ablation_beacon.rs
+
+crates/bench/src/bin/exp_ablation_beacon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_buffer-022c83a56a837c76.d: crates/bench/src/bin/exp_ablation_buffer.rs
+
+/root/repo/target/release/deps/exp_ablation_buffer-022c83a56a837c76: crates/bench/src/bin/exp_ablation_buffer.rs
+
+crates/bench/src/bin/exp_ablation_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_doppler-81bee15ceafdbb04.d: crates/bench/src/bin/exp_ablation_doppler.rs
+
+/root/repo/target/release/deps/exp_ablation_doppler-81bee15ceafdbb04: crates/bench/src/bin/exp_ablation_doppler.rs
+
+crates/bench/src/bin/exp_ablation_doppler.rs:

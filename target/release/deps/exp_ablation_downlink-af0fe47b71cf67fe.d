@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_downlink-af0fe47b71cf67fe.d: crates/bench/src/bin/exp_ablation_downlink.rs
+
+/root/repo/target/release/deps/exp_ablation_downlink-af0fe47b71cf67fe: crates/bench/src/bin/exp_ablation_downlink.rs
+
+crates/bench/src/bin/exp_ablation_downlink.rs:

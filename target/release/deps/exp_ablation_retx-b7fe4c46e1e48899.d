@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_retx-b7fe4c46e1e48899.d: crates/bench/src/bin/exp_ablation_retx.rs
+
+/root/repo/target/release/deps/exp_ablation_retx-b7fe4c46e1e48899: crates/bench/src/bin/exp_ablation_retx.rs
+
+crates/bench/src/bin/exp_ablation_retx.rs:

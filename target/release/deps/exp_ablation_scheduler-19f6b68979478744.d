@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_scheduler-19f6b68979478744.d: crates/bench/src/bin/exp_ablation_scheduler.rs
+
+/root/repo/target/release/deps/exp_ablation_scheduler-19f6b68979478744: crates/bench/src/bin/exp_ablation_scheduler.rs
+
+crates/bench/src/bin/exp_ablation_scheduler.rs:

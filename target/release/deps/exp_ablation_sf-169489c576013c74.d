@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_sf-169489c576013c74.d: crates/bench/src/bin/exp_ablation_sf.rs
+
+/root/repo/target/release/deps/exp_ablation_sf-169489c576013c74: crates/bench/src/bin/exp_ablation_sf.rs
+
+crates/bench/src/bin/exp_ablation_sf.rs:

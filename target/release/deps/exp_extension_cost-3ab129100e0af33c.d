@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_extension_cost-3ab129100e0af33c.d: crates/bench/src/bin/exp_extension_cost.rs
+
+/root/repo/target/release/deps/exp_extension_cost-3ab129100e0af33c: crates/bench/src/bin/exp_extension_cost.rs
+
+crates/bench/src/bin/exp_extension_cost.rs:

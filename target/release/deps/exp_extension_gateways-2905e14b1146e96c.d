@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_extension_gateways-2905e14b1146e96c.d: crates/bench/src/bin/exp_extension_gateways.rs
+
+/root/repo/target/release/deps/exp_extension_gateways-2905e14b1146e96c: crates/bench/src/bin/exp_extension_gateways.rs
+
+crates/bench/src/bin/exp_extension_gateways.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_extension_mac-87f804bb38d536ff.d: crates/bench/src/bin/exp_extension_mac.rs
+
+/root/repo/target/release/deps/exp_extension_mac-87f804bb38d536ff: crates/bench/src/bin/exp_extension_mac.rs
+
+crates/bench/src/bin/exp_extension_mac.rs:

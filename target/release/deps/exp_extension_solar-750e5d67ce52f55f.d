@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_extension_solar-750e5d67ce52f55f.d: crates/bench/src/bin/exp_extension_solar.rs
+
+/root/repo/target/release/deps/exp_extension_solar-750e5d67ce52f55f: crates/bench/src/bin/exp_extension_solar.rs
+
+crates/bench/src/bin/exp_extension_solar.rs:

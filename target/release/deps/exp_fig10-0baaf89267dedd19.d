@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10-0baaf89267dedd19.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/release/deps/exp_fig10-0baaf89267dedd19: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11-de77a97adc18be4b.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/release/deps/exp_fig11-de77a97adc18be4b: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

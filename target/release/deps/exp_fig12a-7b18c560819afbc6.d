@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12a-7b18c560819afbc6.d: crates/bench/src/bin/exp_fig12a.rs
+
+/root/repo/target/release/deps/exp_fig12a-7b18c560819afbc6: crates/bench/src/bin/exp_fig12a.rs
+
+crates/bench/src/bin/exp_fig12a.rs:

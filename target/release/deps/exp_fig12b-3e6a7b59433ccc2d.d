@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12b-3e6a7b59433ccc2d.d: crates/bench/src/bin/exp_fig12b.rs
+
+/root/repo/target/release/deps/exp_fig12b-3e6a7b59433ccc2d: crates/bench/src/bin/exp_fig12b.rs
+
+crates/bench/src/bin/exp_fig12b.rs:

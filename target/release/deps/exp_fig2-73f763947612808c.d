@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2-73f763947612808c.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/release/deps/exp_fig2-73f763947612808c: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

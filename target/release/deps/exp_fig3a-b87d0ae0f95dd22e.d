@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3a-b87d0ae0f95dd22e.d: crates/bench/src/bin/exp_fig3a.rs
+
+/root/repo/target/release/deps/exp_fig3a-b87d0ae0f95dd22e: crates/bench/src/bin/exp_fig3a.rs
+
+crates/bench/src/bin/exp_fig3a.rs:

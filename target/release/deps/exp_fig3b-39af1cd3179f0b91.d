@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3b-39af1cd3179f0b91.d: crates/bench/src/bin/exp_fig3b.rs
+
+/root/repo/target/release/deps/exp_fig3b-39af1cd3179f0b91: crates/bench/src/bin/exp_fig3b.rs
+
+crates/bench/src/bin/exp_fig3b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3c-1e2cc16642ec96fd.d: crates/bench/src/bin/exp_fig3c.rs
+
+/root/repo/target/release/deps/exp_fig3c-1e2cc16642ec96fd: crates/bench/src/bin/exp_fig3c.rs
+
+crates/bench/src/bin/exp_fig3c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3d-6a091ec6bccd1086.d: crates/bench/src/bin/exp_fig3d.rs
+
+/root/repo/target/release/deps/exp_fig3d-6a091ec6bccd1086: crates/bench/src/bin/exp_fig3d.rs
+
+crates/bench/src/bin/exp_fig3d.rs:

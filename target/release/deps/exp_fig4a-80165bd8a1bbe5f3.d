@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4a-80165bd8a1bbe5f3.d: crates/bench/src/bin/exp_fig4a.rs
+
+/root/repo/target/release/deps/exp_fig4a-80165bd8a1bbe5f3: crates/bench/src/bin/exp_fig4a.rs
+
+crates/bench/src/bin/exp_fig4a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4b-f61804be9b34ff2e.d: crates/bench/src/bin/exp_fig4b.rs
+
+/root/repo/target/release/deps/exp_fig4b-f61804be9b34ff2e: crates/bench/src/bin/exp_fig4b.rs
+
+crates/bench/src/bin/exp_fig4b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5a-d9713c2464ac58c6.d: crates/bench/src/bin/exp_fig5a.rs
+
+/root/repo/target/release/deps/exp_fig5a-d9713c2464ac58c6: crates/bench/src/bin/exp_fig5a.rs
+
+crates/bench/src/bin/exp_fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5b-7e6e3c75ee568d76.d: crates/bench/src/bin/exp_fig5b.rs
+
+/root/repo/target/release/deps/exp_fig5b-7e6e3c75ee568d76: crates/bench/src/bin/exp_fig5b.rs
+
+crates/bench/src/bin/exp_fig5b.rs:

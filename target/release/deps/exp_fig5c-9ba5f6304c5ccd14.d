@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5c-9ba5f6304c5ccd14.d: crates/bench/src/bin/exp_fig5c.rs
+
+/root/repo/target/release/deps/exp_fig5c-9ba5f6304c5ccd14: crates/bench/src/bin/exp_fig5c.rs
+
+crates/bench/src/bin/exp_fig5c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5d-e9ee9477ef47791f.d: crates/bench/src/bin/exp_fig5d.rs
+
+/root/repo/target/release/deps/exp_fig5d-e9ee9477ef47791f: crates/bench/src/bin/exp_fig5d.rs
+
+crates/bench/src/bin/exp_fig5d.rs:

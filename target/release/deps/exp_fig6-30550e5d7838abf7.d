@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-30550e5d7838abf7.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-30550e5d7838abf7: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

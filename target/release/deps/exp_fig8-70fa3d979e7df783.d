@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-70fa3d979e7df783.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-70fa3d979e7df783: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

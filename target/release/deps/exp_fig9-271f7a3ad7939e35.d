@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9-271f7a3ad7939e35.d: crates/bench/src/bin/exp_fig9.rs
+
+/root/repo/target/release/deps/exp_fig9-271f7a3ad7939e35: crates/bench/src/bin/exp_fig9.rs
+
+crates/bench/src/bin/exp_fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-78be584a296d5053.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-78be584a296d5053: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

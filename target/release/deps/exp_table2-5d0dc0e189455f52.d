@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-5d0dc0e189455f52.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-5d0dc0e189455f52: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

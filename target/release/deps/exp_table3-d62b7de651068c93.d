@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-d62b7de651068c93.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-d62b7de651068c93: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

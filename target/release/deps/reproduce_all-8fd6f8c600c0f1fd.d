@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-8fd6f8c600c0f1fd.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-8fd6f8c600c0f1fd: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

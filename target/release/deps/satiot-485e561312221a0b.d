@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/satiot-485e561312221a0b.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsatiot-485e561312221a0b.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsatiot-485e561312221a0b.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/satiot-8283282136c532b8.d: src/bin/satiot.rs
+
+/root/repo/target/release/deps/satiot-8283282136c532b8: src/bin/satiot.rs
+
+src/bin/satiot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/satiot-d05876c1fd940dfa.d: src/bin/satiot.rs
+
+/root/repo/target/release/deps/satiot-d05876c1fd940dfa: src/bin/satiot.rs
+
+src/bin/satiot.rs:

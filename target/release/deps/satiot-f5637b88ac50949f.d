@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/satiot-f5637b88ac50949f.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsatiot-f5637b88ac50949f.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsatiot-f5637b88ac50949f.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

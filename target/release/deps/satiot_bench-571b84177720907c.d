@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/satiot_bench-571b84177720907c.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libsatiot_bench-571b84177720907c.rlib: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libsatiot_bench-571b84177720907c.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/runners.rs:

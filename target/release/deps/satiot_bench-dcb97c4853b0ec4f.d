@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/satiot_bench-dcb97c4853b0ec4f.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libsatiot_bench-dcb97c4853b0ec4f.rlib: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libsatiot_bench-dcb97c4853b0ec4f.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/runners.rs:

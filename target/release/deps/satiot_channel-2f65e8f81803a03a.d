@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/satiot_channel-2f65e8f81803a03a.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+/root/repo/target/release/deps/libsatiot_channel-2f65e8f81803a03a.rlib: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+/root/repo/target/release/deps/libsatiot_channel-2f65e8f81803a03a.rmeta: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fading.rs crates/channel/src/fspl.rs crates/channel/src/noise.rs crates/channel/src/weather.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/fspl.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/weather.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/satiot_econ-ec6343a956814ebe.d: crates/econ/src/lib.rs
+
+/root/repo/target/release/deps/libsatiot_econ-ec6343a956814ebe.rlib: crates/econ/src/lib.rs
+
+/root/repo/target/release/deps/libsatiot_econ-ec6343a956814ebe.rmeta: crates/econ/src/lib.rs
+
+crates/econ/src/lib.rs:

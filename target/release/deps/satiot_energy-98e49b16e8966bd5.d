@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/satiot_energy-98e49b16e8966bd5.d: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+/root/repo/target/release/deps/libsatiot_energy-98e49b16e8966bd5.rlib: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+/root/repo/target/release/deps/libsatiot_energy-98e49b16e8966bd5.rmeta: crates/energy/src/lib.rs crates/energy/src/accounting.rs crates/energy/src/battery.rs crates/energy/src/profile.rs crates/energy/src/solar.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/accounting.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/solar.rs:

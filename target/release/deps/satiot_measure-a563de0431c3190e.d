@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/satiot_measure-a563de0431c3190e.d: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+/root/repo/target/release/deps/libsatiot_measure-a563de0431c3190e.rlib: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+/root/repo/target/release/deps/libsatiot_measure-a563de0431c3190e.rmeta: crates/measure/src/lib.rs crates/measure/src/contact.rs crates/measure/src/csv.rs crates/measure/src/latency.rs crates/measure/src/reliability.rs crates/measure/src/stats.rs crates/measure/src/table.rs crates/measure/src/trace.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/contact.rs:
+crates/measure/src/csv.rs:
+crates/measure/src/latency.rs:
+crates/measure/src/reliability.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/table.rs:
+crates/measure/src/trace.rs:

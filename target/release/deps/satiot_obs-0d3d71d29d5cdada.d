@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/satiot_obs-0d3d71d29d5cdada.d: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libsatiot_obs-0d3d71d29d5cdada.rlib: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libsatiot_obs-0d3d71d29d5cdada.rmeta: crates/obs/src/lib.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/satiot_orbit-bd1a2a3117ed4675.d: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs
+
+/root/repo/target/release/deps/libsatiot_orbit-bd1a2a3117ed4675.rlib: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs
+
+/root/repo/target/release/deps/libsatiot_orbit-bd1a2a3117ed4675.rmeta: crates/orbit/src/lib.rs crates/orbit/src/elements.rs crates/orbit/src/error.rs crates/orbit/src/frames.rs crates/orbit/src/pass.rs crates/orbit/src/sgp4.rs crates/orbit/src/sun.rs crates/orbit/src/time.rs crates/orbit/src/tle.rs crates/orbit/src/topo.rs crates/orbit/src/vec3.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/elements.rs:
+crates/orbit/src/error.rs:
+crates/orbit/src/frames.rs:
+crates/orbit/src/pass.rs:
+crates/orbit/src/sgp4.rs:
+crates/orbit/src/sun.rs:
+crates/orbit/src/time.rs:
+crates/orbit/src/tle.rs:
+crates/orbit/src/topo.rs:
+crates/orbit/src/vec3.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/satiot_phy-5211608a8c0cf627.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/release/deps/libsatiot_phy-5211608a8c0cf627.rlib: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/release/deps/libsatiot_phy-5211608a8c0cf627.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/doppler.rs:
+crates/phy/src/frame.rs:
+crates/phy/src/params.rs:
+crates/phy/src/per.rs:
+crates/phy/src/sensitivity.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/satiot_phy-8f3c53530b3a317f.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/release/deps/libsatiot_phy-8f3c53530b3a317f.rlib: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/release/deps/libsatiot_phy-8f3c53530b3a317f.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/doppler.rs crates/phy/src/frame.rs crates/phy/src/params.rs crates/phy/src/per.rs crates/phy/src/sensitivity.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/doppler.rs:
+crates/phy/src/frame.rs:
+crates/phy/src/params.rs:
+crates/phy/src/per.rs:
+crates/phy/src/sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/satiot_scenarios-8b48e00aebd11214.d: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+/root/repo/target/release/deps/libsatiot_scenarios-8b48e00aebd11214.rlib: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+/root/repo/target/release/deps/libsatiot_scenarios-8b48e00aebd11214.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/constellations.rs crates/scenarios/src/sites.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/constellations.rs:
+crates/scenarios/src/sites.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/satiot_sim-d8e43105a5d499a1.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libsatiot_sim-d8e43105a5d499a1.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libsatiot_sim-d8e43105a5d499a1.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/satiot_terrestrial-190f84ee485b1857.d: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/release/deps/libsatiot_terrestrial-190f84ee485b1857.rlib: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/release/deps/libsatiot_terrestrial-190f84ee485b1857.rmeta: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+crates/terrestrial/src/lib.rs:
+crates/terrestrial/src/adr.rs:
+crates/terrestrial/src/backhaul.rs:
+crates/terrestrial/src/campaign.rs:
+crates/terrestrial/src/node.rs:

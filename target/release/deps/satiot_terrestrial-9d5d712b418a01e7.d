@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/satiot_terrestrial-9d5d712b418a01e7.d: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/release/deps/libsatiot_terrestrial-9d5d712b418a01e7.rlib: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+/root/repo/target/release/deps/libsatiot_terrestrial-9d5d712b418a01e7.rmeta: crates/terrestrial/src/lib.rs crates/terrestrial/src/adr.rs crates/terrestrial/src/backhaul.rs crates/terrestrial/src/campaign.rs crates/terrestrial/src/node.rs
+
+crates/terrestrial/src/lib.rs:
+crates/terrestrial/src/adr.rs:
+crates/terrestrial/src/backhaul.rs:
+crates/terrestrial/src/campaign.rs:
+crates/terrestrial/src/node.rs:

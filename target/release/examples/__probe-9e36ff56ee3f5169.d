@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__probe-9e36ff56ee3f5169.d: examples/__probe.rs
+
+/root/repo/target/release/examples/__probe-9e36ff56ee3f5169: examples/__probe.rs
+
+examples/__probe.rs:

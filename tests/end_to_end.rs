@@ -24,7 +24,11 @@ fn passive_traces_respect_physical_bounds() {
     for t in &results.traces.traces {
         // RSSI of a *decoded* LoRa packet must sit above raw noise-margin
         // oblivion and below any plausible near-field level.
-        assert!((-150.0..=-90.0).contains(&t.rssi_dbm), "rssi {}", t.rssi_dbm);
+        assert!(
+            (-150.0..=-90.0).contains(&t.rssi_dbm),
+            "rssi {}",
+            t.rssi_dbm
+        );
         // SNR of decoded packets clusters around the SF10 threshold.
         assert!((-25.0..=20.0).contains(&t.snr_db), "snr {}", t.snr_db);
         // Slant ranges are bounded by geometry: not below the orbit

@@ -43,7 +43,10 @@ fn permanent_rain_degrades_but_does_not_kill_the_link() {
     let r_sunny = ActiveCampaign::new(sunny).run();
     let r_rainy = ActiveCampaign::new(rainy).run();
     assert!(r_rainy.mean_attempts() > r_sunny.mean_attempts());
-    assert!(r_rainy.reliability() > 0.5, "rain should not sever the link");
+    assert!(
+        r_rainy.reliability() > 0.5,
+        "rain should not sever the link"
+    );
 }
 
 #[test]
@@ -53,7 +56,11 @@ fn congested_downlink_delays_but_preserves_ordering() {
     let r = ActiveCampaign::new(cfg).run();
     let b = LatencyBreakdown::compute(&r.timelines);
     // Severe delivery delays…
-    assert!(b.delivery_min.mean > 100.0, "delivery {}", b.delivery_min.mean);
+    assert!(
+        b.delivery_min.mean > 100.0,
+        "delivery {}",
+        b.delivery_min.mean
+    );
     // …but never time travel.
     for tl in &r.timelines {
         if let (Some(rx), Some(d)) = (tl.sat_rx_s, tl.delivered_s) {

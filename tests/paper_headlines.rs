@@ -76,9 +76,18 @@ fn receptions_concentrate_mid_window() {
 fn constellation_size_drives_availability() {
     // Fig 3a: Tianqi (22 sats) is available an order of magnitude longer
     // per day than FOSSA (3 sats).
-    let hk = measurement_sites().into_iter().find(|s| s.code == "HK").unwrap();
-    let t: f64 = theoretical_daily_hours(&tianqi(), &hk, 3).iter().sum::<f64>() / 3.0;
-    let f: f64 = theoretical_daily_hours(&fossa(), &hk, 3).iter().sum::<f64>() / 3.0;
+    let hk = measurement_sites()
+        .into_iter()
+        .find(|s| s.code == "HK")
+        .unwrap();
+    let t: f64 = theoretical_daily_hours(&tianqi(), &hk, 3)
+        .iter()
+        .sum::<f64>()
+        / 3.0;
+    let f: f64 = theoretical_daily_hours(&fossa(), &hk, 3)
+        .iter()
+        .sum::<f64>()
+        / 3.0;
     assert!((10.0..24.0).contains(&t), "Tianqi {t} h/day");
     assert!((0.3..5.0).contains(&f), "FOSSA {f} h/day");
 }
@@ -109,9 +118,17 @@ fn retransmissions_lift_reliability_above_no_retx() {
     none.max_attempts = 1;
     let r_none = ActiveCampaign::new(none).run();
     let r_retx = ActiveCampaign::new(ActiveConfig::quick(4.0)).run();
-    assert!(r_none.reliability() > 0.75, "no-retx {:.2}", r_none.reliability());
+    assert!(
+        r_none.reliability() > 0.75,
+        "no-retx {:.2}",
+        r_none.reliability()
+    );
     assert!(r_retx.reliability() > r_none.reliability());
-    assert!(r_retx.reliability() > 0.9, "retx {:.2}", r_retx.reliability());
+    assert!(
+        r_retx.reliability() > 0.9,
+        "retx {:.2}",
+        r_retx.reliability()
+    );
 }
 
 #[test]

@@ -11,7 +11,12 @@ use satiot_bench::reports;
 #[test]
 fn every_report_renders_from_a_one_day_campaign() {
     let mut pcfg = PassiveConfig::quick(1.5);
-    pcfg.sites.retain(|s| matches!(s.code, "HK" | "SYD" | "LDN" | "PGH" | "SH" | "GZ" | "NC" | "YC"));
+    pcfg.sites.retain(|s| {
+        matches!(
+            s.code,
+            "HK" | "SYD" | "LDN" | "PGH" | "SH" | "GZ" | "NC" | "YC"
+        )
+    });
     let passive = PassiveCampaign::new(pcfg).run();
     let active = ActiveCampaign::new(ActiveConfig::quick(1.0)).run();
     let terrestrial = TerrestrialCampaign::new(TerrestrialConfig {

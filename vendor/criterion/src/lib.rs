@@ -1,0 +1,164 @@
+//! A dependency-free, std-only stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) API this workspace's benches
+//! use. The build environment has no crates.io access, so the real crate
+//! cannot be fetched; this shim keeps `cargo bench` runnable offline with
+//! wall-clock timing (median of several batches) instead of criterion's
+//! statistical machinery.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Number of timed batches per benchmark.
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(500),
+            samples: 11,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run `f` as the benchmark named `name` and print its timing.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.measurement, self.samples, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (flat in this shim; the group name is a
+/// prefix on each benchmark's printed id).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce the number of timed batches (heavy campaign benches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(2);
+        self
+    }
+
+    /// Run `f` as `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        run_bench(&id, self.criterion.measurement, self.criterion.samples, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(name: &str, measurement: Duration, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate the per-batch iteration count on a single warm-up run.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let batch_budget = measurement / samples.max(1) as u32;
+    let iters = (batch_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{name:<40} {:>14} /iter (median of {samples} x {iters} iters)",
+        fmt_ns(median)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

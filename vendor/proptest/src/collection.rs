@@ -1,0 +1,63 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size band for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length, inclusive.
+    pub min: usize,
+    /// Maximum length, inclusive.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end.saturating_sub(1),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let n = self.size.min + rng.below(span + 1) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)` — vectors of `element`
+/// draws with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

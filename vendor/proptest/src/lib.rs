@@ -1,0 +1,501 @@
+//! A dependency-free, std-only re-implementation of the subset of the
+//! [`proptest`](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be vendored; this shim keeps the property tests (and the
+//! committed `.proptest-regressions` seed files) runnable offline:
+//!
+//! * [`proptest!`] expands each `fn name(var in strategy, …) { body }`
+//!   into a deterministic `#[test]` that runs `PROPTEST_CASES` random
+//!   cases (default 64) seeded from the test name, printing the failing
+//!   inputs before propagating any panic.
+//! * Committed `<file>.proptest-regressions` entries are replayed *first*,
+//!   exactly like upstream proptest. Upstream persists an opaque RNG seed
+//!   plus a `# shrinks to var = value, …` comment; the shim replays the
+//!   shrunk values from the comment for every test whose argument names
+//!   match the recorded ones.
+//! * Strategies cover ranges over the primitive numeric types, `Just`,
+//!   `any::<T>()`, tuples, `prop_map`, weighted/unweighted [`prop_oneof!`],
+//!   `proptest::collection::vec`, and simple `"[a-z]{1,12}"`-style string
+//!   patterns.
+//!
+//! Shrinking is intentionally not implemented: failures print the exact
+//! generated inputs, which the deterministic per-case seeding makes
+//! reproducible.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, ProptestConfig};
+}
+
+/// Runner configuration (subset of the upstream struct).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A small, fast, deterministic RNG (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The RNG for one case of one named test: deterministic across runs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(h ^ ((case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Clone + Debug + 'static {
+    /// Draw an arbitrary value.
+    fn arb_sample(rng: &mut TestRng) -> Self;
+
+    /// Best-effort reconstruction from a recorded regression value.
+    fn arb_from_f64(_v: f64) -> Option<Self> {
+        None
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arb_sample(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+            fn arb_from_f64(v: f64) -> Option<Self> {
+                Some(v as $t)
+            }
+        }
+    )+};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arb_sample(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+    fn arb_from_f64(v: f64) -> Option<Self> {
+        Some(v != 0.0)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arb_sample(rng: &mut TestRng) -> Self {
+        // Spread mass across magnitudes without producing NaN/inf.
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mantissa * 10f64.powi(exp)
+    }
+    fn arb_from_f64(v: f64) -> Option<Self> {
+        Some(v)
+    }
+}
+
+/// The strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arb_sample(rng)
+    }
+    fn from_f64(&self, v: f64) -> Option<T> {
+        T::arb_from_f64(v)
+    }
+}
+
+/// `any::<T>()` — a strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- Range strategies -------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+    fn from_f64(&self, v: f64) -> Option<f64> {
+        Some(v)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+    fn from_f64(&self, v: f64) -> Option<f64> {
+        Some(v)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                if span == 0 {
+                    self.start
+                } else {
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            fn from_f64(&self, v: f64) -> Option<$t> {
+                Some(v as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                (*self.start() as i128 + rng.below(span + 1) as i128) as $t
+            }
+            fn from_f64(&self, v: f64) -> Option<$t> {
+                Some(v as $t)
+            }
+        }
+    )+};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- String-pattern strategy ------------------------------------------
+
+/// A parsed atom of the tiny pattern language: a set of candidate chars
+/// plus a repetition range.
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = if c == '[' {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            for d in it.by_ref() {
+                match d {
+                    ']' => break,
+                    '-' => {
+                        // Range: prev already pushed; the next char closes it.
+                        prev = prev.or(Some('-'));
+                    }
+                    d => {
+                        if let Some(p) = prev.take() {
+                            if p != '-' && set.last() == Some(&p) {
+                                // `p-d` range (p was pushed on its own turn).
+                                for x in (p as u32 + 1)..=(d as u32) {
+                                    if let Some(ch) = char::from_u32(x) {
+                                        set.push(ch);
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                        set.push(d);
+                        prev = Some(d);
+                    }
+                }
+            }
+            set
+        } else {
+            vec![c]
+        };
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for d in it.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(PatternAtom { chars, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                if atom.chars.is_empty() {
+                    continue;
+                }
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---- Assertion macros --------------------------------------------------
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", args…)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            panic!("property failed: {:?} != {:?}", __a, __b);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            panic!("property failed: {:?} == {:?}", __a, __b);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The main macro: expands property functions into deterministic tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($var:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __names: &[&'static str] = &[$(stringify!($var)),+];
+
+            // 1. Replay committed regression seeds whose recorded variable
+            //    names match this property's arguments.
+            '__replay: for __entry in $crate::runner::regression_values(file!(), __names) {
+                let mut __idx = 0usize;
+                $(
+                    let $var = {
+                        let __v = __entry[__idx];
+                        __idx += 1;
+                        match $crate::Strategy::from_f64(&($strat), __v) {
+                            Some(v) => v,
+                            None => continue '__replay,
+                        }
+                    };
+                )+
+                let _ = &__idx;
+                $crate::runner::run_case(
+                    concat!(module_path!(), "::", stringify!($name), " [regression]"),
+                    &format!(concat!($(stringify!($var), " = {:?}, "),+), $(&$var),+),
+                    move || $body,
+                );
+            }
+
+            // 2. Random cases, deterministically seeded by test name.
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), __case);
+                $(
+                    let $var = $crate::Strategy::sample(&($strat), &mut __rng);
+                )+
+                let _ = &__rng;
+                $crate::runner::run_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &format!(concat!($(stringify!($var), " = {:?}, "),+), $(&$var),+),
+                    move || $body,
+                );
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::for_case("x", 3);
+        let mut b = crate::TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn pattern_strategy_respects_class_and_length() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..100 {
+            let s = crate::Strategy::sample(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10.0_f64..20.0, n in 3usize..7, b in any::<bool>()) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_oneof_work(
+            v in collection::vec(any::<u8>(), 0..=5),
+            w in prop_oneof![Just(1u32), Just(2u32)],
+            s in prop_oneof![2 => Just("a"), 1 => Just("b")],
+        ) {
+            prop_assert!(v.len() <= 5);
+            prop_assert!(w == 1 || w == 2);
+            prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn map_and_tuple_work(p in (0u8..4, 0.0_f64..1.0).prop_map(|(a, f)| (a as f64) + f)) {
+            prop_assert!((0.0..5.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Case execution and `.proptest-regressions` replay.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Run one generated case; on panic, print the generated inputs (the
+/// shim's substitute for shrinking — cases are deterministic, so the
+/// printed values reproduce the failure directly) and re-raise.
+pub fn run_case<F: FnOnce()>(test_name: &str, described_inputs: &str, body: F) {
+    if let Err(e) = catch_unwind(AssertUnwindSafe(body)) {
+        eprintln!("proptest case failed: {test_name} with {described_inputs}");
+        resume_unwind(e);
+    }
+}
+
+/// Locate `<source_file>.proptest-regressions` for a `file!()` path.
+///
+/// `file!()` paths are relative to the workspace root, while tests run
+/// with the *package* directory as cwd, so probe the path against the
+/// manifest directory and each of its ancestors.
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let sibling = PathBuf::from(source_file).with_extension("proptest-regressions");
+    if sibling.is_file() {
+        return Some(sibling);
+    }
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let mut dir = PathBuf::from(manifest);
+    loop {
+        let candidate = dir.join(&sibling);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Parse the recorded shrunk values for every regression entry whose
+/// variable names match `names` exactly (same names, same order).
+///
+/// Upstream proptest writes lines of the form:
+///
+/// ```text
+/// cc <seed-hash> # shrinks to lat = 89.75, lon = 0.0, alt = 4.3
+/// ```
+///
+/// The opaque seed hash only replays on upstream's RNG, but the shrunk
+/// values pin the actual counterexample, so the shim replays those.
+pub fn regression_values(source_file: &str, names: &[&str]) -> Vec<Vec<f64>> {
+    let Some(path) = regression_path(source_file) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("cc ") {
+            continue;
+        }
+        let Some((_, comment)) = line.split_once('#') else {
+            continue;
+        };
+        let Some(rest) = comment.trim().strip_prefix("shrinks to") else {
+            continue;
+        };
+        let mut values = Vec::with_capacity(names.len());
+        let mut ok = true;
+        let mut pairs = rest.split(',');
+        for name in names {
+            let Some(pair) = pairs.next() else {
+                ok = false;
+                break;
+            };
+            let Some((key, value)) = pair.split_once('=') else {
+                ok = false;
+                break;
+            };
+            if key.trim() != *name {
+                ok = false;
+                break;
+            }
+            let Ok(v) = value.trim().parse::<f64>() else {
+                ok = false;
+                break;
+            };
+            values.push(v);
+        }
+        if ok && pairs.next().is_none() {
+            out.push(values);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_matching_entries_only() {
+        let dir = std::env::temp_dir().join("satiot-proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("sample.rs");
+        let reg = dir.join("sample.proptest-regressions");
+        std::fs::write(&src, "").unwrap();
+        std::fs::write(
+            &reg,
+            "# comment\n\
+             cc abc # shrinks to a = 1.5, b = 2\n\
+             cc def # shrinks to x = 9\n",
+        )
+        .unwrap();
+        let path = src.to_str().unwrap();
+        assert_eq!(regression_values(path, &["a", "b"]), vec![vec![1.5, 2.0]]);
+        assert_eq!(regression_values(path, &["x"]), vec![vec![9.0]]);
+        assert!(regression_values(path, &["a"]).is_empty());
+        assert!(regression_values(path, &["b", "a"]).is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        assert!(regression_values("no/such/file.rs", &["a"]).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::TestRng;
+use std::fmt::Debug;
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Best-effort reconstruction of a value from the numeric literal a
+    /// `.proptest-regressions` "shrinks to" comment recorded for it.
+    /// `None` means this strategy cannot replay recorded values.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_f64(&self, _v: f64) -> Option<Self::Value> {
+        None
+    }
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+    fn from_f64(&self, v: f64) -> Option<T> {
+        (**self).from_f64(v)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+    fn from_f64(&self, v: f64) -> Option<Self::Value> {
+        (**self).from_f64(v)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+    fn from_f64(&self, v: f64) -> Option<O> {
+        self.inner.from_f64(v).map(&self.f)
+    }
+}
+
+/// Erase a strategy into a boxed trait object. Unlike an
+/// `as Box<dyn Strategy<Value = _>>` cast (whose `_` is not inferred from
+/// the cast source), this pins `Value = S::Value`, so [`crate::prop_oneof!`]
+/// arms unify without annotations.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Weighted union of strategies — what [`crate::prop_oneof!`] builds.
+pub struct Union<T: Clone + Debug> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total_weight: u64,
+}
+
+impl<T: Clone + Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms
+            .last()
+            .expect("prop_oneof! needs at least one arm")
+            .1
+            .sample(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+}
