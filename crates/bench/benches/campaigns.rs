@@ -19,6 +19,43 @@ fn bench_campaigns(c: &mut Criterion) {
         })
     });
 
+    // The sweep-pool payoff: the same three-site day, sharded one
+    // *(site × satellite)* prediction task at a time across the work
+    // queue versus the legacy one-thread-per-site driver. The cache is
+    // cleared inside each iteration so both measure cold-cache sweeps.
+    group.bench_function("passive_multisite_pool", |b| {
+        b.iter(|| {
+            satiot_core::sweep::clear();
+            let mut cfg = PassiveConfig::quick(1.0);
+            cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
+            cfg.parallel = true;
+            PassiveCampaign::new(cfg).run()
+        })
+    });
+
+    group.bench_function("passive_multisite_site_threads", |b| {
+        b.iter(|| {
+            satiot_core::sweep::clear();
+            let mut cfg = PassiveConfig::quick(1.0);
+            cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
+            cfg.parallel = true;
+            PassiveCampaign::new(cfg).run_with_site_threads()
+        })
+    });
+
+    // Warm-cache repeat of the pooled sweep: what every campaign after
+    // the first costs inside `reproduce_all` and the ablation binaries
+    // (prediction amortised away; only simulation remains). The legacy
+    // driver pays full prediction every run regardless of core count.
+    group.bench_function("passive_multisite_pool_warm", |b| {
+        b.iter(|| {
+            let mut cfg = PassiveConfig::quick(1.0);
+            cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
+            cfg.parallel = true;
+            PassiveCampaign::new(cfg).run()
+        })
+    });
+
     group.bench_function("active_1day", |b| {
         b.iter(|| ActiveCampaign::new(ActiveConfig::quick(1.0)).run())
     });

@@ -150,4 +150,13 @@ fn main() {
         "e2e latency ratio: {:.0}x (paper 643.6x)",
         b.end_to_end_min.mean / tb.end_to_end_min.mean
     );
+
+    let cache = satiot_core::sweep::stats();
+    println!(
+        "\npass cache: {} lookups, {} computed, {} served from cache ({} entries)",
+        cache.lookups,
+        cache.computes,
+        cache.hits(),
+        cache.entries
+    );
 }

@@ -1,0 +1,78 @@
+//! CI determinism smoke: a quick multi-site passive campaign run three
+//! ways — serial, on the sweep pool, and with the legacy per-site-thread
+//! driver — must produce bit-identical traces and pass records, and the
+//! pass-prediction cache must have computed each list exactly once.
+//!
+//! Exits non-zero (panics) on any divergence, so the CI step is just
+//! `cargo run --release -p satiot-bench --bin determinism_smoke`.
+
+use satiot_core::passive::{PassiveCampaign, PassiveConfig, PassiveResults};
+use satiot_core::sweep;
+use satiot_scenarios::sites::measurement_sites;
+
+fn config(parallel: bool) -> PassiveConfig {
+    let mut cfg = PassiveConfig::quick(1.0);
+    cfg.sites = measurement_sites()
+        .into_iter()
+        .filter(|s| matches!(s.code, "HK" | "GZ" | "SH"))
+        .collect();
+    cfg.max_days = 1.0;
+    cfg.parallel = parallel;
+    cfg
+}
+
+fn assert_identical(label: &str, a: &PassiveResults, b: &PassiveResults) {
+    assert_eq!(a.traces.len(), b.traces.len(), "{label}: trace counts");
+    assert_eq!(a.passes.len(), b.passes.len(), "{label}: pass counts");
+    for (x, y) in a.traces.traces.iter().zip(&b.traces.traces) {
+        assert_eq!(x, y, "{label}: trace diverged");
+    }
+    for (x, y) in a.passes.iter().zip(&b.passes) {
+        assert_eq!(
+            x.covered_s.to_bits(),
+            y.covered_s.to_bits(),
+            "{label}: coverage diverged"
+        );
+        assert_eq!(x.station_up, y.station_up, "{label}: station_up diverged");
+        assert_eq!(
+            (x.window.received, x.window.transmitted),
+            (y.window.received, y.window.transmitted),
+            "{label}: window counts diverged"
+        );
+    }
+    println!(
+        "{label}: identical ({} traces, {} passes)",
+        a.traces.len(),
+        a.passes.len()
+    );
+}
+
+fn main() {
+    sweep::clear();
+    let pooled_a = PassiveCampaign::new(config(true)).run();
+    let pooled_b = PassiveCampaign::new(config(true)).run();
+    let serial = PassiveCampaign::new(config(false)).run();
+    let legacy = PassiveCampaign::new(config(true)).run_with_site_threads();
+
+    assert_identical("pool vs pool", &pooled_a, &pooled_b);
+    assert_identical("pool vs serial", &pooled_a, &serial);
+    assert_identical("pool vs site-threads", &pooled_a, &legacy);
+
+    let cache = sweep::stats();
+    println!(
+        "pass cache: {} lookups, {} computed, {} served from cache ({} entries)",
+        cache.lookups,
+        cache.computes,
+        cache.hits(),
+        cache.entries
+    );
+    assert_eq!(
+        cache.computes, cache.entries as u64,
+        "a pass list was predicted more than once"
+    );
+    assert!(
+        cache.hits() > 0,
+        "repeat runs never hit the cache — keying is broken"
+    );
+    println!("determinism smoke: OK");
+}

@@ -26,6 +26,7 @@ use crate::messages::{Ack, Beacon, Message, Uplink};
 use crate::node::{BeaconReaction, NodeMachine};
 use crate::satellite::{merge_contacts, SatellitePayload};
 use crate::server::DeliveryLog;
+use crate::sweep::{self, PassKey};
 use satiot_channel::antenna::AntennaPattern;
 use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::{Weather, WeatherProcess};
@@ -43,14 +44,15 @@ use satiot_phy::params::LoRaConfig;
 use satiot_phy::per::packet_decodes;
 use satiot_scenarios::constellations::tianqi;
 use satiot_scenarios::sites::{campaign_epoch, tianqi_ground_stations, yunnan_farm, Climate};
-use satiot_sim::{Engine, Rng, SimTime};
+use satiot_sim::{pool, Engine, Rng, SimTime};
+use std::sync::Arc;
 
 use bytes::Bytes;
 
 /// Farm passes driving the active campaign's event schedule (metrics).
 static FARM_PASSES: Counter = Counter::new("core.active.farm_passes");
-/// Wall-clock seconds each per-satellite contact-plan shard took
-/// (metrics).
+/// Wall-clock seconds each *(satellite × ground-station)* contact-plan
+/// prediction task took on the sweep pool (metrics).
 static CONTACT_PLAN_SHARD_S: Timer = Timer::new("core.active.contact_plan_shard_s");
 
 /// Uplink medium-access policy.
@@ -272,41 +274,82 @@ impl ActiveCampaign {
         let spec = tianqi();
         let gs_sites = tianqi_ground_stations();
 
-        let mut predictors: Vec<PassPredictor> = Vec::new();
+        // Predictors are kept for geometry sampling during the event
+        // loop; the pass lists themselves come from the shared cache so
+        // the 12 active-campaign configurations inside `reproduce_all`
+        // predict each one exactly once.
+        let predictors: Vec<PassPredictor> = catalog
+            .iter()
+            .map(|sat| {
+                let sgp4 = sat.sgp4().expect("valid Tianqi catalog");
+                PassPredictor::new(sgp4, farm, calib::THEORETICAL_MASK_RAD)
+            })
+            .collect();
+        let farm_lists: Vec<Arc<Vec<Pass>>> = pool::parallel_map(&catalog, |_, sat| {
+            sweep::passes_for(
+                PassKey::new(
+                    "YUNNAN_FARM",
+                    sat.constellation,
+                    sat.sat_id,
+                    t0,
+                    t0 + cfg.days,
+                    calib::THEORETICAL_MASK_RAD,
+                ),
+                || {
+                    PassPredictor::new(
+                        sat.sgp4().expect("valid Tianqi catalog"),
+                        farm,
+                        calib::THEORETICAL_MASK_RAD,
+                    )
+                },
+            )
+        });
         let mut farm_passes: Vec<(usize, Pass)> = Vec::new(); // (sat, pass)
-        for (i, sat) in catalog.iter().enumerate() {
-            let sgp4 = sat.sgp4().expect("valid Tianqi catalog");
-            let predictor = PassPredictor::new(sgp4, farm, calib::THEORETICAL_MASK_RAD);
-            for pass in predictor.passes(t0, t0 + cfg.days) {
-                farm_passes.push((i, pass));
-            }
-            predictors.push(predictor);
+        for (i, list) in farm_lists.iter().enumerate() {
+            farm_passes.extend(list.iter().map(|pass| (i, *pass)));
         }
         farm_passes.sort_by(|a, b| a.1.aos.partial_cmp(&b.1.aos).expect("no NaN"));
         FARM_PASSES.add(farm_passes.len() as u64);
 
-        // GS contact plans, sharded across threads (22 sats × 12 stations
-        // of pass prediction dominates setup time).
-        let mut contact_plans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); catalog.len()];
-        std::thread::scope(|scope| {
-            for (i, plan) in contact_plans.iter_mut().enumerate() {
-                let sat = &catalog[i];
-                let gs_sites = &gs_sites;
-                scope.spawn(move || {
-                    let _shard_span = CONTACT_PLAN_SHARD_S.start();
-                    let sgp4 = sat.sgp4().expect("valid Tianqi catalog");
-                    let mut intervals = Vec::new();
-                    for (_, gs) in gs_sites {
-                        let p = PassPredictor::new(sgp4.clone(), *gs, cfg.gs_mask_rad);
-                        for pass in p.passes(t0, t0 + cfg.days + 1.0) {
-                            intervals
-                                .push((pass.aos.seconds_since(t0), pass.los.seconds_since(t0)));
-                        }
-                    }
-                    *plan = merge_contacts(intervals);
-                });
-            }
+        // GS contact plans: one *(satellite × station)* prediction per
+        // pool task (22 sats × 12 stations dominates cold setup time),
+        // every list shared through the cache.
+        let gs_tasks: Vec<(usize, usize)> = (0..catalog.len())
+            .flat_map(|i| (0..gs_sites.len()).map(move |g| (i, g)))
+            .collect();
+        let gs_lists: Vec<Arc<Vec<Pass>>> = pool::parallel_map(&gs_tasks, |_, &(i, g)| {
+            let _shard_span = CONTACT_PLAN_SHARD_S.start();
+            let sat = &catalog[i];
+            let (name, gs) = gs_sites[g];
+            sweep::passes_for(
+                PassKey::new(
+                    name,
+                    sat.constellation,
+                    sat.sat_id,
+                    t0,
+                    t0 + cfg.days + 1.0,
+                    cfg.gs_mask_rad,
+                ),
+                || {
+                    PassPredictor::new(
+                        sat.sgp4().expect("valid Tianqi catalog"),
+                        gs,
+                        cfg.gs_mask_rad,
+                    )
+                },
+            )
         });
+        let contact_plans: Vec<Vec<(f64, f64)>> = (0..catalog.len())
+            .map(|i| {
+                let mut intervals = Vec::new();
+                for g in 0..gs_sites.len() {
+                    for pass in gs_lists[i * gs_sites.len() + g].iter() {
+                        intervals.push((pass.aos.seconds_since(t0), pass.los.seconds_since(t0)));
+                    }
+                }
+                merge_contacts(intervals)
+            })
+            .collect();
 
         let mut sats: Vec<SatellitePayload> = contact_plans
             .into_iter()

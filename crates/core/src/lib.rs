@@ -26,6 +26,10 @@
 //! * [`active`] — the one-month active deployment (paper §2.3/§3.2):
 //!   three nodes on a Yunnan farm sending 20 B every 30 min through the
 //!   Tianqi constellation to a Hong Kong server.
+//! * [`sweep`] — the process-wide pass-prediction cache shared by both
+//!   campaigns, the theoretical-availability analysis, and the
+//!   bench/ablation binaries; paired with `satiot_sim::pool` it turns
+//!   campaign setup into one cached parallel sweep.
 
 pub mod active;
 pub mod buffer;
@@ -38,6 +42,7 @@ pub mod satellite;
 pub mod scheduler;
 pub mod server;
 pub mod station;
+pub mod sweep;
 
 pub use active::{ActiveCampaign, ActiveConfig, ActiveResults};
 pub use passive::{PassiveCampaign, PassiveConfig, PassiveResults};

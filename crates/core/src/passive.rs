@@ -10,27 +10,35 @@
 //! 4. logs a [`BeaconTrace`] per decoded beacon plus per-pass
 //!    [`EffectiveWindow`] records.
 //!
-//! Sites are simulated on independent RNG streams and sharded across
-//! scoped threads; results merge in site order, so a campaign is
-//! reproducible regardless of thread scheduling.
+//! The driver runs in two phases. The *predict* phase shards one task
+//! per *(site × satellite)* pair across the `satiot_sim::pool` work
+//! queue, each task resolving its pass list through the process-wide
+//! [`crate::sweep`] cache (so re-runs — ablations, determinism checks,
+//! repeated campaigns in one binary — never predict the same list
+//! twice). The *simulate* phase then replays each site on its own
+//! forked RNG stream; results merge in site order, so a campaign is
+//! bit-for-bit reproducible regardless of thread count or scheduling.
 
 use crate::calib;
 use crate::geometry::{beacon_times, sample_at};
 use crate::scheduler::{CandidatePass, Coverage, PredictiveScheduler, Scheduler, VanillaScheduler};
 use crate::station::{AvailabilityParams, StationAvailability};
+use crate::sweep::{self, PassKey};
 use satiot_channel::antenna::AntennaPattern;
 use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::WeatherProcess;
 use satiot_measure::contact::{ContactStats, EffectiveWindow, TheoreticalWindow};
 use satiot_measure::trace::{BeaconTrace, TraceSet};
 use satiot_obs::metrics::{Counter, Timer};
-use satiot_orbit::pass::PassPredictor;
+use satiot_orbit::pass::{Pass, PassPredictor};
+use satiot_orbit::time::JulianDate;
 use satiot_phy::doppler::total_penalty_db;
 use satiot_phy::params::LoRaConfig;
 use satiot_phy::per::packet_decodes;
 use satiot_scenarios::constellations::{all_constellations, ConstellationSpec, SatelliteDef};
 use satiot_scenarios::sites::{campaign_epoch, Site};
-use satiot_sim::{Rng, SimTime};
+use satiot_sim::{pool, Rng, SimTime};
+use std::sync::Arc;
 
 /// Candidate passes predicted across all sites and satellites (metrics).
 static PASSES_PREDICTED: Counter = Counter::new("core.passive.passes_predicted");
@@ -228,40 +236,70 @@ impl PassiveCampaign {
     }
 
     /// Run the campaign and return merged results.
+    ///
+    /// Two phases: the *predict* phase shards one *(site × satellite)*
+    /// pass-prediction task per pair across the sweep pool, all served
+    /// through the shared [`crate::sweep`] cache; the *simulate* phase
+    /// then replays each site on its own forked RNG stream. Sites merge
+    /// in configuration order, so the output is bit-identical to a
+    /// serial run (`parallel_and_serial_agree` pins this).
     pub fn run(&self) -> PassiveResults {
         let sats = self.flatten_sats();
         let root = Rng::from_seed(self.config.seed);
-
-        let mut partials: Vec<PassiveResults> = Vec::new();
-        if self.config.parallel && self.config.sites.len() > 1 {
-            let mut slots: Vec<Option<PassiveResults>> =
-                (0..self.config.sites.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (idx, (site, slot)) in
-                    self.config.sites.iter().zip(slots.iter_mut()).enumerate()
-                {
-                    let rng = root.fork_indexed("site", idx as u64);
-                    let sats = &sats;
-                    let cfg = &self.config;
-                    scope.spawn(move || {
-                        *slot = Some(run_site(cfg, site, sats, rng));
-                    });
-                }
-            });
-            partials.extend(slots.into_iter().map(|s| s.expect("site not run")));
+        let n_sites = self.config.sites.len();
+        let n_sats = sats.len();
+        let threads = if self.config.parallel {
+            pool::thread_count()
         } else {
-            for (idx, site) in self.config.sites.iter().enumerate() {
-                let rng = root.fork_indexed("site", idx as u64);
-                partials.push(run_site(&self.config, site, &sats, rng));
-            }
-        }
+            1
+        };
 
-        let mut merged = PassiveResults::default();
-        for p in partials {
-            merged.traces.traces.extend(p.traces.traces);
-            merged.passes.extend(p.passes);
-        }
-        merged
+        // Predict phase: satellite-granularity sharding over the cache.
+        let tasks: Vec<(usize, usize)> = (0..n_sites)
+            .flat_map(|s| (0..n_sats).map(move |q| (s, q)))
+            .collect();
+        let lists: Vec<Arc<Vec<Pass>>> =
+            pool::parallel_map_with(&tasks, threads, |_, &(si, qi)| {
+                predict_site_sat(&self.config.sites[si], &sats[qi], self.config.max_days)
+            });
+        let site_lists: Vec<&[Arc<Vec<Pass>>]> = (0..n_sites)
+            .map(|s| &lists[s * n_sats..(s + 1) * n_sats])
+            .collect();
+
+        // Simulate phase: one task per site, RNG streams forked by index.
+        let partials: Vec<PassiveResults> =
+            pool::parallel_map_with(&self.config.sites, threads, |idx, site| {
+                let rng = root.fork_indexed("site", idx as u64);
+                run_site(&self.config, site, &sats, rng, Some(site_lists[idx]))
+            });
+        merge(partials)
+    }
+
+    /// The pre-pool driver: one scoped thread per site, each predicting
+    /// its passes inline and uncached. Kept as the measured baseline the
+    /// pooled sweep is benchmarked against (`benches/campaigns.rs`);
+    /// produces bit-identical results to [`Self::run`].
+    pub fn run_with_site_threads(&self) -> PassiveResults {
+        let sats = self.flatten_sats();
+        let root = Rng::from_seed(self.config.seed);
+        let mut slots: Vec<Option<PassiveResults>> =
+            (0..self.config.sites.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (idx, (site, slot)) in self.config.sites.iter().zip(slots.iter_mut()).enumerate() {
+                let rng = root.fork_indexed("site", idx as u64);
+                let sats = &sats;
+                let cfg = &self.config;
+                scope.spawn(move || {
+                    *slot = Some(run_site(cfg, site, sats, rng, None));
+                });
+            }
+        });
+        merge(
+            slots
+                .into_iter()
+                .map(|s| s.expect("site not run"))
+                .collect(),
+        )
     }
 
     fn flatten_sats(&self) -> Vec<FlatSat> {
@@ -283,16 +321,92 @@ impl PassiveCampaign {
     }
 }
 
-/// Simulate one site end to end.
-fn run_site(cfg: &PassiveConfig, site: &Site, sats: &[FlatSat], rng: Rng) -> PassiveResults {
+/// Merge per-site partial results in site order.
+fn merge(partials: Vec<PassiveResults>) -> PassiveResults {
+    let mut merged = PassiveResults::default();
+    for p in partials {
+        merged.traces.traces.extend(p.traces.traces);
+        merged.passes.extend(p.passes);
+    }
+    merged
+}
+
+/// The site's simulated range under the campaign's day cap. Both the
+/// predict phase and `run_site` derive the range through this helper so
+/// their cache keys and scan bounds agree bit-for-bit.
+fn site_range(site: &Site, max_days: f64) -> (JulianDate, JulianDate, f64) {
+    let start = site.start();
+    let days = site.active_days().min(max_days);
+    (start, start + days, days)
+}
+
+/// Predict (through the shared cache) one satellite's passes over one
+/// site for the site's configured campaign range.
+fn predict_site_sat(site: &Site, sat: &FlatSat, max_days: f64) -> Arc<Vec<Pass>> {
+    let (start, end, _) = site_range(site, max_days);
+    sweep::passes_for(
+        PassKey::new(
+            site.code,
+            sat.constellation,
+            sat.sat_id,
+            start,
+            end,
+            calib::THEORETICAL_MASK_RAD,
+        ),
+        || {
+            let sgp4 = sat
+                .predictor_seed
+                .sgp4()
+                .expect("catalog elements are valid LEO");
+            PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD)
+        },
+    )
+}
+
+/// The coverage piece to probe for station liveness at culmination: the
+/// piece whose interval contains TCA, falling back to the piece nearest
+/// it in time (a truncated vanilla-dwell slot may not straddle TCA at
+/// all). Probing `pieces.first()` unconditionally was wrong whenever a
+/// *different* piece contained TCA — it consulted an unrelated
+/// station's availability timeline.
+fn piece_for_tca<'a>(pieces: &[&'a Coverage], tca: JulianDate) -> Option<&'a Coverage> {
+    fn gap_s(c: &Coverage, t: JulianDate) -> f64 {
+        if t < c.start {
+            c.start.seconds_since(t)
+        } else if t > c.end {
+            t.seconds_since(c.end)
+        } else {
+            0.0
+        }
+    }
+    pieces
+        .iter()
+        .copied()
+        .find(|c| tca >= c.start && tca <= c.end)
+        .or_else(|| {
+            pieces
+                .iter()
+                .copied()
+                .min_by(|a, b| gap_s(a, tca).total_cmp(&gap_s(b, tca)))
+        })
+}
+
+/// Simulate one site end to end. `prepredicted` carries the predict
+/// phase's per-satellite pass lists; `None` predicts inline (the legacy
+/// uncached baseline).
+fn run_site(
+    cfg: &PassiveConfig,
+    site: &Site,
+    sats: &[FlatSat],
+    rng: Rng,
+    prepredicted: Option<&[Arc<Vec<Pass>>]>,
+) -> PassiveResults {
     let _shard_span = SITE_SHARD_S.start();
     let mut results = PassiveResults::default();
-    let start = site.start();
-    let days = site.active_days().min(cfg.max_days);
+    let (start, end, days) = site_range(site, cfg.max_days);
     if days <= 0.0 {
         return results;
     }
-    let end = start + days;
 
     // Weather timeline, indexed by seconds since site start.
     let mut weather_rng = rng.fork("weather");
@@ -302,7 +416,8 @@ fn run_site(cfg: &PassiveConfig, site: &Site, sats: &[FlatSat], rng: Rng) -> Pas
         &mut weather_rng,
     );
 
-    // Pass predictions for every satellite.
+    // Pass predictions for every satellite: cached lists from the
+    // predict phase when provided, inline prediction otherwise.
     let mut predictors: Vec<PassPredictor> = Vec::with_capacity(sats.len());
     let mut candidates: Vec<CandidatePass> = Vec::new();
     for (i, sat) in sats.iter().enumerate() {
@@ -311,8 +426,17 @@ fn run_site(cfg: &PassiveConfig, site: &Site, sats: &[FlatSat], rng: Rng) -> Pas
             .sgp4()
             .expect("catalog elements are valid LEO");
         let predictor = PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD);
-        for pass in predictor.passes(start, end) {
-            candidates.push(CandidatePass { sat_index: i, pass });
+        match prepredicted {
+            Some(lists) => candidates.extend(lists[i].iter().map(|pass| CandidatePass {
+                sat_index: i,
+                pass: *pass,
+            })),
+            None => candidates.extend(
+                predictor
+                    .passes(start, end)
+                    .into_iter()
+                    .map(|pass| CandidatePass { sat_index: i, pass }),
+            ),
         }
         predictors.push(predictor);
     }
@@ -364,7 +488,12 @@ fn run_site(cfg: &PassiveConfig, site: &Site, sats: &[FlatSat], rng: Rng) -> Pas
             // measured inter-contact gaps (paper Fig 4b), so record it.
             let tca_rel = cp.pass.tca.seconds_since(start);
             let wx = weather.at(SimTime::from_secs(tca_rel));
-            let transmitted = (cp.pass.duration_s() / sat.beacon_interval_s) as usize;
+            // Count emissions with the same per-satellite beacon phase
+            // the covered branch uses — a truncated `duration / interval`
+            // denominator would bias the Fig 4b gap/ratio statistics
+            // between covered and uncovered windows.
+            let phase = (sat.sat_id as f64 * 1.37) % sat.beacon_interval_s;
+            let transmitted = beacon_times(&cp.pass, sat.beacon_interval_s, phase).len();
             results.passes.push(SitePassRecord {
                 site: site.code,
                 constellation: sat.constellation,
@@ -479,8 +608,7 @@ fn run_site(cfg: &PassiveConfig, site: &Site, sats: &[FlatSat], rng: Rng) -> Pas
             received: received_times_rel.len(),
             transmitted,
         };
-        let station_up = pieces
-            .first()
+        let station_up = piece_for_tca(pieces, cp.pass.tca)
             .map(|c| availability[c.station as usize].is_up(tca_rel))
             .unwrap_or(false);
         results.passes.push(SitePassRecord {
@@ -506,15 +634,33 @@ pub fn theoretical_daily_hours(spec: &ConstellationSpec, site: &Site, days: u32)
     let epoch = campaign_epoch();
     let start = site.start();
     let end = start + days as f64;
+    // Per-satellite pass lists: pooled, through the shared cache (a
+    // campaign over the same range reuses them and vice versa).
+    let catalog = spec.catalog(epoch);
+    let lists = pool::parallel_map(&catalog, |_, sat| {
+        sweep::passes_for(
+            PassKey::new(
+                site.code,
+                sat.constellation,
+                sat.sat_id,
+                start,
+                end,
+                calib::THEORETICAL_MASK_RAD,
+            ),
+            || {
+                let sgp4 = sat.sgp4().expect("valid LEO catalog");
+                PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD)
+            },
+        )
+    });
     // Collect all pass intervals (seconds relative to start).
-    let mut intervals: Vec<(f64, f64)> = Vec::new();
-    for sat in spec.catalog(epoch) {
-        let sgp4 = sat.sgp4().expect("valid LEO catalog");
-        let predictor = PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD);
-        for pass in predictor.passes(start, end) {
-            intervals.push((pass.aos.seconds_since(start), pass.los.seconds_since(start)));
-        }
-    }
+    let mut intervals: Vec<(f64, f64)> = lists
+        .iter()
+        .flat_map(|l| {
+            l.iter()
+                .map(|pass| (pass.aos.seconds_since(start), pass.los.seconds_since(start)))
+        })
+        .collect();
     intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Union sweep.
     let mut union: Vec<(f64, f64)> = Vec::new();
@@ -664,6 +810,27 @@ mod tests {
         }
     }
 
+    /// Pass-record fields that must agree bit-for-bit across drivers.
+    fn pass_fingerprint(r: &PassiveResults) -> Vec<(&str, &str, u32, u64, bool, usize, usize)> {
+        r.passes
+            .iter()
+            .map(|p| {
+                (
+                    p.site,
+                    p.constellation,
+                    p.sat_id,
+                    p.covered_s.to_bits(),
+                    p.station_up,
+                    p.window.received,
+                    p.window.transmitted,
+                )
+            })
+            .collect()
+    }
+
+    /// The serial path, the pooled satellite-granularity sharding, and
+    /// the legacy per-site-thread baseline must all produce bit-identical
+    /// campaigns.
     #[test]
     fn parallel_and_serial_agree() {
         let mut cfg = small_config();
@@ -674,11 +841,95 @@ mod tests {
         cfg.max_days = 1.0;
         let serial = PassiveCampaign::new(cfg.clone()).run();
         cfg.parallel = true;
-        let parallel = PassiveCampaign::new(cfg).run();
-        assert_eq!(serial.traces.len(), parallel.traces.len());
-        assert_eq!(serial.passes.len(), parallel.passes.len());
-        for (a, b) in serial.traces.traces.iter().zip(&parallel.traces.traces) {
-            assert_eq!(a, b);
+        let campaign = PassiveCampaign::new(cfg);
+        let pooled = campaign.run();
+        let legacy = campaign.run_with_site_threads();
+        for other in [&pooled, &legacy] {
+            assert_eq!(serial.traces.len(), other.traces.len());
+            assert_eq!(serial.passes.len(), other.passes.len());
+            for (a, b) in serial.traces.traces.iter().zip(&other.traces.traces) {
+                assert_eq!(a, b);
+            }
+            assert_eq!(pass_fingerprint(&serial), pass_fingerprint(other));
+        }
+    }
+
+    /// `station_up` must probe the station of the piece containing TCA
+    /// (previously it always probed `pieces.first()`), falling back to
+    /// the nearest piece when no piece straddles TCA.
+    #[test]
+    fn piece_for_tca_selects_the_covering_piece() {
+        let jd = |s: f64| JulianDate(2_460_000.0 + s / 86_400.0);
+        let piece = |station: u32, start_s: f64, end_s: f64| Coverage {
+            pass_idx: 0,
+            station,
+            start: jd(start_s),
+            end: jd(end_s),
+        };
+        let p0 = piece(0, 0.0, 100.0);
+        let p1 = piece(1, 200.0, 400.0);
+        let pieces = [&p0, &p1];
+        // TCA inside the second piece selects its station, not pieces[0].
+        assert_eq!(piece_for_tca(&pieces, jd(300.0)).unwrap().station, 1);
+        assert_eq!(piece_for_tca(&pieces, jd(50.0)).unwrap().station, 0);
+        // TCA in the gap: nearest piece wins.
+        assert_eq!(piece_for_tca(&pieces, jd(120.0)).unwrap().station, 0);
+        assert_eq!(piece_for_tca(&pieces, jd(190.0)).unwrap().station, 1);
+        // TCA past every piece still resolves (truncated dwell slots).
+        assert_eq!(piece_for_tca(&pieces, jd(500.0)).unwrap().station, 1);
+        assert!(piece_for_tca(&[], jd(0.0)).is_none());
+    }
+
+    /// Uncovered windows must count transmissions with `beacon_times`
+    /// (the per-satellite phase included), exactly like covered windows —
+    /// not with a truncated `duration / interval` division.
+    #[test]
+    fn uncovered_windows_use_the_beacon_times_denominator() {
+        // One station across all 39 satellites guarantees uncovered passes.
+        let mut site = hk_site();
+        site.station_count = 1;
+        let mut cfg = small_config();
+        cfg.sites = vec![site];
+        cfg.constellations = all_constellations();
+        cfg.max_days = 1.0;
+        let results = PassiveCampaign::new(cfg.clone()).run();
+        let uncovered: Vec<_> = results
+            .passes
+            .iter()
+            .filter(|p| p.covered_s == 0.0)
+            .collect();
+        assert!(
+            !uncovered.is_empty(),
+            "scenario produced no uncovered passes"
+        );
+
+        let epoch = campaign_epoch();
+        let intervals: std::collections::HashMap<(&str, u32), f64> = cfg
+            .constellations
+            .iter()
+            .flat_map(|spec| spec.catalog(epoch))
+            .map(|sat| ((sat.constellation, sat.sat_id), sat.beacon_interval_s))
+            .collect();
+        for p in uncovered {
+            let interval = intervals[&(p.constellation, p.sat_id)];
+            let phase = (p.sat_id as f64 * 1.37) % interval;
+            let duration = p.window.theoretical.end_s - p.window.theoretical.start_s;
+            let mut expected = 0usize;
+            let mut t = phase.rem_euclid(interval);
+            while t <= duration {
+                expected += 1;
+                t += interval;
+            }
+            // Same counting rule as `beacon_times` (±1 spans the float
+            // round-off between the two duration computations).
+            assert!(
+                (p.window.transmitted as i64 - expected as i64).abs() <= 1,
+                "{}-{} transmitted {} expected {expected}",
+                p.constellation,
+                p.sat_id,
+                p.window.transmitted,
+            );
+            assert_eq!(p.window.received, 0);
         }
     }
 }

@@ -1,0 +1,255 @@
+//! The shared pass-prediction cache behind every campaign sweep.
+//!
+//! Pass prediction (SGP4 propagation + crossing refinement over weeks of
+//! simulated time) dominates campaign setup, yet the same *(site,
+//! satellite, time range, mask)* pass list used to be recomputed from
+//! scratch by `PassiveCampaign::run`, again by `theoretical_daily_hours`,
+//! and once more per configuration inside every ablation binary. This
+//! module memoises them process-wide: the first request for a key
+//! computes the list (exactly once, even under concurrent access from
+//! the sweep pool), and every later request — a re-run with a different
+//! scheduler, a second campaign in the same ablation, a determinism
+//! smoke pass — returns the shared `Arc` instantly.
+//!
+//! Prediction is a pure function of the key (no RNG is involved), so
+//! caching cannot perturb campaign determinism: a cached list is
+//! bit-identical to a fresh computation.
+//!
+//! ```
+//! use satiot_core::sweep::{passes_for, PassKey};
+//! use satiot_orbit::elements::Elements;
+//! use satiot_orbit::frames::Geodetic;
+//! use satiot_orbit::pass::PassPredictor;
+//! use satiot_orbit::time::JulianDate;
+//!
+//! let epoch = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+//! let site = Geodetic::from_degrees(22.32, 114.17, 0.05);
+//! let key = PassKey::new("HK", "DOC", 1, epoch, epoch + 1.0, 0.0);
+//! let make = || {
+//!     let sgp4 = Elements::circular(550.0, 97.6, epoch).to_sgp4().unwrap();
+//!     PassPredictor::new(sgp4, site, 0.0)
+//! };
+//! let first = passes_for(key, make);
+//! let again = passes_for(key, make); // Served from the cache.
+//! assert!(std::sync::Arc::ptr_eq(&first, &again));
+//! ```
+
+use satiot_obs::metrics::{Counter, Gauge};
+use satiot_orbit::pass::{Pass, PassPredictor};
+use satiot_orbit::time::JulianDate;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache lookups served without predicting (metrics).
+static CACHE_HITS: Counter = Counter::new("core.sweep.pass_cache_hits");
+/// Cache lookups that triggered a prediction (metrics).
+static CACHE_MISSES: Counter = Counter::new("core.sweep.pass_cache_misses");
+/// Distinct pass lists currently cached (metrics).
+static CACHE_ENTRIES: Gauge = Gauge::new("core.sweep.pass_cache_entries");
+
+// The proof-of-work counters behind [`stats`] are plain atomics rather
+// than obs counters so they report even when `SATIOT_METRICS` is off
+// (the determinism smoke and `reproduce_all` assert on them).
+static LOOKUPS: AtomicU64 = AtomicU64::new(0);
+static COMPUTES: AtomicU64 = AtomicU64::new(0);
+
+/// Identity of one cached pass list.
+///
+/// Two predictions may share a list only when *everything* that feeds
+/// the predictor matches: the site (by code), the satellite (by
+/// constellation + id), the scan range, and the elevation mask. The
+/// `f64` range/mask fields are keyed by their exact bit patterns, so
+/// even sub-ulp differences key separately — correctness over hit rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PassKey {
+    /// Site code (`"HK"`, a ground-station name, `"YUNNAN_FARM"`, …).
+    pub site: &'static str,
+    /// Constellation label.
+    pub constellation: &'static str,
+    /// Satellite id within the constellation.
+    pub sat_id: u32,
+    /// Scan start (`JulianDate` bits).
+    pub start_bits: u64,
+    /// Scan end (`JulianDate` bits).
+    pub end_bits: u64,
+    /// Elevation mask in radians (bits).
+    pub mask_bits: u64,
+}
+
+impl PassKey {
+    /// Build a key from the predictor's natural inputs.
+    pub fn new(
+        site: &'static str,
+        constellation: &'static str,
+        sat_id: u32,
+        start: JulianDate,
+        end: JulianDate,
+        mask_rad: f64,
+    ) -> PassKey {
+        PassKey {
+            site,
+            constellation,
+            sat_id,
+            start_bits: start.0.to_bits(),
+            end_bits: end.0.to_bits(),
+            mask_bits: mask_rad.to_bits(),
+        }
+    }
+
+    /// The scan range encoded in the key.
+    pub fn range(&self) -> (JulianDate, JulianDate) {
+        (
+            JulianDate(f64::from_bits(self.start_bits)),
+            JulianDate(f64::from_bits(self.end_bits)),
+        )
+    }
+}
+
+type Entry = Arc<OnceLock<Arc<Vec<Pass>>>>;
+
+fn cache() -> &'static Mutex<HashMap<PassKey, Entry>> {
+    static CACHE: OnceLock<Mutex<HashMap<PassKey, Entry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The pass list for `key`, predicting it with `make_predictor` on the
+/// first request and serving the shared list afterwards.
+///
+/// The map lock is held only to resolve the entry slot; the prediction
+/// itself runs outside it, so concurrent lookups of *different* keys
+/// predict in parallel while concurrent lookups of the *same* key block
+/// on one computation (`OnceLock` guarantees exactly-once).
+pub fn passes_for<F>(key: PassKey, make_predictor: F) -> Arc<Vec<Pass>>
+where
+    F: FnOnce() -> PassPredictor,
+{
+    LOOKUPS.fetch_add(1, Relaxed);
+    let entry: Entry = {
+        let mut map = cache().lock().expect("pass cache poisoned");
+        let entry = Arc::clone(map.entry(key).or_default());
+        CACHE_ENTRIES.set(map.len() as i64);
+        entry
+    };
+    let mut computed = false;
+    let passes = entry
+        .get_or_init(|| {
+            computed = true;
+            COMPUTES.fetch_add(1, Relaxed);
+            CACHE_MISSES.inc();
+            let (start, end) = key.range();
+            Arc::new(make_predictor().passes(start, end))
+        })
+        .clone();
+    if !computed {
+        CACHE_HITS.inc();
+    }
+    passes
+}
+
+/// A snapshot of the cache's proof-of-work counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total [`passes_for`] calls.
+    pub lookups: u64,
+    /// Lookups that ran a prediction. `computes == entries` proves every
+    /// cached pass list was predicted exactly once this process.
+    pub computes: u64,
+    /// Distinct keys currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Lookups served without predicting.
+    pub fn hits(&self) -> u64 {
+        self.lookups - self.computes
+    }
+}
+
+/// Read the cache counters.
+pub fn stats() -> CacheStats {
+    let entries = cache().lock().expect("pass cache poisoned").len();
+    CacheStats {
+        lookups: LOOKUPS.load(Relaxed),
+        computes: COMPUTES.load(Relaxed),
+        entries,
+    }
+}
+
+/// Drop every cached pass list and zero the counters (benches measuring
+/// cold-cache sweeps; long-lived processes rotating TLE epochs).
+pub fn clear() {
+    let mut map = cache().lock().expect("pass cache poisoned");
+    map.clear();
+    CACHE_ENTRIES.set(0);
+    LOOKUPS.store(0, Relaxed);
+    COMPUTES.store(0, Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satiot_orbit::elements::Elements;
+    use satiot_orbit::frames::Geodetic;
+    use std::sync::atomic::AtomicUsize;
+
+    fn epoch() -> JulianDate {
+        JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0)
+    }
+
+    fn make_predictor() -> PassPredictor {
+        let sgp4 = Elements::circular(550.0, 97.6, epoch()).to_sgp4().unwrap();
+        PassPredictor::new(sgp4, Geodetic::from_degrees(22.32, 114.17, 0.05), 0.0)
+    }
+
+    // Keys below use test-only site codes, so they cannot collide with
+    // the campaign tests that share this process's global cache.
+
+    #[test]
+    fn second_lookup_shares_the_first_list() {
+        let key = PassKey::new("TEST_SHARE", "T", 0, epoch(), epoch() + 1.0, 0.0);
+        let built = AtomicUsize::new(0);
+        let make = || {
+            built.fetch_add(1, Relaxed);
+            make_predictor()
+        };
+        let a = passes_for(key, make);
+        let b = passes_for(key, make);
+        assert_eq!(built.load(Relaxed), 1, "predictor built twice");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a.is_empty());
+        // The cached list matches a fresh prediction bit-for-bit.
+        let fresh = make_predictor().passes(epoch(), epoch() + 1.0);
+        assert_eq!(*a, fresh);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let k1 = PassKey::new("TEST_DISTINCT", "T", 0, epoch(), epoch() + 1.0, 0.0);
+        let k2 = PassKey::new("TEST_DISTINCT", "T", 0, epoch(), epoch() + 2.0, 0.0);
+        let k3 = PassKey::new("TEST_DISTINCT", "T", 1, epoch(), epoch() + 1.0, 0.0);
+        let a = passes_for(k1, make_predictor);
+        let b = passes_for(k2, make_predictor);
+        let c = passes_for(k3, make_predictor);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(b.len() >= a.len(), "wider range lost passes");
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_exactly_once() {
+        let key = PassKey::new("TEST_CONCURRENT", "T", 0, epoch(), epoch() + 1.0, 0.0);
+        let built = AtomicUsize::new(0);
+        let lists: Vec<Arc<Vec<Pass>>> =
+            satiot_sim::pool::parallel_map_with(&[(); 16], 8, |_, _| {
+                passes_for(key, || {
+                    built.fetch_add(1, Relaxed);
+                    make_predictor()
+                })
+            });
+        assert_eq!(built.load(Relaxed), 1, "racing lookups predicted twice");
+        for l in &lists {
+            assert!(Arc::ptr_eq(&lists[0], l));
+        }
+    }
+}

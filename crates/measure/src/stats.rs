@@ -132,8 +132,13 @@ impl Histogram {
         }
     }
 
-    /// Add one observation.
+    /// Add one observation. Non-finite values are dropped (a NaN would
+    /// otherwise silently land in bin 0 through the clamping below) and
+    /// flagged through the `satiot_obs` non-finite invariant counter.
     pub fn add(&mut self, value: f64) {
+        if !satiot_obs::invariants::flag_non_finite("measure::stats::Histogram::add", value) {
+            return;
+        }
         let idx = ((value - self.lo) / self.bin_width).floor();
         let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
         self.counts[idx] += 1;
@@ -248,6 +253,22 @@ mod tests {
         assert_eq!(h.counts[0], 3); // 0.5, 1.5, and clamped −3.0.
         assert_eq!(h.counts[1], 2); // 2.5 and 2.6.
         assert_eq!(h.counts[4], 1); // Clamped 42.0.
+    }
+
+    /// NaN used to clamp into bin 0 via `idx.max(0.0)` (NaN comparisons
+    /// are false, so `max` returned 0.0); non-finite values must be
+    /// dropped instead of polluting the first bin.
+    #[test]
+    fn histogram_skips_non_finite() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(1.0);
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        h.add(f64::NEG_INFINITY);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.counts[0], 1);
+        // Edge bins saw no spill from the infinities either.
+        assert_eq!(h.counts[4], 0);
     }
 
     #[test]

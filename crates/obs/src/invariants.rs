@@ -41,6 +41,24 @@ pub fn check_finite(context: &str, v: f64) {
     debug_assert!(v.is_finite(), "{context}: value {v} is not finite");
 }
 
+/// Non-finite values flagged by [`flag_non_finite`] (metrics).
+static NON_FINITE_FLAGGED: crate::metrics::Counter =
+    crate::metrics::Counter::new("obs.invariants.non_finite_flagged");
+
+/// Non-panicking sibling of [`check_finite`] for call sites that must
+/// *tolerate* a stray NaN/inf (e.g. statistics sinks dropping the value)
+/// but still want it surfaced: returns whether `v` is finite, and counts
+/// every non-finite observation into the
+/// `obs.invariants.non_finite_flagged` metric.
+#[inline]
+pub fn flag_non_finite(_context: &str, v: f64) -> bool {
+    let finite = v.is_finite();
+    if !finite {
+        NON_FINITE_FLAGGED.inc();
+    }
+    finite
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +71,15 @@ mod tests {
         check_probability("t", 1.0);
         check_non_negative("t", 0.0);
         check_finite("t", -5.0);
+    }
+
+    #[test]
+    fn flag_non_finite_reports_without_panicking() {
+        assert!(flag_non_finite("t", 1.0));
+        assert!(flag_non_finite("t", -1e300));
+        assert!(!flag_non_finite("t", f64::NAN));
+        assert!(!flag_non_finite("t", f64::INFINITY));
+        assert!(!flag_non_finite("t", f64::NEG_INFINITY));
     }
 
     #[test]

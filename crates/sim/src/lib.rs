@@ -18,6 +18,9 @@
 //! * [`queue`] — a stable event queue: ties in time break by insertion
 //!   order, so identical runs replay identically.
 //! * [`engine`] — the event loop: schedule, step, run-until.
+//! * [`pool`] — the campaign-level sweep pool: an order-preserving
+//!   work queue over scoped threads that shards independent tasks
+//!   (pass predictions, site simulations) across every core.
 //!
 //! ## Example
 //!
@@ -42,6 +45,7 @@
 //! ```
 
 pub mod engine;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
