@@ -15,7 +15,7 @@ fn bench_campaigns(c: &mut Criterion) {
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| s.code == "HK");
             cfg.parallel = false;
-            PassiveCampaign::new(cfg).run()
+            PassiveCampaign::new(cfg).run().unwrap()
         })
     });
 
@@ -29,7 +29,7 @@ fn bench_campaigns(c: &mut Criterion) {
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;
-            PassiveCampaign::new(cfg).run()
+            PassiveCampaign::new(cfg).run().unwrap()
         })
     });
 
@@ -52,12 +52,12 @@ fn bench_campaigns(c: &mut Criterion) {
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;
-            PassiveCampaign::new(cfg).run()
+            PassiveCampaign::new(cfg).run().unwrap()
         })
     });
 
     group.bench_function("active_1day", |b| {
-        b.iter(|| ActiveCampaign::new(ActiveConfig::quick(1.0)).run())
+        b.iter(|| ActiveCampaign::new(ActiveConfig::quick(1.0)).run().unwrap())
     });
 
     group.bench_function("terrestrial_30day", |b| {

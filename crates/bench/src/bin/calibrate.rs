@@ -23,7 +23,7 @@ fn main() {
         .collect::<Vec<_>>();
     let mut pcfg = PassiveConfig::quick(days);
     pcfg.sites = hk.clone();
-    let passive = PassiveCampaign::new(pcfg).run();
+    let passive = PassiveCampaign::new(pcfg).run().unwrap();
     println!("=== PASSIVE (HK, {days} days) ===");
     println!("traces: {}", passive.traces.len());
     for c in ["Tianqi", "FOSSA", "PICO", "CSTP"] {
@@ -82,7 +82,7 @@ fn main() {
     // --- Active. ---
     let mut acfg = ActiveConfig::quick(days);
     acfg.seed = 42;
-    let active = ActiveCampaign::new(acfg).run();
+    let active = ActiveCampaign::new(acfg).run().unwrap();
     let b = LatencyBreakdown::compute(&active.timelines);
     println!("\n=== ACTIVE ({days} days) ===");
     println!(

@@ -1,0 +1,408 @@
+//! CI chaos smoke: replay hundreds of seeded fault-injection scenarios
+//! through the campaign pipeline and assert (a) zero panics anywhere and
+//! (b) reproducible, driver-independent degradation accounting — the
+//! serial and pooled passive drivers must report bit-identical
+//! [`FaultLog`]s, and an active campaign replayed with the same damaged
+//! config must degrade identically.
+//!
+//! Scenarios interleave three families:
+//!
+//! * passive configs perturbed (NaN day caps, emptied sites and
+//!   constellations, poisoned site coordinates, zero-station sites,
+//!   degenerate vanilla dwells), run serial *and* pooled;
+//! * active configs perturbed (zero/NaN periods, out-of-range elevation
+//!   masks, zero nodes/buffers/attempts), run twice for replay equality;
+//! * component-level damage fed straight to the scheduler, beacon
+//!   sampler, and store-and-forward buffer.
+//!
+//! `SATIOT_CHAOS_SEED=<u64>` reseeds the batch. Every failure report
+//! names the scenario index and the mutation labels its plan applied, so
+//! `SATIOT_CHAOS_SEED=<seed> cargo run --release -p satiot-bench --bin
+//! chaos_smoke` reproduces a failure exactly. The CI step is the plain
+//! run, right next to `determinism_smoke`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use satiot_core::active::{ActiveCampaign, ActiveConfig};
+use satiot_core::buffer::{DropPolicy, StoreAndForward};
+use satiot_core::error::FaultLog;
+use satiot_core::geometry::beacon_times;
+use satiot_core::passive::{sanitize_candidates, PassiveCampaign, PassiveConfig, SchedulerKind};
+use satiot_core::scheduler::{CandidatePass, PredictiveScheduler, Scheduler, VanillaScheduler};
+use satiot_orbit::pass::Pass;
+use satiot_orbit::time::JulianDate;
+use satiot_scenarios::constellations::tianqi;
+use satiot_scenarios::sites::measurement_sites;
+use satiot_sim::chaos::{seed_from_env, ChaosEngine, ChaosPlan};
+
+/// Scenario count (the robustness contract asks for ≥ 200).
+const SCENARIOS: u64 = 240;
+
+/// How one scenario ended, short of a panic.
+enum Verdict {
+    /// Ran to completion with a clean fault log.
+    Clean,
+    /// Ran to completion, degradation counted in the fault log.
+    Degraded,
+    /// Rejected up front with a typed error (consistently across runs).
+    Rejected,
+    /// Drivers or replays disagreed — a determinism bug.
+    Mismatch(String),
+}
+
+fn main() {
+    let seed = seed_from_env();
+    let engine = ChaosEngine::new(seed);
+    println!("chaos smoke: {SCENARIOS} scenarios from seed {seed:#x}");
+
+    // Expected-degenerate inputs only panic when the harness has found a
+    // bug; silence the default hook so a failing batch prints structured
+    // reports instead of interleaved backtraces.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let (mut clean, mut degraded, mut rejected) = (0u64, 0u64, 0u64);
+    let mut failures: Vec<String> = Vec::new();
+    for index in 0..SCENARIOS {
+        let mut plan = engine.scenario(index);
+        let family = match index % 3 {
+            0 => "passive",
+            1 => "active",
+            _ => "component",
+        };
+        let verdict = catch_unwind(AssertUnwindSafe(|| match index % 3 {
+            0 => passive_scenario(&mut plan),
+            1 => active_scenario(&mut plan),
+            _ => component_scenario(&mut plan),
+        }));
+        match verdict {
+            Ok(Verdict::Clean) => clean += 1,
+            Ok(Verdict::Degraded) => degraded += 1,
+            Ok(Verdict::Rejected) => rejected += 1,
+            Ok(Verdict::Mismatch(why)) => failures.push(format!(
+                "scenario {index} ({family}) mismatch: {why} — mutations {:?}",
+                plan.applied()
+            )),
+            Err(_) => failures.push(format!(
+                "scenario {index} ({family}) PANICKED — mutations {:?}",
+                plan.applied()
+            )),
+        }
+    }
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "chaos smoke: {clean} clean, {degraded} degraded, {rejected} rejected, \
+         {} failures",
+        failures.len()
+    );
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!("reproduce with SATIOT_CHAOS_SEED={seed}");
+        std::process::exit(1);
+    }
+    // A batch that never exercises the degraded or rejected paths is not
+    // testing the contract — fail loudly rather than rot silently.
+    assert!(
+        degraded > 0,
+        "no scenario degraded — perturbations too weak"
+    );
+    assert!(
+        rejected > 0,
+        "no scenario was rejected — validation untested"
+    );
+    // With SATIOT_METRICS=1 the fault counters (`core.faults.*`,
+    // `core.geometry.degenerate_passes`, `orbit.pass.non_finite_scans`)
+    // have been accumulating across the whole batch; dump them.
+    if satiot_obs::metrics::enabled() {
+        eprintln!("\n{}", satiot_obs::metrics::report());
+    }
+    println!("chaos smoke: OK");
+}
+
+/// Family 0: a perturbed passive campaign must run (or be rejected)
+/// identically under the serial and pooled drivers.
+fn passive_scenario(plan: &mut ChaosPlan) -> Verdict {
+    let mut cfg = PassiveConfig::quick(0.5);
+    cfg.seed = plan.derived_seed();
+    cfg.constellations = vec![tianqi()];
+
+    let mut sites = measurement_sites();
+    let mut site = sites.swap_remove(plan.index_in(sites.len()));
+    if plan.chance(0.4) {
+        // Only non-finite coordinate damage: the pass cache keys on the
+        // site *code*, so a finite perturbation of a real site's
+        // coordinates would poison cache entries shared with other
+        // scenarios. Non-finite coordinates are skipped before
+        // prediction, never cached.
+        let lat = plan.corrupt_f64(site.lat_deg);
+        if !lat.is_finite() {
+            site.lat_deg = lat;
+        }
+    }
+    if plan.chance(0.3) {
+        site.station_count = plan.corrupt_count(site.station_count);
+    }
+    cfg.sites = vec![site];
+    if plan.chance(0.1) {
+        plan.note("sites=emptied");
+        cfg.sites.clear();
+    }
+    if plan.chance(0.1) {
+        plan.note("constellations=emptied");
+        cfg.constellations.clear();
+    }
+    if plan.chance(0.5) {
+        cfg.max_days = plan.corrupt_duration(cfg.max_days);
+    }
+    if plan.chance(0.25) {
+        cfg.scheduler = SchedulerKind::Vanilla {
+            dwell_s: plan.corrupt_duration(600.0),
+        };
+    }
+
+    let mut serial_cfg = cfg.clone();
+    serial_cfg.parallel = false;
+    cfg.parallel = true;
+    let serial = PassiveCampaign::new(serial_cfg).run();
+    let pooled = PassiveCampaign::new(cfg).run();
+    match (serial, pooled) {
+        (Ok(a), Ok(b)) => {
+            if a.faults != b.faults {
+                return Verdict::Mismatch(format!(
+                    "serial faults [{}] != pooled faults [{}]",
+                    a.faults, b.faults
+                ));
+            }
+            if a.traces.len() != b.traces.len() || a.passes.len() != b.passes.len() {
+                return Verdict::Mismatch(format!(
+                    "serial {}t/{}p != pooled {}t/{}p",
+                    a.traces.len(),
+                    a.passes.len(),
+                    b.traces.len(),
+                    b.passes.len()
+                ));
+            }
+            if a.faults.is_clean() {
+                Verdict::Clean
+            } else {
+                Verdict::Degraded
+            }
+        }
+        (Err(a), Err(b)) => {
+            // Typed errors may carry NaN payloads (never `==`), so
+            // compare rendered messages.
+            if a.to_string() == b.to_string() {
+                Verdict::Rejected
+            } else {
+                Verdict::Mismatch(format!("serial rejected [{a}], pooled rejected [{b}]"))
+            }
+        }
+        (a, b) => Verdict::Mismatch(format!(
+            "drivers disagree on acceptance: serial {}, pooled {}",
+            ok_or_err(&a),
+            ok_or_err(&b)
+        )),
+    }
+}
+
+fn ok_or_err<T, E: std::fmt::Display>(r: &Result<T, E>) -> String {
+    match r {
+        Ok(_) => "Ok".into(),
+        Err(e) => format!("Err({e})"),
+    }
+}
+
+/// Family 1: a perturbed active campaign must either be rejected with a
+/// typed error or run to completion — and a replay with the identical
+/// config must degrade bit-identically.
+fn active_scenario(plan: &mut ChaosPlan) -> Verdict {
+    let mut cfg = ActiveConfig::quick(1.0);
+    cfg.seed = plan.derived_seed();
+    if plan.chance(0.5) {
+        cfg.days = plan.corrupt_duration(cfg.days);
+    }
+    if plan.chance(0.4) {
+        cfg.period_s = plan.corrupt_duration(cfg.period_s);
+    }
+    if plan.chance(0.4) {
+        cfg.gs_mask_rad = plan.corrupt_elevation_rad(cfg.gs_mask_rad);
+    }
+    if plan.chance(0.3) {
+        cfg.downlink_service_s = plan.corrupt_f64(cfg.downlink_service_s);
+    }
+    if plan.chance(0.3) {
+        cfg.nodes = plan.corrupt_count(cfg.nodes);
+    }
+    if plan.chance(0.3) {
+        cfg.buffer_capacity = plan.corrupt_count(cfg.buffer_capacity as u32) as usize;
+    }
+    if plan.chance(0.2) {
+        cfg.max_attempts = plan.corrupt_count(cfg.max_attempts);
+    }
+
+    let first = ActiveCampaign::new(cfg.clone()).run();
+    let replay = ActiveCampaign::new(cfg).run();
+    match (first, replay) {
+        (Ok(a), Ok(b)) => {
+            if a.faults != b.faults {
+                return Verdict::Mismatch(format!(
+                    "replay faults [{}] != [{}]",
+                    b.faults, a.faults
+                ));
+            }
+            if a.sent.len() != b.sent.len() || a.delivered_seqs != b.delivered_seqs {
+                return Verdict::Mismatch("replay diverged on sent/delivered".into());
+            }
+            if a.faults.is_clean() {
+                Verdict::Clean
+            } else {
+                Verdict::Degraded
+            }
+        }
+        (Err(a), Err(b)) => {
+            if a.to_string() == b.to_string() {
+                Verdict::Rejected
+            } else {
+                Verdict::Mismatch(format!("replay rejected differently: [{a}] vs [{b}]"))
+            }
+        }
+        (a, b) => Verdict::Mismatch(format!(
+            "replay disagrees on acceptance: {} vs {}",
+            ok_or_err(&a),
+            ok_or_err(&b)
+        )),
+    }
+}
+
+/// Family 2: component-level damage — corrupted pass lists through
+/// sanitisation and both schedulers, degenerate beacon sampling, and
+/// zero/odd-capacity store-and-forward buffers.
+fn component_scenario(plan: &mut ChaosPlan) -> Verdict {
+    let epoch = JulianDate(2_460_000.0);
+    let jd = |s: f64| epoch.plus_seconds(s);
+
+    // A handful of hourly passes, each field individually corruptible.
+    let mut candidates: Vec<CandidatePass> = Vec::new();
+    let n_passes = 2 + plan.index_in(4);
+    for i in 0..n_passes {
+        let mut start_s = i as f64 * 3_600.0;
+        let mut dur_s = 600.0;
+        if plan.chance(0.35) {
+            start_s = plan.corrupt_f64(start_s);
+        }
+        if plan.chance(0.35) {
+            dur_s = plan.corrupt_duration(dur_s);
+        }
+        let (a, l) = if plan.chance(0.15) {
+            plan.note("pass=inverted");
+            (start_s + dur_s, start_s)
+        } else {
+            (start_s, start_s + dur_s)
+        };
+        candidates.push(CandidatePass {
+            sat_index: plan.index_in(3),
+            pass: Pass {
+                aos: jd(a),
+                los: jd(l),
+                tca: jd(0.5 * (a + l)),
+                max_elevation_rad: plan.corrupt_elevation_rad(0.6),
+                tca_range_km: 900.0,
+            },
+        });
+    }
+
+    let mut faults = FaultLog::default();
+    let dropped = sanitize_candidates(&mut candidates, &mut faults);
+    if dropped as u64 != faults.total() {
+        return Verdict::Mismatch(format!(
+            "sanitize dropped {dropped} but counted {} ({})",
+            faults.total(),
+            faults
+        ));
+    }
+    candidates.sort_by(|a, b| a.pass.aos.0.total_cmp(&b.pass.aos.0));
+
+    let stations = plan.corrupt_count(2);
+    let schedules = [
+        PredictiveScheduler.schedule(&candidates, stations),
+        VanillaScheduler {
+            dwell_s: plan.corrupt_duration(600.0),
+            n_targets: 3,
+            origin: epoch,
+        }
+        .schedule(&candidates, stations),
+    ];
+    for coverage in schedules.iter().flatten() {
+        let p = &candidates[coverage.pass_idx].pass;
+        let within = coverage.start.0.is_finite()
+            && coverage.end.0.is_finite()
+            && coverage.duration_s() >= 0.0
+            && coverage.start >= p.aos
+            && coverage.end <= p.los;
+        if !within {
+            return Verdict::Mismatch(format!(
+                "coverage escaped its pass: [{:?}..{:?}] vs [{:?}..{:?}]",
+                coverage.start, coverage.end, p.aos, p.los
+            ));
+        }
+    }
+
+    // Beacon sampling over a surviving (or freshly corrupted) pass.
+    let probe = candidates.first().map(|c| c.pass).unwrap_or(Pass {
+        aos: jd(0.0),
+        los: jd(f64::NAN),
+        tca: jd(300.0),
+        max_elevation_rad: 0.6,
+        tca_range_km: 900.0,
+    });
+    let beacons = beacon_times(&probe, plan.corrupt_duration(60.0), plan.corrupt_f64(5.0));
+    for b in &beacons {
+        if !(b.0.is_finite() && *b >= probe.aos && *b <= probe.los) {
+            return Verdict::Mismatch(format!(
+                "beacon {:?} outside pass [{:?}..{:?}]",
+                b, probe.aos, probe.los
+            ));
+        }
+    }
+
+    // Store-and-forward conservation under interleaved push/pop with a
+    // possibly-zero capacity.
+    let capacity = plan.corrupt_count(4) as usize;
+    let policy = if plan.chance(0.5) {
+        DropPolicy::DropNewest
+    } else {
+        DropPolicy::DropOldest
+    };
+    let mut buf: StoreAndForward<u64> = StoreAndForward::new(capacity, policy);
+    let mut popped = 0u64;
+    let offers = 1 + plan.index_in(16) as u64;
+    for i in 0..offers {
+        buf.push(i);
+        if plan.chance(0.4) && buf.pop().is_some() {
+            popped += 1;
+        }
+    }
+    let conserved = buf.offered == offers
+        && buf.dropped + popped + buf.len() as u64 == offers
+        && buf.len() <= capacity
+        && buf.peak_depth <= capacity;
+    if !conserved {
+        return Verdict::Mismatch(format!(
+            "buffer accounting broke: cap {capacity}, offered {}, dropped {}, \
+             popped {popped}, resident {}, peak {}",
+            buf.offered,
+            buf.dropped,
+            buf.len(),
+            buf.peak_depth
+        ));
+    }
+
+    if faults.is_clean() {
+        Verdict::Clean
+    } else {
+        Verdict::Degraded
+    }
+}

@@ -49,10 +49,12 @@ fn assert_identical(label: &str, a: &PassiveResults, b: &PassiveResults) {
 
 fn main() {
     sweep::clear();
-    let pooled_a = PassiveCampaign::new(config(true)).run();
-    let pooled_b = PassiveCampaign::new(config(true)).run();
-    let serial = PassiveCampaign::new(config(false)).run();
-    let legacy = PassiveCampaign::new(config(true)).run_with_site_threads();
+    let pooled_a = PassiveCampaign::new(config(true)).run().unwrap();
+    let pooled_b = PassiveCampaign::new(config(true)).run().unwrap();
+    let serial = PassiveCampaign::new(config(false)).run().unwrap();
+    let legacy = PassiveCampaign::new(config(true))
+        .run_with_site_threads()
+        .unwrap();
 
     assert_identical("pool vs pool", &pooled_a, &pooled_b);
     assert_identical("pool vs serial", &pooled_a, &serial);

@@ -24,7 +24,7 @@ fn main() {
         for c in &mut cfg.constellations {
             c.beacon_interval_s = interval;
         }
-        let results = PassiveCampaign::new(cfg).run();
+        let results = PassiveCampaign::new(cfg).run().unwrap();
         let stats = results.contact_stats_covered("Tianqi", &[]);
         t.row(&[
             num(interval, 0),

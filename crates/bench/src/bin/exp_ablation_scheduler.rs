@@ -33,7 +33,7 @@ fn main() {
         cfg.scheduler = kind;
         // One representative site keeps the ablation fast.
         cfg.sites.retain(|s| s.code == "HK");
-        let results = PassiveCampaign::new(cfg).run();
+        let results = PassiveCampaign::new(cfg).run().unwrap();
         let covered = results.covered_passes().count();
         let stats = results.contact_stats_covered("Tianqi", &[]);
         t.row(&[

@@ -864,6 +864,7 @@ mod tests {
             },
             node_drop_ratio: vec![0.0],
             horizon_s: 86_400.0,
+            faults: Default::default(),
         }
     }
 

@@ -48,12 +48,18 @@ impl Scale {
 }
 
 /// Run the passive campaign at this scale.
+///
+/// The scaled defaults are always valid, so a rejected config is a bug;
+/// abort with the typed error rather than returning a `Result` every
+/// bench binary would immediately unwrap.
 pub fn run_passive(scale: Scale) -> PassiveResults {
     let cfg = PassiveConfig {
         max_days: scale.passive_days(),
         ..Default::default()
     };
-    PassiveCampaign::new(cfg).run()
+    PassiveCampaign::new(cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("passive campaign rejected its scaled config: {e}"))
 }
 
 /// Run the default active campaign at this scale.
@@ -66,7 +72,9 @@ pub fn run_active(scale: Scale) -> ActiveResults {
 pub fn run_active_with<F: FnOnce(&mut ActiveConfig)>(scale: Scale, tweak: F) -> ActiveResults {
     let mut cfg = ActiveConfig::quick(scale.active_days());
     tweak(&mut cfg);
-    ActiveCampaign::new(cfg).run()
+    ActiveCampaign::new(cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("active campaign rejected its scaled config: {e}"))
 }
 
 /// Run the terrestrial baseline at this scale.

@@ -25,6 +25,10 @@
 //! Every stochastic draw takes an explicit [`satiot_sim::Rng`], keeping
 //! campaigns reproducible.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod antenna;
 pub mod atmosphere;
 pub mod budget;

@@ -21,6 +21,7 @@
 //! residencies.
 
 use crate::calib;
+use crate::error::{Fault, FaultLog, SatIotError};
 use crate::geometry::sample_at;
 use crate::messages::{Ack, Beacon, Message, Uplink};
 use crate::node::{BeaconReaction, NodeMachine};
@@ -36,6 +37,7 @@ use satiot_measure::latency::PacketTimeline;
 use satiot_measure::reliability::SentPacket;
 use satiot_obs::metrics::{Counter, Timer};
 use satiot_orbit::pass::{Pass, PassPredictor};
+use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
 use satiot_phy::airtime::airtime_s;
 use satiot_phy::collision::{sinr_db, Overlap};
@@ -188,6 +190,9 @@ pub struct ActiveResults {
     pub server: DeliveryLog,
     /// Campaign length actually simulated, seconds.
     pub horizon_s: f64,
+    /// Recoverable input damage survived during the run (clamped config
+    /// values, corrupt sequence numbers dropped, …).
+    pub faults: FaultLog,
 }
 
 impl ActiveResults {
@@ -262,12 +267,43 @@ impl ActiveCampaign {
     }
 
     /// Run the simulation.
-    pub fn run(&self) -> ActiveResults {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SatIotError`] when the configuration cannot drive the
+    /// event loop at all (non-finite `days`, a non-positive sensor
+    /// period that would stall the scheduler, non-finite mask/service
+    /// values, or catalog elements that fail to build). Out-of-range
+    /// but finite values — an elevation mask beyond [0, π/2], a
+    /// negative downlink service time, zero `max_attempts` — are
+    /// clamped and counted in [`ActiveResults::faults`].
+    pub fn run(&self) -> Result<ActiveResults, SatIotError> {
         let cfg = &self.config;
+        validate(cfg)?;
+        let mut faults = FaultLog::default();
         let t0 = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
         let horizon_s = cfg.days * 86_400.0;
         let farm = yunnan_farm();
         let root = Rng::from_seed(cfg.seed);
+
+        // Clamp finite-but-out-of-range knobs into their domains.
+        let gs_mask_rad = if (0.0..=std::f64::consts::FRAC_PI_2).contains(&cfg.gs_mask_rad) {
+            cfg.gs_mask_rad
+        } else {
+            faults.record(Fault::ClampedConfig);
+            cfg.gs_mask_rad.clamp(0.0, std::f64::consts::FRAC_PI_2)
+        };
+        let downlink_service_s = if cfg.downlink_service_s < 0.0 {
+            faults.record(Fault::ClampedConfig);
+            0.0
+        } else {
+            cfg.downlink_service_s
+        };
+        if cfg.max_attempts == 0 {
+            // NodeMachine::with_limits raises this to 1; make the clamp
+            // visible in the accounting.
+            faults.record(Fault::ClampedConfig);
+        }
 
         // --- Constellation, farm passes, and GS contact plans. ---
         let catalog = tianqi().catalog(campaign_epoch());
@@ -278,14 +314,24 @@ impl ActiveCampaign {
         // loop; the pass lists themselves come from the shared cache so
         // the 12 active-campaign configurations inside `reproduce_all`
         // predict each one exactly once.
-        let predictors: Vec<PassPredictor> = catalog
-            .iter()
-            .map(|sat| {
-                let sgp4 = sat.sgp4().expect("valid Tianqi catalog");
-                PassPredictor::new(sgp4, farm, calib::THEORETICAL_MASK_RAD)
-            })
-            .collect();
-        let farm_lists: Vec<Arc<Vec<Pass>>> = pool::parallel_map(&catalog, |_, sat| {
+        // Build (and thereby validate) every propagator exactly once;
+        // the pool closures below clone these instead of re-deriving —
+        // and possibly panicking on — the raw elements.
+        let mut sgp4s: Vec<Sgp4> = Vec::with_capacity(catalog.len());
+        let mut predictors: Vec<PassPredictor> = Vec::with_capacity(catalog.len());
+        for sat in &catalog {
+            let sgp4 = sat
+                .sgp4()
+                .map_err(|e| SatIotError::orbit("building Tianqi farm predictors", e))?;
+            predictors.push(PassPredictor::new(
+                sgp4.clone(),
+                farm,
+                calib::THEORETICAL_MASK_RAD,
+            ));
+            sgp4s.push(sgp4);
+        }
+        let farm_lists: Vec<Arc<Vec<Pass>>> = pool::parallel_map(&catalog, |i, sat| {
+            let sgp4 = sgp4s[i].clone();
             sweep::passes_for(
                 PassKey::new(
                     "YUNNAN_FARM",
@@ -295,20 +341,28 @@ impl ActiveCampaign {
                     t0 + cfg.days,
                     calib::THEORETICAL_MASK_RAD,
                 ),
-                || {
-                    PassPredictor::new(
-                        sat.sgp4().expect("valid Tianqi catalog"),
-                        farm,
-                        calib::THEORETICAL_MASK_RAD,
-                    )
-                },
+                || PassPredictor::new(sgp4, farm, calib::THEORETICAL_MASK_RAD),
             )
         });
         let mut farm_passes: Vec<(usize, Pass)> = Vec::new(); // (sat, pass)
         for (i, list) in farm_lists.iter().enumerate() {
             farm_passes.extend(list.iter().map(|pass| (i, *pass)));
         }
-        farm_passes.sort_by(|a, b| a.1.aos.partial_cmp(&b.1.aos).expect("no NaN"));
+        // Healthy predictors never emit degenerate passes, but externally
+        // cached or corrupted lists might; drop and count them so the
+        // event schedule below can assume well-formed windows.
+        farm_passes.retain(|(_, p)| {
+            if !(p.aos.0.is_finite() && p.los.0.is_finite() && p.tca.0.is_finite()) {
+                faults.record(Fault::NanPassTime);
+                return false;
+            }
+            if p.duration_s() <= 0.0 {
+                faults.record(Fault::DegeneratePass);
+                return false;
+            }
+            true
+        });
+        farm_passes.sort_by(|a, b| a.1.aos.0.total_cmp(&b.1.aos.0));
         FARM_PASSES.add(farm_passes.len() as u64);
 
         // GS contact plans: one *(satellite × station)* prediction per
@@ -321,6 +375,7 @@ impl ActiveCampaign {
             let _shard_span = CONTACT_PLAN_SHARD_S.start();
             let sat = &catalog[i];
             let (name, gs) = gs_sites[g];
+            let sgp4 = sgp4s[i].clone();
             sweep::passes_for(
                 PassKey::new(
                     name,
@@ -328,15 +383,9 @@ impl ActiveCampaign {
                     sat.sat_id,
                     t0,
                     t0 + cfg.days + 1.0,
-                    cfg.gs_mask_rad,
+                    gs_mask_rad,
                 ),
-                || {
-                    PassPredictor::new(
-                        sat.sgp4().expect("valid Tianqi catalog"),
-                        gs,
-                        cfg.gs_mask_rad,
-                    )
-                },
+                || PassPredictor::new(sgp4, gs, gs_mask_rad),
             )
         });
         let contact_plans: Vec<Vec<(f64, f64)>> = (0..catalog.len())
@@ -526,6 +575,13 @@ impl ActiveCampaign {
                             match nodes[n].on_beacon(t_rx, pass_end_s) {
                                 BeaconReaction::Idle => {}
                                 BeaconReaction::Transmit { seq, .. } => {
+                                    // A corrupted sequence number cannot
+                                    // index the record table: drop the
+                                    // transmission, count it, move on.
+                                    let Some(rec) = records.get_mut(seq as usize) else {
+                                        faults.record(Fault::CorruptSeq);
+                                        continue;
+                                    };
                                     // Slotted uplink inside the response
                                     // window following the beacon.
                                     let max_slot = (calib::UPLINK_RESPONSE_WINDOW_S
@@ -549,9 +605,9 @@ impl ActiveCampaign {
                                     };
                                     let start = t_rx + slot;
                                     nodes[n].on_transmit(start, uplink_airtime);
-                                    records[seq as usize].attempts += 1;
-                                    if records[seq as usize].first_tx_s.is_none() {
-                                        records[seq as usize].first_tx_s = Some(start);
+                                    rec.attempts += 1;
+                                    if rec.first_tx_s.is_none() {
+                                        rec.first_tx_s = Some(start);
                                     }
                                     counters.uplinks_tx += 1;
                                     // Sample the uplink as received on orbit.
@@ -686,7 +742,12 @@ impl ActiveCampaign {
                             if !is_new {
                                 counters.duplicates += 1;
                             }
-                            let rec = &mut records[seq as usize];
+                            let Some(rec) = records.get_mut(seq as usize) else {
+                                // Wire-path damage: the stored sequence
+                                // does not map to a generated packet.
+                                faults.record(Fault::CorruptSeq);
+                                return;
+                            };
                             if rec.sat_rx_s.is_none() {
                                 rec.sat_rx_s = Some(t);
                             }
@@ -699,7 +760,7 @@ impl ActiveCampaign {
                             // corruption / expiry).
                             if is_new && rng.chance(1.0 - calib::DELIVERY_LOSS_PROB) {
                                 if let Some(done) =
-                                    sats[me.sat].schedule_downlink(t, cfg.downlink_service_s)
+                                    sats[me.sat].schedule_downlink(t, downlink_service_s)
                                 {
                                     let proc = rng.exponential(calib::DELIVERY_PROCESSING_MEAN_S);
                                     let d = done + proc;
@@ -811,7 +872,7 @@ impl ActiveCampaign {
         }
         counters.duplicates = sats.iter().map(|s| s.duplicates).sum();
 
-        ActiveResults {
+        Ok(ActiveResults {
             timelines,
             sent,
             delivered_seqs,
@@ -820,8 +881,48 @@ impl ActiveCampaign {
             node_drop_ratio,
             server,
             horizon_s,
-        }
+            faults,
+        })
     }
+}
+
+/// Reject configurations the event loop cannot run at all.
+fn validate(cfg: &ActiveConfig) -> Result<(), SatIotError> {
+    if !cfg.days.is_finite() {
+        return Err(SatIotError::NonFiniteTime {
+            context: "ActiveConfig.days",
+            value: cfg.days,
+        });
+    }
+    if cfg.days < 0.0 {
+        return Err(SatIotError::InvalidConfig {
+            field: "days",
+            value: cfg.days,
+            requirement: "finite and >= 0",
+        });
+    }
+    if !(cfg.period_s.is_finite() && cfg.period_s > 0.0) {
+        return Err(SatIotError::InvalidConfig {
+            field: "period_s",
+            value: cfg.period_s,
+            requirement: "finite and > 0 (a zero period would stall the event loop)",
+        });
+    }
+    if !cfg.gs_mask_rad.is_finite() {
+        return Err(SatIotError::InvalidConfig {
+            field: "gs_mask_rad",
+            value: cfg.gs_mask_rad,
+            requirement: "finite radians",
+        });
+    }
+    if !cfg.downlink_service_s.is_finite() {
+        return Err(SatIotError::InvalidConfig {
+            field: "downlink_service_s",
+            value: cfg.downlink_service_s,
+            requirement: "finite seconds",
+        });
+    }
+    Ok(())
 }
 
 /// Bisect the time at which the elevation crosses `threshold` between
@@ -888,7 +989,7 @@ mod tests {
     fn quick_results(days: f64, seed: u64) -> ActiveResults {
         let mut cfg = ActiveConfig::quick(days);
         cfg.seed = seed;
-        ActiveCampaign::new(cfg).run()
+        ActiveCampaign::new(cfg).run().unwrap()
     }
 
     #[test]
@@ -952,11 +1053,11 @@ mod tests {
         let mut no_retx = ActiveConfig::quick(3.0);
         no_retx.max_attempts = 1;
         no_retx.seed = 5;
-        let r1 = ActiveCampaign::new(no_retx).run();
+        let r1 = ActiveCampaign::new(no_retx).run().unwrap();
         let mut with_retx = ActiveConfig::quick(3.0);
         with_retx.max_attempts = 6;
         with_retx.seed = 5;
-        let r6 = ActiveCampaign::new(with_retx).run();
+        let r6 = ActiveCampaign::new(with_retx).run().unwrap();
         assert!(
             r6.reliability() >= r1.reliability(),
             "retx {} !>= none {}",
@@ -995,15 +1096,68 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        let mut cfg = ActiveConfig::quick(1.0);
+        cfg.period_s = 0.0;
+        assert!(matches!(
+            ActiveCampaign::new(cfg).run().unwrap_err(),
+            SatIotError::InvalidConfig {
+                field: "period_s",
+                ..
+            }
+        ));
+        let mut cfg = ActiveConfig::quick(f64::NAN);
+        cfg.seed = 1;
+        assert!(matches!(
+            ActiveCampaign::new(cfg).run().unwrap_err(),
+            SatIotError::NonFiniteTime {
+                context: "ActiveConfig.days",
+                ..
+            }
+        ));
+        let mut cfg = ActiveConfig::quick(1.0);
+        cfg.gs_mask_rad = f64::INFINITY;
+        assert!(matches!(
+            ActiveCampaign::new(cfg).run().unwrap_err(),
+            SatIotError::InvalidConfig {
+                field: "gs_mask_rad",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_configs_are_clamped_and_counted() {
+        let mut cfg = ActiveConfig::quick(0.5);
+        cfg.gs_mask_rad = 2.0; // Above zenith.
+        cfg.downlink_service_s = -3.0;
+        cfg.max_attempts = 0;
+        let r = ActiveCampaign::new(cfg).run().unwrap();
+        assert_eq!(r.faults.clamped_configs, 3, "{}", r.faults);
+        // The campaign still ran to its horizon.
+        assert!((r.horizon_s - 0.5 * 86_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_nodes_run_to_an_empty_campaign() {
+        let mut cfg = ActiveConfig::quick(0.5);
+        cfg.nodes = 0;
+        let r = ActiveCampaign::new(cfg).run().unwrap();
+        assert!(r.sent.is_empty());
+        assert!(r.delivered_seqs.is_empty());
+        assert!(r.node_energy.is_empty());
+    }
+
+    #[test]
     fn better_antenna_needs_fewer_attempts() {
         let mut quarter = ActiveConfig::quick(3.0);
         quarter.node_antenna = AntennaPattern::QuarterWaveMonopole;
         quarter.seed = 11;
-        let rq = ActiveCampaign::new(quarter).run();
+        let rq = ActiveCampaign::new(quarter).run().unwrap();
         let mut five8 = ActiveConfig::quick(3.0);
         five8.node_antenna = AntennaPattern::FiveEighthsWaveMonopole;
         five8.seed = 11;
-        let rf = ActiveCampaign::new(five8).run();
+        let rf = ActiveCampaign::new(five8).run().unwrap();
         assert!(
             rf.mean_attempts() <= rq.mean_attempts() + 0.05,
             "5/8 {} vs 1/4 {}",

@@ -44,11 +44,15 @@ pub struct StoreAndForward<T> {
 }
 
 impl<T> StoreAndForward<T> {
-    /// A buffer holding at most `capacity` packets.
+    /// A buffer holding at most `capacity` packets. A zero-capacity
+    /// buffer is honoured, not clamped: it stores nothing and drops
+    /// every offered packet (under either policy), so degraded configs
+    /// show up in the drop accounting instead of silently gaining a
+    /// slot.
     pub fn new(capacity: usize, policy: DropPolicy) -> Self {
         StoreAndForward {
             queue: VecDeque::with_capacity(capacity.min(1_024)),
-            capacity: capacity.max(1),
+            capacity,
             policy,
             offered: 0,
             dropped: 0,
@@ -56,9 +60,21 @@ impl<T> StoreAndForward<T> {
         }
     }
 
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Offer a packet; returns the evicted packet if one was dropped.
     pub fn push(&mut self, item: T) -> Option<T> {
         self.offered += 1;
+        // Capacity 0 stores nothing under either policy: DropOldest has
+        // no resident packet to evict, so the incoming packet itself is
+        // the drop.
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return Some(item);
+        }
         let evicted = if self.queue.len() >= self.capacity {
             self.dropped += 1;
             match self.policy {
@@ -170,11 +186,52 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_clamps_to_one() {
+    fn zero_capacity_drops_everything_drop_newest() {
+        let mut b = StoreAndForward::new(0, DropPolicy::DropNewest);
+        assert_eq!(b.capacity(), 0);
+        assert_eq!(b.push(1), Some(1));
+        assert_eq!(b.push(2), Some(2));
+        assert!(b.is_empty());
+        assert_eq!(b.pop(), None);
+        assert_eq!(b.offered, 2);
+        assert_eq!(b.dropped, 2);
+        assert_eq!(b.peak_depth, 0);
+        assert_eq!(b.drop_ratio(), 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything_drop_oldest() {
+        // With nothing resident to evict, DropOldest must still bounce
+        // the incoming packet rather than exceed capacity.
         let mut b = StoreAndForward::new(0, DropPolicy::DropOldest);
-        assert!(b.push(1).is_none());
-        assert_eq!(b.push(2), Some(1));
-        assert_eq!(b.len(), 1);
+        assert_eq!(b.push('x'), Some('x'));
+        assert_eq!(b.push('y'), Some('y'));
+        assert!(b.is_empty());
+        assert!(b.drain_all().is_empty());
+        assert_eq!(b.offered, 2);
+        assert_eq!(b.dropped, 2);
+        assert_eq!(b.peak_depth, 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_accounting() {
+        // peak_depth tracks the high-water mark, not the final depth,
+        // and offered/dropped stay consistent under interleaving.
+        let mut b = StoreAndForward::new(2, DropPolicy::DropOldest);
+        b.push(1);
+        b.push(2);
+        assert_eq!(b.peak_depth, 2);
+        assert_eq!(b.pop(), Some(1));
+        b.push(3);
+        assert_eq!(b.peak_depth, 2);
+        assert_eq!(b.push(4), Some(2)); // Evicts the oldest resident.
+        assert_eq!(b.offered, 4);
+        assert_eq!(b.dropped, 1);
+        assert_eq!(b.pop(), Some(3));
+        assert_eq!(b.pop(), Some(4));
+        assert_eq!(b.pop(), None);
+        assert_eq!(b.peak_depth, 2);
+        assert!((b.drop_ratio() - 0.25).abs() < 1e-12);
     }
 
     #[test]

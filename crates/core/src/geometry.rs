@@ -5,8 +5,14 @@
 //! Doppler shift, and Doppler *rate* (the drift that smears high-SF
 //! packets — see `satiot_phy::doppler`).
 
+use satiot_obs::metrics::Counter;
 use satiot_orbit::pass::{Pass, PassPredictor};
 use satiot_orbit::time::JulianDate;
+
+/// Degenerate passes (non-finite or non-positive duration, or a
+/// non-finite beacon interval/phase) rejected by [`beacon_times`]
+/// (metrics).
+static DEGENERATE_PASSES: Counter = Counter::new("core.geometry.degenerate_passes");
 
 /// Geometry at one instant of a pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,16 +54,34 @@ pub fn sample_at(
 /// decorrelates beacon timing from window boundaries).
 pub fn beacon_times(pass: &Pass, interval_s: f64, phase_s: f64) -> Vec<JulianDate> {
     let mut out = Vec::new();
-    if interval_s <= 0.0 {
+    if !(interval_s.is_finite() && interval_s > 0.0) {
         return out;
     }
+    // Guard degenerate passes explicitly: a NaN duration would fall out
+    // of the loop silently (every comparison is false) and a negative
+    // one would silently yield nothing — both are input damage worth
+    // surfacing, not healthy empty windows. Note the count and bail.
     let duration = pass.duration_s();
+    if !(duration.is_finite() && duration > 0.0 && phase_s.is_finite()) {
+        DEGENERATE_PASSES.inc();
+        return out;
+    }
     let mut t = phase_s.rem_euclid(interval_s);
     while t <= duration {
         out.push(pass.aos.plus_seconds(t));
         t += interval_s;
     }
     out
+}
+
+/// Whether a pass has a well-formed, positive-duration window (finite
+/// AOS/LOS/TCA and `los > aos`). Campaign drivers use this to skip and
+/// count degenerate passes instead of feeding them to samplers.
+pub fn pass_is_well_formed(pass: &Pass) -> bool {
+    pass.aos.0.is_finite()
+        && pass.los.0.is_finite()
+        && pass.tca.0.is_finite()
+        && pass.duration_s() > 0.0
 }
 
 #[cfg(test)]

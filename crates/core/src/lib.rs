@@ -9,6 +9,10 @@
 //!   encoded through the `satiot-phy` frame codec.
 //! * [`buffer`] — the store-and-forward buffer used by nodes (awaiting a
 //!   pass) and satellites (awaiting a ground station).
+//! * [`error`] — the typed error spine ([`SatIotError`]) plus the
+//!   graceful-degradation ledger ([`FaultLog`]): campaign entry points
+//!   return `Result` for unusable configs and *count* recoverable input
+//!   damage instead of panicking.
 //! * [`geometry`] — sampled pass geometry shared by both campaigns.
 //! * [`scheduler`] — ground-station → satellite assignment: the paper's
 //!   customised predictive scheduler and the vanilla TinyGS baseline.
@@ -31,9 +35,14 @@
 //!   bench/ablation binaries; paired with `satiot_sim::pool` it turns
 //!   campaign setup into one cached parallel sweep.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod active;
 pub mod buffer;
 pub mod calib;
+pub mod error;
 pub mod geometry;
 pub mod messages;
 pub mod node;
@@ -45,4 +54,5 @@ pub mod station;
 pub mod sweep;
 
 pub use active::{ActiveCampaign, ActiveConfig, ActiveResults};
+pub use error::{Fault, FaultLog, SatIotError};
 pub use passive::{PassiveCampaign, PassiveConfig, PassiveResults};

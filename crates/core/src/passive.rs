@@ -20,6 +20,7 @@
 //! bit-for-bit reproducible regardless of thread count or scheduling.
 
 use crate::calib;
+use crate::error::{Fault, FaultLog, SatIotError};
 use crate::geometry::{beacon_times, sample_at};
 use crate::scheduler::{CandidatePass, Coverage, PredictiveScheduler, Scheduler, VanillaScheduler};
 use crate::station::{AvailabilityParams, StationAvailability};
@@ -31,11 +32,12 @@ use satiot_measure::contact::{ContactStats, EffectiveWindow, TheoreticalWindow};
 use satiot_measure::trace::{BeaconTrace, TraceSet};
 use satiot_obs::metrics::{Counter, Timer};
 use satiot_orbit::pass::{Pass, PassPredictor};
+use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
 use satiot_phy::doppler::total_penalty_db;
 use satiot_phy::params::LoRaConfig;
 use satiot_phy::per::packet_decodes;
-use satiot_scenarios::constellations::{all_constellations, ConstellationSpec, SatelliteDef};
+use satiot_scenarios::constellations::{all_constellations, ConstellationSpec};
 use satiot_scenarios::sites::{campaign_epoch, Site};
 use satiot_sim::{pool, Rng, SimTime};
 use std::sync::Arc;
@@ -138,6 +140,9 @@ pub struct PassiveResults {
     pub traces: TraceSet,
     /// Every covered pass.
     pub passes: Vec<SitePassRecord>,
+    /// Recoverable input damage survived during the run (sites skipped,
+    /// NaN passes dropped, …), merged per site in configuration order.
+    pub faults: FaultLog,
 }
 
 impl PassiveResults {
@@ -219,14 +224,17 @@ pub struct PassiveCampaign {
     config: PassiveConfig,
 }
 
-/// Satellite bookkeeping flattened across constellations.
+/// Satellite bookkeeping flattened across constellations. The SGP4
+/// propagator is built (and thereby validated) once at flatten time, so
+/// the per-site shards clone it instead of re-deriving — and possibly
+/// panicking on — the raw elements.
 struct FlatSat {
     constellation: &'static str,
     sat_id: u32,
     frequency_mhz: f64,
     beacon_interval_s: f64,
     tx_power_dbm: f64,
-    predictor_seed: SatelliteDef,
+    sgp4: Sgp4,
 }
 
 impl PassiveCampaign {
@@ -243,8 +251,19 @@ impl PassiveCampaign {
     /// then replays each site on its own forked RNG stream. Sites merge
     /// in configuration order, so the output is bit-identical to a
     /// serial run (`parallel_and_serial_agree` pins this).
-    pub fn run(&self) -> PassiveResults {
-        let sats = self.flatten_sats();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SatIotError`] when the configuration cannot produce a
+    /// meaningful campaign (NaN/negative `max_days`, empty site or
+    /// constellation lists, a non-positive vanilla dwell, or catalog
+    /// elements that fail to build). Recoverable input damage — a site
+    /// with a non-finite location or empty range, a NaN-timed or
+    /// zero-duration pass — is instead *survived* and counted in
+    /// [`PassiveResults::faults`].
+    pub fn run(&self) -> Result<PassiveResults, SatIotError> {
+        self.validate()?;
+        let sats = self.flatten_sats()?;
         let root = Rng::from_seed(self.config.seed);
         let n_sites = self.config.sites.len();
         let n_sats = sats.len();
@@ -272,15 +291,20 @@ impl PassiveCampaign {
                 let rng = root.fork_indexed("site", idx as u64);
                 run_site(&self.config, site, &sats, rng, Some(site_lists[idx]))
             });
-        merge(partials)
+        Ok(merge(partials))
     }
 
     /// The pre-pool driver: one scoped thread per site, each predicting
     /// its passes inline and uncached. Kept as the measured baseline the
     /// pooled sweep is benchmarked against (`benches/campaigns.rs`);
     /// produces bit-identical results to [`Self::run`].
-    pub fn run_with_site_threads(&self) -> PassiveResults {
-        let sats = self.flatten_sats();
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::run`].
+    pub fn run_with_site_threads(&self) -> Result<PassiveResults, SatIotError> {
+        self.validate()?;
+        let sats = self.flatten_sats()?;
         let root = Rng::from_seed(self.config.seed);
         let mut slots: Vec<Option<PassiveResults>> =
             (0..self.config.sites.len()).map(|_| None).collect();
@@ -294,30 +318,71 @@ impl PassiveCampaign {
                 });
             }
         });
-        merge(
-            slots
-                .into_iter()
-                .map(|s| s.expect("site not run"))
-                .collect(),
-        )
+        // A scoped thread that panicked would already have propagated at
+        // the scope join; an unfilled slot is therefore unreachable, but
+        // degrade to an empty partial rather than panicking on it.
+        Ok(merge(
+            slots.into_iter().map(|s| s.unwrap_or_default()).collect(),
+        ))
     }
 
-    fn flatten_sats(&self) -> Vec<FlatSat> {
+    /// Reject configurations the campaign cannot run meaningfully.
+    fn validate(&self) -> Result<(), SatIotError> {
+        let cfg = &self.config;
+        if cfg.max_days.is_nan() {
+            return Err(SatIotError::NonFiniteTime {
+                context: "PassiveConfig.max_days",
+                value: cfg.max_days,
+            });
+        }
+        if cfg.max_days < 0.0 {
+            return Err(SatIotError::InvalidConfig {
+                field: "max_days",
+                value: cfg.max_days,
+                requirement: ">= 0 (INFINITY runs each site to its full campaign range)",
+            });
+        }
+        if cfg.sites.is_empty() {
+            return Err(SatIotError::EmptyPassList {
+                context: "PassiveConfig.sites",
+            });
+        }
+        if cfg.constellations.is_empty() {
+            return Err(SatIotError::EmptyPassList {
+                context: "PassiveConfig.constellations",
+            });
+        }
+        if let SchedulerKind::Vanilla { dwell_s } = cfg.scheduler {
+            if !(dwell_s.is_finite() && dwell_s > 0.0) {
+                return Err(SatIotError::InvalidConfig {
+                    field: "dwell_s",
+                    value: dwell_s,
+                    requirement: "finite and > 0 (a zero dwell never rotates off a target)",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn flatten_sats(&self) -> Result<Vec<FlatSat>, SatIotError> {
         let epoch = campaign_epoch();
         let mut flat = Vec::new();
         for spec in &self.config.constellations {
             for sat in spec.catalog(epoch) {
+                let sgp4 = sat
+                    .sgp4()
+                    .map_err(|e| SatIotError::orbit("building catalog propagators", e))?;
                 flat.push(FlatSat {
                     constellation: sat.constellation,
                     sat_id: sat.sat_id,
                     frequency_mhz: sat.frequency_mhz,
                     beacon_interval_s: sat.beacon_interval_s,
                     tx_power_dbm: spec.tx_power_dbm,
-                    predictor_seed: sat,
+                    sgp4,
                 });
             }
         }
-        flat
+        Ok(flat)
     }
 }
 
@@ -327,8 +392,33 @@ fn merge(partials: Vec<PassiveResults>) -> PassiveResults {
     for p in partials {
         merged.traces.traces.extend(p.traces.traces);
         merged.passes.extend(p.passes);
+        merged.faults.merge(&p.faults);
     }
     merged
+}
+
+/// Drop candidate passes the pipeline cannot simulate: NaN/∞ AOS, LOS,
+/// or TCA times (counted as [`Fault::NanPassTime`]) and zero- or
+/// negative-duration windows (counted as [`Fault::DegeneratePass`]).
+/// Returns the number of candidates dropped. Public so callers feeding
+/// externally-sourced pass lists through [`crate::scheduler::Scheduler`]
+/// can apply the same contract the campaign drivers do.
+pub fn sanitize_candidates(candidates: &mut Vec<CandidatePass>, faults: &mut FaultLog) -> usize {
+    let before = candidates.len();
+    candidates.retain(|c| {
+        let finite =
+            c.pass.aos.0.is_finite() && c.pass.los.0.is_finite() && c.pass.tca.0.is_finite();
+        if !finite {
+            faults.record(Fault::NanPassTime);
+            return false;
+        }
+        if c.pass.duration_s() <= 0.0 {
+            faults.record(Fault::DegeneratePass);
+            return false;
+        }
+        true
+    });
+    before - candidates.len()
 }
 
 /// The site's simulated range under the campaign's day cap. Both the
@@ -344,6 +434,7 @@ fn site_range(site: &Site, max_days: f64) -> (JulianDate, JulianDate, f64) {
 /// site for the site's configured campaign range.
 fn predict_site_sat(site: &Site, sat: &FlatSat, max_days: f64) -> Arc<Vec<Pass>> {
     let (start, end, _) = site_range(site, max_days);
+    let sgp4 = sat.sgp4.clone();
     sweep::passes_for(
         PassKey::new(
             site.code,
@@ -353,13 +444,7 @@ fn predict_site_sat(site: &Site, sat: &FlatSat, max_days: f64) -> Arc<Vec<Pass>>
             end,
             calib::THEORETICAL_MASK_RAD,
         ),
-        || {
-            let sgp4 = sat
-                .predictor_seed
-                .sgp4()
-                .expect("catalog elements are valid LEO");
-            PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD)
-        },
+        || PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD),
     )
 }
 
@@ -404,7 +489,13 @@ fn run_site(
     let _shard_span = SITE_SHARD_S.start();
     let mut results = PassiveResults::default();
     let (start, end, days) = site_range(site, cfg.max_days);
-    if days <= 0.0 {
+    // A site with an empty/inverted range or a location that is not a
+    // point on Earth cannot be simulated; skip it, count it, and let the
+    // rest of the campaign proceed.
+    let location_ok =
+        site.lat_deg.is_finite() && site.lon_deg.is_finite() && site.alt_km.is_finite();
+    if !(days.is_finite() && days > 0.0 && location_ok) {
+        results.faults.record(Fault::SkippedSite);
         return results;
     }
 
@@ -421,11 +512,11 @@ fn run_site(
     let mut predictors: Vec<PassPredictor> = Vec::with_capacity(sats.len());
     let mut candidates: Vec<CandidatePass> = Vec::new();
     for (i, sat) in sats.iter().enumerate() {
-        let sgp4 = sat
-            .predictor_seed
-            .sgp4()
-            .expect("catalog elements are valid LEO");
-        let predictor = PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD);
+        let predictor = PassPredictor::new(
+            sat.sgp4.clone(),
+            site.geodetic(),
+            calib::THEORETICAL_MASK_RAD,
+        );
         match prepredicted {
             Some(lists) => candidates.extend(lists[i].iter().map(|pass| CandidatePass {
                 sat_index: i,
@@ -441,7 +532,10 @@ fn run_site(
         predictors.push(predictor);
     }
     PASSES_PREDICTED.add(candidates.len() as u64);
-    candidates.sort_by(|a, b| a.pass.aos.partial_cmp(&b.pass.aos).expect("no NaN times"));
+    sanitize_candidates(&mut candidates, &mut results.faults);
+    // total_cmp on the raw JD bits: a NaN that slipped past sanitising
+    // must never panic the sort (it orders after every finite time).
+    candidates.sort_by(|a, b| a.pass.aos.0.total_cmp(&b.pass.aos.0));
 
     // Station assignment.
     let coverage: Vec<Coverage> = match cfg.scheduler {
@@ -638,6 +732,17 @@ pub fn theoretical_daily_hours(spec: &ConstellationSpec, site: &Site, days: u32)
     // campaign over the same range reuses them and vice versa).
     let catalog = spec.catalog(epoch);
     let lists = pool::parallel_map(&catalog, |_, sat| {
+        // A satellite whose elements fail to build contributes nothing
+        // (counted via the `core.faults.sgp4_failures` obs counter)
+        // rather than aborting the whole availability analysis.
+        let sgp4 = match sat.sgp4() {
+            Ok(sgp4) => sgp4,
+            Err(_) => {
+                let mut log = FaultLog::default();
+                log.record(Fault::Sgp4Failure);
+                return Arc::new(Vec::new());
+            }
+        };
         sweep::passes_for(
             PassKey::new(
                 site.code,
@@ -647,10 +752,7 @@ pub fn theoretical_daily_hours(spec: &ConstellationSpec, site: &Site, days: u32)
                 end,
                 calib::THEORETICAL_MASK_RAD,
             ),
-            || {
-                let sgp4 = sat.sgp4().expect("valid LEO catalog");
-                PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD)
-            },
+            || PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD),
         )
     });
     // Collect all pass intervals (seconds relative to start).
@@ -712,7 +814,7 @@ mod tests {
 
     #[test]
     fn small_campaign_produces_traces_and_passes() {
-        let results = PassiveCampaign::new(small_config()).run();
+        let results = PassiveCampaign::new(small_config()).run().unwrap();
         assert!(!results.passes.is_empty(), "no covered passes");
         assert!(!results.traces.is_empty(), "no beacons decoded");
         for t in &results.traces.traces {
@@ -731,8 +833,8 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic() {
-        let a = PassiveCampaign::new(small_config()).run();
-        let b = PassiveCampaign::new(small_config()).run();
+        let a = PassiveCampaign::new(small_config()).run().unwrap();
+        let b = PassiveCampaign::new(small_config()).run().unwrap();
         assert_eq!(a.traces.len(), b.traces.len());
         assert_eq!(a.passes.len(), b.passes.len());
         for (x, y) in a.traces.traces.iter().zip(&b.traces.traces) {
@@ -742,10 +844,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = PassiveCampaign::new(small_config()).run();
+        let a = PassiveCampaign::new(small_config()).run().unwrap();
         let mut cfg = small_config();
         cfg.seed = 8;
-        let b = PassiveCampaign::new(cfg).run();
+        let b = PassiveCampaign::new(cfg).run().unwrap();
         // Scheduler thinning and reception draws both depend on the seed.
         assert_ne!(a.traces.traces, b.traces.traces);
     }
@@ -754,7 +856,7 @@ mod tests {
     fn effective_windows_are_shorter_than_theoretical() {
         let mut cfg = small_config();
         cfg.max_days = 4.0;
-        let results = PassiveCampaign::new(cfg).run();
+        let results = PassiveCampaign::new(cfg).run().unwrap();
         let stats = results.contact_stats("FOSSA", &[]);
         assert!(stats.total_windows > 0);
         // The headline finding: effective ≪ theoretical.
@@ -773,9 +875,9 @@ mod tests {
         let mut cfg = small_config();
         cfg.constellations = all_constellations();
         cfg.max_days = 1.5;
-        let pred = PassiveCampaign::new(cfg.clone()).run();
+        let pred = PassiveCampaign::new(cfg.clone()).run().unwrap();
         cfg.scheduler = SchedulerKind::Vanilla { dwell_s: 600.0 };
-        let vanilla = PassiveCampaign::new(cfg).run();
+        let vanilla = PassiveCampaign::new(cfg).run().unwrap();
         assert!(
             (vanilla.traces.len() as f64) < 0.7 * pred.traces.len() as f64,
             "vanilla {} !< 0.7 x predictive {}",
@@ -802,7 +904,7 @@ mod tests {
 
     #[test]
     fn reception_positions_are_normalized() {
-        let results = PassiveCampaign::new(small_config()).run();
+        let results = PassiveCampaign::new(small_config()).run().unwrap();
         let pos = results.reception_positions();
         assert!(!pos.is_empty());
         for p in pos {
@@ -839,11 +941,11 @@ mod tests {
             .filter(|s| matches!(s.code, "HK" | "GZ"))
             .collect();
         cfg.max_days = 1.0;
-        let serial = PassiveCampaign::new(cfg.clone()).run();
+        let serial = PassiveCampaign::new(cfg.clone()).run().unwrap();
         cfg.parallel = true;
         let campaign = PassiveCampaign::new(cfg);
-        let pooled = campaign.run();
-        let legacy = campaign.run_with_site_threads();
+        let pooled = campaign.run().unwrap();
+        let legacy = campaign.run_with_site_threads().unwrap();
         for other in [&pooled, &legacy] {
             assert_eq!(serial.traces.len(), other.traces.len());
             assert_eq!(serial.passes.len(), other.passes.len());
@@ -892,7 +994,7 @@ mod tests {
         cfg.sites = vec![site];
         cfg.constellations = all_constellations();
         cfg.max_days = 1.0;
-        let results = PassiveCampaign::new(cfg.clone()).run();
+        let results = PassiveCampaign::new(cfg.clone()).run().unwrap();
         let uncovered: Vec<_> = results
             .passes
             .iter()
@@ -931,5 +1033,108 @@ mod tests {
             );
             assert_eq!(p.window.received, 0);
         }
+    }
+
+    /// A NaN AOS fed through the public scheduling pipeline is dropped
+    /// and counted — never a sort panic (the old
+    /// `partial_cmp(..).expect("no NaN times")` aborted here).
+    #[test]
+    fn nan_aos_is_dropped_not_fatal() {
+        let jd = |s: f64| JulianDate(2_460_000.0 + s / 86_400.0);
+        let pass = |aos: JulianDate, los: JulianDate| Pass {
+            aos,
+            tca: JulianDate(0.5 * (aos.0 + los.0)),
+            los,
+            max_elevation_rad: 0.5,
+            tca_range_km: 900.0,
+        };
+        let mut candidates = vec![
+            CandidatePass {
+                sat_index: 0,
+                pass: pass(jd(100.0), jd(400.0)),
+            },
+            CandidatePass {
+                sat_index: 1,
+                pass: pass(JulianDate(f64::NAN), jd(900.0)),
+            },
+            CandidatePass {
+                sat_index: 2,
+                pass: pass(jd(500.0), jd(500.0)), // Zero duration.
+            },
+        ];
+        let mut faults = FaultLog::default();
+        let dropped = sanitize_candidates(&mut candidates, &mut faults);
+        assert_eq!(dropped, 2);
+        assert_eq!(faults.nan_pass_times, 1);
+        assert_eq!(faults.degenerate_passes, 1);
+        candidates.sort_by(|a, b| a.pass.aos.0.total_cmp(&b.pass.aos.0));
+        // The survivors still schedule cleanly.
+        let coverage = PredictiveScheduler.schedule(&candidates, 2);
+        assert!(coverage.iter().all(|c| c.pass_idx < candidates.len()));
+    }
+
+    #[test]
+    fn nan_max_days_is_rejected() {
+        let mut cfg = small_config();
+        cfg.max_days = f64::NAN;
+        let err = PassiveCampaign::new(cfg).run().unwrap_err();
+        assert!(matches!(
+            err,
+            SatIotError::NonFiniteTime {
+                context: "PassiveConfig.max_days",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let mut cfg = small_config();
+        cfg.sites = Vec::new();
+        assert!(matches!(
+            PassiveCampaign::new(cfg).run(),
+            Err(SatIotError::EmptyPassList { .. })
+        ));
+        let mut cfg = small_config();
+        cfg.constellations = Vec::new();
+        assert!(matches!(
+            PassiveCampaign::new(cfg).run(),
+            Err(SatIotError::EmptyPassList { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_vanilla_dwell_is_rejected() {
+        for dwell_s in [0.0, -60.0, f64::NAN] {
+            let mut cfg = small_config();
+            cfg.scheduler = SchedulerKind::Vanilla { dwell_s };
+            assert!(matches!(
+                PassiveCampaign::new(cfg).run(),
+                Err(SatIotError::InvalidConfig {
+                    field: "dwell_s",
+                    ..
+                })
+            ));
+        }
+    }
+
+    /// A damaged site degrades the campaign (skipped + counted) instead
+    /// of poisoning it; the healthy sites still produce output, and the
+    /// accounting is identical across the serial and pooled drivers.
+    #[test]
+    fn damaged_site_is_skipped_and_counted() {
+        let mut broken = hk_site();
+        broken.lat_deg = f64::NAN;
+        let mut cfg = small_config();
+        cfg.sites = vec![hk_site(), broken];
+        let serial = PassiveCampaign::new(cfg.clone()).run().unwrap();
+        cfg.parallel = true;
+        let pooled = PassiveCampaign::new(cfg).run().unwrap();
+        for r in [&serial, &pooled] {
+            assert_eq!(r.faults.skipped_sites, 1, "{}", r.faults);
+            assert!(!r.traces.is_empty(), "healthy site produced nothing");
+        }
+        assert_eq!(serial.faults, pooled.faults);
+        assert_eq!(serial.traces.len(), pooled.traces.len());
     }
 }

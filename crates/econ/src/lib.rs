@@ -16,6 +16,10 @@
 //!   plus one LTE backhaul plan at $4.9 per month (42 Mbps, effectively
 //!   unmetered at IoT data volumes) per gateway.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 /// Days per billing month used by the paper's arithmetic (30).
 pub const DAYS_PER_MONTH: f64 = 30.0;
 

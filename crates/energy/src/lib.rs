@@ -12,6 +12,10 @@
 //! * [`accounting`] — residency/energy bookkeeping per mode.
 //! * [`battery`] — capacity → lifetime projection.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod accounting;
 pub mod battery;
 pub mod profile;

@@ -19,6 +19,10 @@
 //! * [`csv`] — dependency-free CSV persistence for trace sets (the
 //!   paper publishes its dataset as packet traces; so do we).
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod contact;
 pub mod csv;
 pub mod latency;

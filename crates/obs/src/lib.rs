@@ -19,6 +19,10 @@
 //! the dependency graph where pulling in an external metrics stack
 //! would be disproportionate.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod invariants;
 pub mod metrics;
 

@@ -74,13 +74,28 @@ fn registry() -> &'static Registry {
 /// atomics, which are cleared in place.
 pub fn reset() {
     let r = registry();
-    for c in r.counters.lock().unwrap().values() {
+    for c in r
+        .counters
+        .lock()
+        .expect("metrics registry mutex poisoned")
+        .values()
+    {
         c.store(0, Relaxed);
     }
-    for g in r.gauges.lock().unwrap().values() {
+    for g in r
+        .gauges
+        .lock()
+        .expect("metrics registry mutex poisoned")
+        .values()
+    {
         g.store(0, Relaxed);
     }
-    for h in r.histograms.lock().unwrap().values() {
+    for h in r
+        .histograms
+        .lock()
+        .expect("metrics registry mutex poisoned")
+        .values()
+    {
         h.reset();
     }
 }
@@ -110,7 +125,7 @@ impl Counter {
                 registry()
                     .counters
                     .lock()
-                    .unwrap()
+                    .expect("metrics registry mutex poisoned")
                     .entry(self.name)
                     .or_default(),
             )
@@ -165,7 +180,7 @@ impl Gauge {
                 registry()
                     .gauges
                     .lock()
-                    .unwrap()
+                    .expect("metrics registry mutex poisoned")
                     .entry(self.name)
                     .or_default(),
             )
@@ -178,7 +193,14 @@ impl Gauge {
         self.high.get_or_init(|| {
             let name: &'static str =
                 Box::leak(format!("{}.high_water", self.name).into_boxed_str());
-            Arc::clone(registry().gauges.lock().unwrap().entry(name).or_default())
+            Arc::clone(
+                registry()
+                    .gauges
+                    .lock()
+                    .expect("metrics registry mutex poisoned")
+                    .entry(name)
+                    .or_default(),
+            )
         })
     }
 
@@ -293,7 +315,7 @@ impl Histogram {
                 registry()
                     .histograms
                     .lock()
-                    .unwrap()
+                    .expect("metrics registry mutex poisoned")
                     .entry(self.name)
                     .or_insert_with(|| Arc::new(HistogramInner::with_bounds(self.bounds))),
             )
@@ -380,31 +402,36 @@ pub fn report() -> String {
     let r = registry();
     let mut out = String::from("== satiot metrics ==\n");
 
-    let counters = r.counters.lock().unwrap();
+    let counters = r.counters.lock().expect("metrics registry mutex poisoned");
     if !counters.is_empty() {
         out.push_str("-- counters --\n");
         for (name, c) in counters.iter() {
-            writeln!(out, "{:<44} {}", name, c.load(Relaxed)).unwrap();
+            writeln!(out, "{:<44} {}", name, c.load(Relaxed))
+                .expect("String writes are infallible");
         }
     }
     drop(counters);
 
-    let gauges = r.gauges.lock().unwrap();
+    let gauges = r.gauges.lock().expect("metrics registry mutex poisoned");
     if !gauges.is_empty() {
         out.push_str("-- gauges --\n");
         for (name, g) in gauges.iter() {
-            writeln!(out, "{:<44} {}", name, g.load(Relaxed)).unwrap();
+            writeln!(out, "{:<44} {}", name, g.load(Relaxed))
+                .expect("String writes are infallible");
         }
     }
     drop(gauges);
 
-    let histograms = r.histograms.lock().unwrap();
+    let histograms = r
+        .histograms
+        .lock()
+        .expect("metrics registry mutex poisoned");
     if !histograms.is_empty() {
         out.push_str("-- histograms --\n");
         for (name, h) in histograms.iter() {
             let count = h.count.load(Relaxed);
             if count == 0 {
-                writeln!(out, "{name:<44} (empty)").unwrap();
+                writeln!(out, "{name:<44} (empty)").expect("String writes are infallible");
                 continue;
             }
             let mean = f64::from_bits(h.sum_bits.load(Relaxed)) / count as f64;
@@ -414,15 +441,18 @@ pub fn report() -> String {
                 out,
                 "{name:<44} count={count} mean={mean:.4} min={min:.4} max={max:.4}"
             )
-            .unwrap();
+            .expect("String writes are infallible");
             for (i, bucket) in h.buckets.iter().enumerate() {
                 let n = bucket.load(Relaxed);
                 if n == 0 {
                     continue;
                 }
                 match h.bounds.get(i) {
-                    Some(b) => writeln!(out, "    <= {b:<12} {n}").unwrap(),
-                    None => writeln!(out, "    >  {:<12} {n}", h.bounds[i - 1]).unwrap(),
+                    Some(b) => {
+                        writeln!(out, "    <= {b:<12} {n}").expect("String writes are infallible")
+                    }
+                    None => writeln!(out, "    >  {:<12} {n}", h.bounds[i - 1])
+                        .expect("String writes are infallible"),
                 }
             }
         }

@@ -54,6 +54,15 @@ pub enum OrbitError {
         /// Which element was invalid.
         field: &'static str,
     },
+    /// A pass scan was requested over a non-finite time range or
+    /// elevation mask (NaN/∞ bounds would otherwise stall the coarse
+    /// scan forever — NaN never advances past `end`).
+    NonFiniteScan {
+        /// Which scan input was non-finite (`"start"`, `"end"`, `"mask"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for OrbitError {
@@ -88,6 +97,9 @@ impl fmt::Display for OrbitError {
             }
             OrbitError::InvalidElements { field } => {
                 write!(f, "invalid orbital element `{field}`")
+            }
+            OrbitError::NonFiniteScan { field, value } => {
+                write!(f, "pass scan `{field}` is non-finite ({value})")
             }
         }
     }

@@ -44,6 +44,10 @@
 //! assert!(state.position_km.norm() > 6500.0);
 //! ```
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod elements;
 pub mod error;
 pub mod frames;

@@ -6,6 +6,7 @@
 //! bracket horizon crossings, then bisection to refine AOS/LOS to ~10 ms,
 //! and a ternary search for the culmination (maximum elevation).
 
+use crate::error::OrbitError;
 use crate::frames::Geodetic;
 use crate::sgp4::Sgp4;
 use crate::time::JulianDate;
@@ -14,6 +15,8 @@ use satiot_obs::metrics::Counter;
 
 /// Completed contact windows emitted by all predictors (metrics).
 static PASSES_PREDICTED: Counter = Counter::new("orbit.pass.passes_predicted");
+/// Pass scans rejected for non-finite bounds or masks (metrics).
+static NON_FINITE_SCANS: Counter = Counter::new("orbit.pass.non_finite_scans");
 
 /// One predicted contact window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,7 +138,35 @@ impl PassPredictor {
     /// the horizon, so a satellite at −E° needs at least `E/0.25` seconds
     /// to reach it — stepping a quarter of that with a 600 s cap cannot
     /// skip a pass). Multi-month campaign scans become ~6× cheaper.
+    ///
+    /// Non-finite bounds or masks degrade to an empty pass list (and a
+    /// bump of the `orbit.pass.non_finite_scans` metric); callers that
+    /// must distinguish the degenerate case use [`Self::try_passes`].
     pub fn passes(&self, start: JulianDate, end: JulianDate) -> Vec<Pass> {
+        self.try_passes(start, end).unwrap_or_default()
+    }
+
+    /// Fallible sibling of [`Self::passes`]: rejects non-finite scan
+    /// bounds and elevation masks with a typed error instead of
+    /// degrading to an empty list. A NaN bound is not merely a wrong
+    /// answer — `t >= end` never becomes true, so the coarse scan of
+    /// the infallible path would otherwise never terminate.
+    pub fn try_passes(&self, start: JulianDate, end: JulianDate) -> Result<Vec<Pass>, OrbitError> {
+        for (field, value) in [
+            ("start", start.0),
+            ("end", end.0),
+            ("mask", self.min_elevation_rad),
+        ] {
+            if !value.is_finite() {
+                NON_FINITE_SCANS.inc();
+                return Err(OrbitError::NonFiniteScan { field, value });
+            }
+        }
+        Ok(self.scan_passes(start, end))
+    }
+
+    /// The coarse-scan + refinement loop (bounds already validated).
+    fn scan_passes(&self, start: JulianDate, end: JulianDate) -> Vec<Pass> {
         let mut result = Vec::new();
         if end <= start {
             return result;
@@ -407,6 +438,42 @@ mod tests {
         for pass in p.passes(start, start + 1.0) {
             assert!(pass.los > pass.aos);
         }
+    }
+
+    /// A NaN scan bound used to hang the coarse scan forever (`t >= end`
+    /// never turns true); it must now degrade to an empty list on the
+    /// infallible path and a typed error on the fallible one.
+    #[test]
+    fn non_finite_scan_bounds_are_rejected_not_hung() {
+        let sgp4 = leo_sgp4(550.0, 97.6);
+        let p = PassPredictor::new(sgp4.clone(), hk(), 0.0);
+        let start = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(p.passes(JulianDate(bad), start + 1.0).is_empty());
+            assert!(p.passes(start, JulianDate(bad)).is_empty());
+            // matches!, not assert_eq: NaN payloads are never equal.
+            assert!(matches!(
+                p.try_passes(start, JulianDate(bad)),
+                Err(OrbitError::NonFiniteScan { field: "end", .. })
+            ));
+        }
+        let mut nan_mask = PassPredictor::new(sgp4, hk(), 0.0);
+        nan_mask.min_elevation_rad = f64::NAN;
+        assert!(nan_mask.passes(start, start + 1.0).is_empty());
+        assert!(matches!(
+            nan_mask.try_passes(start, start + 1.0),
+            Err(OrbitError::NonFiniteScan { field: "mask", .. })
+        ));
+    }
+
+    #[test]
+    fn try_passes_agrees_with_passes_on_healthy_input() {
+        let sgp4 = leo_sgp4(550.0, 97.6);
+        let p = PassPredictor::new(sgp4, hk(), 0.0);
+        let start = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        let infallible = p.passes(start, start + 1.0);
+        let fallible = p.try_passes(start, start + 1.0).expect("finite bounds");
+        assert_eq!(infallible, fallible);
     }
 
     #[test]

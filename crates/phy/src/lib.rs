@@ -24,6 +24,10 @@
 //! * [`collision`] — SINR and capture-effect resolution among
 //!   overlapping transmissions.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod airtime;
 pub mod collision;
 pub mod doppler;

@@ -10,6 +10,10 @@
 //! Everything here is deterministic data — no RNG — so the same catalog
 //! is generated on every run.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod constellations;
 pub mod sites;
 

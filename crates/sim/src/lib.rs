@@ -21,6 +21,10 @@
 //! * [`pool`] — the campaign-level sweep pool: an order-preserving
 //!   work queue over scoped threads that shards independent tasks
 //!   (pass predictions, site simulations) across every core.
+//! * [`chaos`] — seeded fault injection: deterministic perturbation
+//!   plans (`SATIOT_CHAOS_SEED`) that mutate campaign inputs so the
+//!   `chaos_smoke` harness can assert the pipeline degrades gracefully
+//!   instead of panicking.
 //!
 //! ## Example
 //!
@@ -44,6 +48,11 @@
 //! assert_eq!(engine.now().as_secs(), 7.0);
 //! ```
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod chaos;
 pub mod engine;
 pub mod pool;
 pub mod queue;

@@ -13,6 +13,10 @@
 //!   record types as the satellite campaign, so every comparison figure
 //!   (5a/5c/6d/10/11) analyses both systems through identical code.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod adr;
 pub mod backhaul;
 pub mod campaign;

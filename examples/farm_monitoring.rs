@@ -22,7 +22,9 @@ fn main() {
         .unwrap_or(7.0);
     println!("Simulating {days} days of the Yunnan farm deployment…\n");
 
-    let sat = ActiveCampaign::new(ActiveConfig::quick(days)).run();
+    let sat = ActiveCampaign::new(ActiveConfig::quick(days))
+        .run()
+        .unwrap();
     let terr = TerrestrialCampaign::new(TerrestrialConfig {
         days,
         ..Default::default()

@@ -19,7 +19,7 @@ fn main() {
     let mut cfg = PassiveConfig::quick(days);
     cfg.sites.retain(|s| s.code == "HK");
     println!("Running a {days}-day HK campaign…");
-    let results = PassiveCampaign::new(cfg).run();
+    let results = PassiveCampaign::new(cfg).run().unwrap();
     println!("Collected {} beacon traces.", results.traces.len());
 
     let path = std::env::temp_dir().join("satiot_traces.csv");

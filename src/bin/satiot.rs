@@ -231,8 +231,17 @@ fn budget(
 fn campaign(kind: CampaignKind, days: f64) {
     match kind {
         CampaignKind::Passive => {
-            let results = PassiveCampaign::new(PassiveConfig::quick(days)).run();
+            let results = match PassiveCampaign::new(PassiveConfig::quick(days)).run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("satiot: passive campaign rejected: {e}");
+                    std::process::exit(2);
+                }
+            };
             println!("Passive campaign, {days} day(s) per site:");
+            if !results.faults.is_clean() {
+                println!("  degraded inputs survived ({})", results.faults);
+            }
             println!("  traces: {}", results.traces.len());
             for c in results.traces.constellations() {
                 let rssi = Summary::of(&results.traces.rssi_of(&c));
@@ -249,9 +258,18 @@ fn campaign(kind: CampaignKind, days: f64) {
             );
         }
         CampaignKind::Active => {
-            let results = ActiveCampaign::new(ActiveConfig::quick(days)).run();
+            let results = match ActiveCampaign::new(ActiveConfig::quick(days)).run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("satiot: active campaign rejected: {e}");
+                    std::process::exit(2);
+                }
+            };
             let b = LatencyBreakdown::compute(&results.timelines);
             println!("Active campaign (Yunnan farm), {days} day(s):");
+            if !results.faults.is_clean() {
+                println!("  degraded inputs survived ({})", results.faults);
+            }
             println!(
                 "  sent {} / delivered {} ({:.1}%)",
                 results.sent.len(),

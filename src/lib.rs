@@ -15,6 +15,10 @@
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-reproduction index.
 
+// Library code must surface failures as typed errors or counted
+// degradation, not ad-hoc unwraps; CI promotes this to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod cli;
 
 pub use satiot_channel as channel;

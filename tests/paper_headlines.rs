@@ -23,7 +23,7 @@ fn hk_passive(days: f64) -> PassiveConfig {
 fn effective_windows_shrink_dramatically() {
     // §3.1: effective contact durations are 73.7–89.2 % shorter than the
     // TLE-predicted ones; daily aggregates shrink 85.7–92.2 %.
-    let results = PassiveCampaign::new(hk_passive(5.0)).run();
+    let results = PassiveCampaign::new(hk_passive(5.0)).run().unwrap();
     for c in ["Tianqi", "FOSSA"] {
         let covered = results.contact_stats_covered(c, &[]);
         assert!(
@@ -44,7 +44,7 @@ fn effective_windows_shrink_dramatically() {
 fn contact_intervals_expand() {
     // §3.1: measured inter-contact intervals are several times the
     // theoretical ones (paper: 6.1–44.9×).
-    let results = PassiveCampaign::new(hk_passive(5.0)).run();
+    let results = PassiveCampaign::new(hk_passive(5.0)).run().unwrap();
     let stats = results.contact_stats("Tianqi", &[]);
     assert!(
         stats.interval_expansion() > 2.0,
@@ -56,7 +56,7 @@ fn contact_intervals_expand() {
 #[test]
 fn receptions_concentrate_mid_window() {
     // Appendix C: ~70 % of receptions inside the middle 30–70 % span.
-    let results = PassiveCampaign::new(hk_passive(5.0)).run();
+    let results = PassiveCampaign::new(hk_passive(5.0)).run().unwrap();
     let pos = results.reception_positions();
     assert!(pos.len() > 100, "too few receptions ({})", pos.len());
     let mut h = Histogram::new(0.0, 1.0, 10);
@@ -96,7 +96,7 @@ fn constellation_size_drives_availability() {
 fn satellite_latency_is_hundreds_of_times_terrestrial() {
     // §3.2: 135.2 min vs 0.2 min (643.6×). At 4 simulated days we accept
     // any ratio above 100×.
-    let sat = ActiveCampaign::new(ActiveConfig::quick(4.0)).run();
+    let sat = ActiveCampaign::new(ActiveConfig::quick(4.0)).run().unwrap();
     let terr = TerrestrialCampaign::new(TerrestrialConfig {
         days: 4.0,
         ..Default::default()
@@ -116,8 +116,8 @@ fn retransmissions_lift_reliability_above_no_retx() {
     // Fig 5a: 91 % without retransmissions → 96 % with ≤5.
     let mut none = ActiveConfig::quick(4.0);
     none.max_attempts = 1;
-    let r_none = ActiveCampaign::new(none).run();
-    let r_retx = ActiveCampaign::new(ActiveConfig::quick(4.0)).run();
+    let r_none = ActiveCampaign::new(none).run().unwrap();
+    let r_retx = ActiveCampaign::new(ActiveConfig::quick(4.0)).run().unwrap();
     assert!(
         r_none.reliability() > 0.75,
         "no-retx {:.2}",
@@ -135,7 +135,7 @@ fn retransmissions_lift_reliability_above_no_retx() {
 fn ack_loss_inflates_retransmissions() {
     // §3.2's "contradicting results": ~half of packets retransmit even
     // though >90 % of first uplinks are received — visible as duplicates.
-    let r = ActiveCampaign::new(ActiveConfig::quick(4.0)).run();
+    let r = ActiveCampaign::new(ActiveConfig::quick(4.0)).run().unwrap();
     let retx_share = 1.0
         - r.sent.iter().filter(|p| p.attempts == 1).count() as f64
             / r.sent.iter().filter(|p| p.attempts > 0).count().max(1) as f64;
@@ -151,7 +151,7 @@ fn ack_loss_inflates_retransmissions() {
 fn energy_gap_favors_terrestrial_by_an_order_of_magnitude() {
     use satiot::energy::battery::Battery;
     use satiot::energy::profile::{SatNodeDeploymentProfile, TerrestrialDeploymentProfile};
-    let sat = ActiveCampaign::new(ActiveConfig::quick(3.0)).run();
+    let sat = ActiveCampaign::new(ActiveConfig::quick(3.0)).run().unwrap();
     let terr = TerrestrialCampaign::new(TerrestrialConfig {
         days: 3.0,
         ..Default::default()

@@ -17,8 +17,8 @@ fn every_report_renders_from_a_one_day_campaign() {
             "HK" | "SYD" | "LDN" | "PGH" | "SH" | "GZ" | "NC" | "YC"
         )
     });
-    let passive = PassiveCampaign::new(pcfg).run();
-    let active = ActiveCampaign::new(ActiveConfig::quick(1.0)).run();
+    let passive = PassiveCampaign::new(pcfg).run().unwrap();
+    let active = ActiveCampaign::new(ActiveConfig::quick(1.0)).run().unwrap();
     let terrestrial = TerrestrialCampaign::new(TerrestrialConfig {
         days: 1.0,
         ..Default::default()
