@@ -1,0 +1,219 @@
+//! Predict-phase benchmark report: cold/warm × direct/ephemeris.
+//!
+//! Reproduces the campaign predict phase — every observer × every
+//! satellite of a constellation over a shared scan window, driven
+//! through the sweep pool and the shared pass cache exactly like
+//! `PassiveCampaign`/`ActiveCampaign` — under both sampling backends:
+//!
+//! * **direct** (`SATIOT_EPHEMERIS=0` equivalent): every elevation query
+//!   runs SGP4 + GMST + frame rotation.
+//! * **ephemeris**: each satellite is propagated once onto a shared
+//!   [`EphemerisGrid`]; all observers interpolate.
+//!
+//! Each backend is measured cold (empty pass cache and grid store) and
+//! warm (immediately re-run, everything served from the cache). Work is
+//! counted two ways: wall time and the always-on
+//! `orbit.sgp4.propagations` proof counter, which cannot be fooled by
+//! caching layers.
+//!
+//! Writes `BENCH_pass_prediction.json` and asserts the headline claim —
+//! the ephemeris backend performs at least 3× fewer SGP4 propagations
+//! than direct on the cold multi-observer sweep — so CI fails if the
+//! optimisation regresses. `--smoke` runs a smaller catalog for CI.
+
+use satiot_core::{calib, sweep};
+use satiot_orbit::ephemeris::{self, EphemerisMode};
+use satiot_orbit::frames::Geodetic;
+use satiot_orbit::pass::Pass;
+use satiot_orbit::sgp4;
+use satiot_orbit::time::JulianDate;
+use satiot_scenarios::constellations::{fossa, tianqi, SatelliteDef};
+use satiot_scenarios::sites::{tianqi_ground_stations, yunnan_farm};
+use satiot_sim::pool;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured cell of the cold/warm × direct/ephemeris matrix.
+struct Cell {
+    backend: &'static str,
+    phase: &'static str,
+    wall_ms: f64,
+    propagations: u64,
+    pass_lists: usize,
+    passes: usize,
+}
+
+/// Run the predict workload once: every (observer, satellite) pair
+/// through the shared pass cache on the sweep pool, mirroring the
+/// campaign predict phases.
+fn predict_all(
+    observers: &[(&'static str, Geodetic)],
+    sats: &[(SatelliteDef, satiot_orbit::sgp4::Sgp4)],
+    start: JulianDate,
+    end: JulianDate,
+    mask_rad: f64,
+) -> Vec<Arc<Vec<Pass>>> {
+    let tasks: Vec<(usize, usize)> = (0..observers.len())
+        .flat_map(|o| (0..sats.len()).map(move |s| (o, s)))
+        .collect();
+    pool::parallel_map(&tasks, |_, &(o, s)| {
+        let (name, site) = observers[o];
+        let (sat, sgp4) = &sats[s];
+        sweep::passes_for(
+            sweep::PassKey::new(name, sat.constellation, sat.sat_id, start, end, mask_rad),
+            || {
+                sweep::sat_predictor(
+                    sat.constellation,
+                    sat.sat_id,
+                    sgp4,
+                    site,
+                    mask_rad,
+                    start,
+                    end,
+                )
+            },
+        )
+    })
+}
+
+fn measure(
+    backend: &'static str,
+    mode: EphemerisMode,
+    observers: &[(&'static str, Geodetic)],
+    sats: &[(SatelliteDef, satiot_orbit::sgp4::Sgp4)],
+    start: JulianDate,
+    end: JulianDate,
+    mask_rad: f64,
+) -> (Cell, Cell) {
+    ephemeris::set_mode(mode);
+    sweep::clear();
+    let mut cells = Vec::with_capacity(2);
+    for phase in ["cold", "warm"] {
+        sgp4::reset_propagations();
+        let t0 = Instant::now();
+        let lists = predict_all(observers, sats, start, end, mask_rad);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let propagations = sgp4::propagations();
+        let passes: usize = lists.iter().map(|l| l.len()).sum();
+        println!(
+            "{backend:9} {phase:4}: {wall_ms:9.1} ms, {propagations:>9} propagations, \
+             {} lists, {passes} passes",
+            lists.len(),
+        );
+        cells.push(Cell {
+            backend,
+            phase,
+            wall_ms,
+            propagations,
+            pass_lists: lists.len(),
+            passes,
+        });
+    }
+    let warm = cells.pop().expect("warm cell");
+    let cold = cells.pop().expect("cold cell");
+    (cold, warm)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let spec = if smoke { fossa() } else { tianqi() };
+    let epoch = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+    let days = 1.0;
+    let mask_rad = calib::THEORETICAL_MASK_RAD;
+
+    // The active campaign's observer set: 12 Tianqi ground stations plus
+    // the Yunnan farm — 13 observers sharing each satellite's window.
+    let mut observers = tianqi_ground_stations();
+    observers.push(("YUNNAN_FARM", yunnan_farm()));
+
+    let sats: Vec<(SatelliteDef, satiot_orbit::sgp4::Sgp4)> = spec
+        .catalog(epoch)
+        .into_iter()
+        .map(|sat| {
+            let sgp4 = sat.sgp4().expect("catalog elements propagate");
+            (sat, sgp4)
+        })
+        .collect();
+    println!(
+        "bench_report: {} × {} sats × {} observers × {days} day(s)",
+        spec.name,
+        sats.len(),
+        observers.len(),
+    );
+
+    let (start, end) = (epoch, epoch + days);
+    let (d_cold, d_warm) = measure(
+        "direct",
+        EphemerisMode::Off,
+        &observers,
+        &sats,
+        start,
+        end,
+        mask_rad,
+    );
+    let (e_cold, e_warm) = measure(
+        "ephemeris",
+        EphemerisMode::On,
+        &observers,
+        &sats,
+        start,
+        end,
+        mask_rad,
+    );
+    // Leave the process-wide latch the way the environment asked for it.
+    ephemeris::set_mode(ephemeris::mode_from_env());
+
+    assert_eq!(
+        d_cold.passes, e_cold.passes,
+        "backends disagree on total pass count"
+    );
+    let ratio = d_cold.propagations as f64 / (e_cold.propagations.max(1)) as f64;
+    let speedup = d_cold.wall_ms / e_cold.wall_ms.max(1e-9);
+    println!("cold propagation ratio (direct/ephemeris): {ratio:.2}×, wall speedup {speedup:.2}×");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scenario\": {{");
+    let _ = writeln!(json, "    \"constellation\": \"{}\",", spec.name);
+    let _ = writeln!(json, "    \"satellites\": {},", sats.len());
+    let _ = writeln!(json, "    \"observers\": {},", observers.len());
+    let _ = writeln!(json, "    \"days\": {days},");
+    let _ = writeln!(json, "    \"mask_deg\": {},", mask_rad.to_degrees());
+    let _ = writeln!(json, "    \"smoke\": {smoke}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    let cells = [&d_cold, &d_warm, &e_cold, &e_warm];
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"phase\": \"{}\", \"wall_ms\": {:.3}, \
+             \"sgp4_propagations\": {}, \"pass_lists\": {}, \"passes\": {}}}{}",
+            c.backend,
+            c.phase,
+            c.wall_ms,
+            c.propagations,
+            c.pass_lists,
+            c.passes,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"cold_propagation_ratio\": {ratio:.3},\n  \"cold_wall_speedup\": {speedup:.3}\n}}"
+    );
+    std::fs::write("BENCH_pass_prediction.json", &json).expect("write BENCH_pass_prediction.json");
+    println!("wrote BENCH_pass_prediction.json");
+
+    assert!(
+        ratio >= 3.0,
+        "ephemeris backend must cut SGP4 propagations at least 3× on the cold \
+         multi-observer sweep (got {ratio:.2}×)"
+    );
+    assert!(
+        e_warm.propagations == 0 && d_warm.propagations == 0,
+        "warm re-runs must be served entirely from the pass cache"
+    );
+    println!("bench_report: OK");
+}

@@ -76,5 +76,26 @@ fn main() {
         cache.hits() > 0,
         "repeat runs never hit the cache — keying is broken"
     );
+
+    let grids = sweep::grid_stats();
+    println!(
+        "ephemeris grids: {} lookups, {} built, {} served shared ({} entries)",
+        grids.lookups,
+        grids.computes,
+        grids.hits(),
+        grids.entries
+    );
+    assert_eq!(
+        grids.computes, grids.entries as u64,
+        "an ephemeris grid was sampled more than once"
+    );
+    if satiot_orbit::ephemeris::mode() != satiot_orbit::ephemeris::EphemerisMode::Off {
+        // HK and GZ start the same campaign day, so their satellites
+        // share (satellite, window) grids across sites.
+        assert!(
+            grids.hits() > 0,
+            "no grid was ever shared across observers — keying is broken"
+        );
+    }
     println!("determinism smoke: OK");
 }

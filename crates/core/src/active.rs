@@ -341,7 +341,17 @@ impl ActiveCampaign {
                     t0 + cfg.days,
                     calib::THEORETICAL_MASK_RAD,
                 ),
-                || PassPredictor::new(sgp4, farm, calib::THEORETICAL_MASK_RAD),
+                || {
+                    sweep::sat_predictor(
+                        sat.constellation,
+                        sat.sat_id,
+                        &sgp4,
+                        farm,
+                        calib::THEORETICAL_MASK_RAD,
+                        t0,
+                        t0 + cfg.days,
+                    )
+                },
             )
         });
         let mut farm_passes: Vec<(usize, Pass)> = Vec::new(); // (sat, pass)
@@ -385,7 +395,17 @@ impl ActiveCampaign {
                     t0 + cfg.days + 1.0,
                     gs_mask_rad,
                 ),
-                || PassPredictor::new(sgp4, gs, gs_mask_rad),
+                || {
+                    sweep::sat_predictor(
+                        sat.constellation,
+                        sat.sat_id,
+                        &sgp4,
+                        gs,
+                        gs_mask_rad,
+                        t0,
+                        t0 + cfg.days + 1.0,
+                    )
+                },
             )
         });
         let contact_plans: Vec<Vec<(f64, f64)>> = (0..catalog.len())

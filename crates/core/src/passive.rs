@@ -444,7 +444,17 @@ fn predict_site_sat(site: &Site, sat: &FlatSat, max_days: f64) -> Arc<Vec<Pass>>
             end,
             calib::THEORETICAL_MASK_RAD,
         ),
-        || PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD),
+        || {
+            sweep::sat_predictor(
+                sat.constellation,
+                sat.sat_id,
+                &sgp4,
+                site.geodetic(),
+                calib::THEORETICAL_MASK_RAD,
+                start,
+                end,
+            )
+        },
     )
 }
 
@@ -508,7 +518,12 @@ fn run_site(
     );
 
     // Pass predictions for every satellite: cached lists from the
-    // predict phase when provided, inline prediction otherwise.
+    // predict phase when provided, inline prediction otherwise. The
+    // inline scan goes through `sweep::sat_predictor` so the legacy
+    // driver shares the pooled drivers' ephemeris grids (and therefore
+    // their bit-exact pass lists); the simulate-phase predictors stay
+    // direct because `sample_at` queries arbitrary instants that may
+    // fall outside any grid window.
     let mut predictors: Vec<PassPredictor> = Vec::with_capacity(sats.len());
     let mut candidates: Vec<CandidatePass> = Vec::new();
     for (i, sat) in sats.iter().enumerate() {
@@ -522,12 +537,22 @@ fn run_site(
                 sat_index: i,
                 pass: *pass,
             })),
-            None => candidates.extend(
-                predictor
-                    .passes(start, end)
-                    .into_iter()
-                    .map(|pass| CandidatePass { sat_index: i, pass }),
-            ),
+            None => {
+                let scan = sweep::sat_predictor(
+                    sat.constellation,
+                    sat.sat_id,
+                    &sat.sgp4,
+                    site.geodetic(),
+                    calib::THEORETICAL_MASK_RAD,
+                    start,
+                    end,
+                );
+                candidates.extend(
+                    scan.passes(start, end)
+                        .into_iter()
+                        .map(|pass| CandidatePass { sat_index: i, pass }),
+                );
+            }
         }
         predictors.push(predictor);
     }
@@ -752,7 +777,17 @@ pub fn theoretical_daily_hours(spec: &ConstellationSpec, site: &Site, days: u32)
                 end,
                 calib::THEORETICAL_MASK_RAD,
             ),
-            || PassPredictor::new(sgp4, site.geodetic(), calib::THEORETICAL_MASK_RAD),
+            || {
+                sweep::sat_predictor(
+                    sat.constellation,
+                    sat.sat_id,
+                    &sgp4,
+                    site.geodetic(),
+                    calib::THEORETICAL_MASK_RAD,
+                    start,
+                    end,
+                )
+            },
         )
     });
     // Collect all pass intervals (seconds relative to start).

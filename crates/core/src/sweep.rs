@@ -35,9 +35,12 @@
 //! ```
 
 use satiot_obs::metrics::{Counter, Gauge};
+use satiot_orbit::ephemeris::{self, EphemerisGrid, EphemerisMode};
+use satiot_orbit::frames::Geodetic;
 use satiot_orbit::pass::{Pass, PassPredictor};
+use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -47,12 +50,42 @@ static CACHE_HITS: Counter = Counter::new("core.sweep.pass_cache_hits");
 static CACHE_MISSES: Counter = Counter::new("core.sweep.pass_cache_misses");
 /// Distinct pass lists currently cached (metrics).
 static CACHE_ENTRIES: Gauge = Gauge::new("core.sweep.pass_cache_entries");
+/// Grid-store lookups served without building (metrics).
+static GRID_HITS: Counter = Counter::new("core.sweep.grid_hits");
+/// Grid-store lookups that built a grid (metrics).
+static GRID_MISSES: Counter = Counter::new("core.sweep.grid_misses");
+/// Distinct ephemeris grids currently stored (metrics).
+static GRID_ENTRIES: Gauge = Gauge::new("core.sweep.grid_entries");
 
 // The proof-of-work counters behind [`stats`] are plain atomics rather
 // than obs counters so they report even when `SATIOT_METRICS` is off
 // (the determinism smoke and `reproduce_all` assert on them).
 static LOOKUPS: AtomicU64 = AtomicU64::new(0);
 static COMPUTES: AtomicU64 = AtomicU64::new(0);
+static GRID_LOOKUPS: AtomicU64 = AtomicU64::new(0);
+static GRID_COMPUTES: AtomicU64 = AtomicU64::new(0);
+
+/// Intern `s` into a process-lived string, so cache keys stay `Copy`
+/// (`&'static str` fields) without forcing *callers* with
+/// dynamically-named sites to leak one allocation per call: each
+/// distinct name is leaked exactly once, and every later interning of
+/// the same text returns the same pointer. The table only ever holds
+/// site/constellation names, so it is bounded by the catalog size.
+pub fn intern(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern table poisoned");
+    match table.get(s) {
+        Some(interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+            table.insert(leaked);
+            leaked
+        }
+    }
+}
 
 /// Identity of one cached pass list.
 ///
@@ -79,17 +112,20 @@ pub struct PassKey {
 
 impl PassKey {
     /// Build a key from the predictor's natural inputs.
+    ///
+    /// Names are interned (see [`intern`]), so callers may pass borrowed
+    /// or dynamically-built strings; the key itself stays `Copy`.
     pub fn new(
-        site: &'static str,
-        constellation: &'static str,
+        site: &str,
+        constellation: &str,
         sat_id: u32,
         start: JulianDate,
         end: JulianDate,
         mask_rad: f64,
     ) -> PassKey {
         PassKey {
-            site,
-            constellation,
+            site: intern(site),
+            constellation: intern(constellation),
             sat_id,
             start_bits: start.0.to_bits(),
             end_bits: end.0.to_bits(),
@@ -176,14 +212,190 @@ pub fn stats() -> CacheStats {
     }
 }
 
-/// Drop every cached pass list and zero the counters (benches measuring
-/// cold-cache sweeps; long-lived processes rotating TLE epochs).
+/// Drop every cached pass list *and* every stored ephemeris grid, and
+/// zero both sets of counters (benches measuring cold-cache sweeps;
+/// long-lived processes rotating TLE epochs).
 pub fn clear() {
     let mut map = cache().lock().expect("pass cache poisoned");
     map.clear();
     CACHE_ENTRIES.set(0);
     LOOKUPS.store(0, Relaxed);
     COMPUTES.store(0, Relaxed);
+    drop(map);
+    let mut grids = grid_store().lock().expect("grid store poisoned");
+    grids.clear();
+    GRID_ENTRIES.set(0);
+    GRID_LOOKUPS.store(0, Relaxed);
+    GRID_COMPUTES.store(0, Relaxed);
+}
+
+/// Identity of one shared ephemeris grid.
+///
+/// Unlike [`PassKey`], the site and elevation mask are deliberately
+/// *absent*: a grid samples the satellite's ECEF trajectory, which does
+/// not depend on who is watching. Every observer — eight measurement
+/// sites, twelve ground stations, any mask — over the same `(satellite,
+/// window)` shares one grid, and that sharing is the whole point of the
+/// store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridKey {
+    /// Constellation label (interned).
+    pub constellation: &'static str,
+    /// Satellite id within the constellation.
+    pub sat_id: u32,
+    /// Scan start (`JulianDate` bits).
+    pub start_bits: u64,
+    /// Scan end (`JulianDate` bits).
+    pub end_bits: u64,
+}
+
+impl GridKey {
+    /// Build a key from the scan window's natural inputs.
+    pub fn new(constellation: &str, sat_id: u32, start: JulianDate, end: JulianDate) -> GridKey {
+        GridKey {
+            constellation: intern(constellation),
+            sat_id,
+            start_bits: start.0.to_bits(),
+            end_bits: end.0.to_bits(),
+        }
+    }
+
+    /// The scan window encoded in the key.
+    pub fn range(&self) -> (JulianDate, JulianDate) {
+        (
+            JulianDate(f64::from_bits(self.start_bits)),
+            JulianDate(f64::from_bits(self.end_bits)),
+        )
+    }
+}
+
+type GridEntry = Arc<OnceLock<Arc<EphemerisGrid>>>;
+
+fn grid_store() -> &'static Mutex<HashMap<GridKey, GridEntry>> {
+    static GRIDS: OnceLock<Mutex<HashMap<GridKey, GridEntry>>> = OnceLock::new();
+    GRIDS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The ephemeris grid for `key`, building it with `build` on the first
+/// request and serving the shared grid afterwards.
+///
+/// Mirrors [`passes_for`]: the map lock is held only to resolve the
+/// entry slot, the build runs outside it, and `OnceLock` guarantees the
+/// expensive SGP4 sampling sweep happens exactly once per key even under
+/// concurrent access from the sweep pool.
+pub fn grid_for<F>(key: GridKey, build: F) -> Arc<EphemerisGrid>
+where
+    F: FnOnce() -> EphemerisGrid,
+{
+    GRID_LOOKUPS.fetch_add(1, Relaxed);
+    let entry: GridEntry = {
+        let mut map = grid_store().lock().expect("grid store poisoned");
+        let entry = Arc::clone(map.entry(key).or_default());
+        GRID_ENTRIES.set(map.len() as i64);
+        entry
+    };
+    let mut computed = false;
+    let grid = entry
+        .get_or_init(|| {
+            computed = true;
+            GRID_COMPUTES.fetch_add(1, Relaxed);
+            GRID_MISSES.inc();
+            Arc::new(build())
+        })
+        .clone();
+    if !computed {
+        GRID_HITS.inc();
+    }
+    grid
+}
+
+/// A snapshot of the grid store's proof-of-work counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridStats {
+    /// Total [`grid_for`] calls.
+    pub lookups: u64,
+    /// Lookups that built a grid. `computes == entries` proves every
+    /// stored grid was sampled exactly once this process.
+    pub computes: u64,
+    /// Distinct grids currently stored.
+    pub entries: usize,
+}
+
+impl GridStats {
+    /// Lookups served without building.
+    pub fn hits(&self) -> u64 {
+        self.lookups - self.computes
+    }
+}
+
+/// Read the grid-store counters.
+pub fn grid_stats() -> GridStats {
+    let entries = grid_store().lock().expect("grid store poisoned").len();
+    GridStats {
+        lookups: GRID_LOOKUPS.load(Relaxed),
+        computes: GRID_COMPUTES.load(Relaxed),
+        entries,
+    }
+}
+
+/// Build the pass predictor every campaign driver uses for one
+/// `(satellite, site, window)` triple, honouring the process-wide
+/// [`ephemeris::mode`]:
+///
+/// * `Off` — a plain direct-SGP4 predictor, bit-identical to the
+///   pre-ephemeris pipeline (the `SATIOT_EPHEMERIS=0` A/B baseline).
+/// * `On` (default) — attaches the shared [`EphemerisGrid`] for the
+///   satellite's window from [`grid_for`], so coarse scan, bisection
+///   refinement, and culmination search all interpolate instead of
+///   re-propagating.
+/// * `Validate` — as `On`, but every freshly built grid is probed
+///   against direct SGP4 and the process aborts if the accuracy
+///   contract is violated (CI's `ephemeris_check` runs in this mode).
+///
+/// Both the pooled predict phases and the legacy inline path construct
+/// their predictors here, which is what keeps the drivers bit-identical:
+/// they share not just the algorithm but the very same grid `Arc`s.
+pub fn sat_predictor(
+    constellation: &str,
+    sat_id: u32,
+    sgp4: &Sgp4,
+    site: Geodetic,
+    mask_rad: f64,
+    start: JulianDate,
+    end: JulianDate,
+) -> PassPredictor {
+    let key = GridKey::new(constellation, sat_id, start, end);
+    predictor_with_mode(ephemeris::mode(), key, sgp4, site, mask_rad)
+}
+
+/// [`sat_predictor`] with the mode passed explicitly, so tests can
+/// exercise every branch without racing on the global mode latch.
+fn predictor_with_mode(
+    mode: EphemerisMode,
+    key: GridKey,
+    sgp4: &Sgp4,
+    site: Geodetic,
+    mask_rad: f64,
+) -> PassPredictor {
+    let predictor = PassPredictor::new(sgp4.clone(), site, mask_rad);
+    if mode == EphemerisMode::Off {
+        return predictor;
+    }
+    let (start, end) = key.range();
+    let grid = grid_for(key, || {
+        let grid = EphemerisGrid::build(sgp4, start, end);
+        if mode == EphemerisMode::Validate {
+            let report = grid.validate(sgp4, 256);
+            assert!(
+                report.within_contract(),
+                "ephemeris accuracy contract violated for {}/{} over {start:?}..{end:?}: {report:?}",
+                key.constellation,
+                key.sat_id,
+            );
+        }
+        grid
+    });
+    predictor.with_ephemeris(grid)
 }
 
 #[cfg(test)]
@@ -234,6 +446,69 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(b.len() >= a.len(), "wider range lost passes");
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = intern("TEST_INTERN_SITE");
+        let b = intern(&String::from("TEST_INTERN_SITE"));
+        assert_eq!(a, "TEST_INTERN_SITE");
+        assert!(std::ptr::eq(a, b), "same text interned to two pointers");
+        // Keys built from borrowed strings equal keys built from literals.
+        let owned = String::from("TEST_INTERN_SITE");
+        let k1 = PassKey::new(&owned, "T", 0, epoch(), epoch() + 1.0, 0.0);
+        let k2 = PassKey::new("TEST_INTERN_SITE", "T", 0, epoch(), epoch() + 1.0, 0.0);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn grid_store_builds_exactly_once_per_key() {
+        let key = GridKey::new("TEST_GRID_ONCE", 0, epoch(), epoch() + 1.0);
+        let built = AtomicUsize::new(0);
+        let sgp4 = Elements::circular(550.0, 97.6, epoch()).to_sgp4().unwrap();
+        let build = || {
+            built.fetch_add(1, Relaxed);
+            EphemerisGrid::build(&sgp4, epoch(), epoch() + 1.0)
+        };
+        let grids: Vec<Arc<EphemerisGrid>> =
+            satiot_sim::pool::parallel_map_with(&[(); 16], 8, |_, _| grid_for(key, build));
+        assert_eq!(built.load(Relaxed), 1, "racing lookups built twice");
+        for g in &grids {
+            assert!(Arc::ptr_eq(&grids[0], g));
+        }
+        assert!(!grids[0].is_empty());
+    }
+
+    #[test]
+    fn predictor_modes_share_grids_and_match_direct() {
+        let start = epoch();
+        let end = epoch() + 1.0;
+        let sgp4 = Elements::circular(550.0, 97.6, epoch()).to_sgp4().unwrap();
+        let site_a = Geodetic::from_degrees(22.32, 114.17, 0.05);
+        let site_b = Geodetic::from_degrees(23.13, 113.26, 0.02);
+        let key = GridKey::new("TEST_MODES", 0, start, end);
+
+        let off = predictor_with_mode(EphemerisMode::Off, key, &sgp4, site_a, 0.0);
+        assert!(off.ephemeris().is_none(), "Off mode attached a grid");
+
+        // Two observers over the same window share one grid Arc; the
+        // Validate branch probes it against direct SGP4 on first build.
+        let on_a = predictor_with_mode(EphemerisMode::Validate, key, &sgp4, site_a, 0.0);
+        let on_b = predictor_with_mode(EphemerisMode::On, key, &sgp4, site_b, 0.0);
+        let (ga, gb) = (on_a.ephemeris().unwrap(), on_b.ephemeris().unwrap());
+        assert!(Arc::ptr_eq(ga, gb), "same window built two grids");
+
+        // Grid-backed pass lists agree with direct prediction within the
+        // documented contract; here the discretisation is fine enough
+        // that pass counts must match exactly.
+        let direct = off.passes(start, end);
+        let gridded = on_a.passes(start, end);
+        assert_eq!(direct.len(), gridded.len());
+        for (d, g) in direct.iter().zip(&gridded) {
+            assert!((d.aos.seconds_since(g.aos)).abs() < 0.1);
+            assert!((d.los.seconds_since(g.los)).abs() < 0.1);
+            assert!((d.max_elevation_rad - g.max_elevation_rad).abs() < 0.01_f64.to_radians());
+        }
     }
 
     #[test]

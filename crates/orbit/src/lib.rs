@@ -18,6 +18,9 @@
 //!   range-rate) and Doppler shift for a ground observer.
 //! * [`pass`] — contact-window (pass) prediction via coarse search plus
 //!   bisection refinement of AOS/LOS times.
+//! * [`ephemeris`] — per-satellite precomputed ECEF grids with cubic
+//!   Hermite interpolation, so multi-site sweeps propagate each
+//!   satellite once instead of once per observer.
 //! * [`elements`] — Keplerian element helpers and a builder for synthetic
 //!   TLEs (circular-ish shells at a given altitude/inclination).
 //! * [`sun`] — a low-precision solar ephemeris: daylight fractions for
@@ -49,6 +52,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod elements;
+pub mod ephemeris;
 pub mod error;
 pub mod frames;
 pub mod pass;
@@ -59,6 +63,7 @@ pub mod tle;
 pub mod topo;
 pub mod vec3;
 
+pub use ephemeris::EphemerisGrid;
 pub use error::OrbitError;
 pub use frames::Geodetic;
 pub use pass::{Pass, PassPredictor};

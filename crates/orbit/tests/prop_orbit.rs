@@ -125,6 +125,50 @@ proptest! {
 }
 
 proptest! {
+    /// The ephemeris grid honours its elevation contract for arbitrary
+    /// LEO orbits and observers: everywhere in the scan window —
+    /// interior, both edges, and exactly-on-sample instants included —
+    /// interpolated elevation stays within `MAX_ELEVATION_ERROR_DEG`
+    /// of direct SGP4.
+    #[test]
+    fn grid_elevation_stays_within_contract(
+        alt in 400.0_f64..1_200.0,
+        incl in 0.0_f64..98.0,
+        lat in -65.0_f64..65.0,
+        lon in -180.0_f64..180.0,
+        alt_site_km in 0.0_f64..2.0,
+        probe in 0.0_f64..1.0,
+    ) {
+        use satiot_orbit::ephemeris::{EphemerisGrid, MAX_ELEVATION_ERROR_DEG};
+        use std::sync::Arc;
+        let e = Elements::circular(alt, incl, epoch());
+        let sgp4 = e.to_sgp4().unwrap();
+        let site = Geodetic::from_degrees(lat, lon, alt_site_km);
+        let (start, end) = (epoch(), epoch() + 0.5);
+        let grid = Arc::new(EphemerisGrid::build(&sgp4, start, end));
+        let direct = PassPredictor::new(sgp4.clone(), site, 0.0);
+        let gridded = PassPredictor::new(sgp4, site, 0.0).with_ephemeris(Arc::clone(&grid));
+        let span_s = end.seconds_since(start);
+        // A random interior instant, the window edges, and a handful of
+        // exactly-on-sample lattice points near the probe.
+        let mut instants = vec![
+            start.plus_seconds(probe * span_s),
+            start,
+            end,
+        ];
+        let k = ((probe * span_s) / grid.step_s()) as usize;
+        for j in k.saturating_sub(1)..=(k + 1).min(grid.len().saturating_sub(1)) {
+            instants.push(grid.sample_time(j));
+        }
+        for t in instants {
+            let err = (direct.elevation_at(t) - gridded.elevation_at(t)).to_degrees().abs();
+            prop_assert!(
+                err < MAX_ELEVATION_ERROR_DEG,
+                "elevation error {err}° at {t:?} (alt {alt}, incl {incl}, site {lat},{lon})"
+            );
+        }
+    }
+
     /// The analytic range-rate equals the numerical derivative of range
     /// for arbitrary geometries — the quantity Doppler hangs off.
     #[test]
