@@ -2,11 +2,12 @@
 //! runs. These are the numbers that bound full-scale `reproduce_all`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use satiot_core::active::{ActiveCampaign, ActiveConfig};
-use satiot_core::passive::{PassiveCampaign, PassiveConfig};
+use satiot_core::prelude::*;
 use satiot_terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
 
 fn bench_campaigns(c: &mut Criterion) {
+    // Hermetic defaults: batched simulate kernels, ephemeris grids on.
+    let opts = RunOptions::default();
     let mut group = c.benchmark_group("campaigns");
     group.sample_size(10);
 
@@ -15,7 +16,7 @@ fn bench_campaigns(c: &mut Criterion) {
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| s.code == "HK");
             cfg.parallel = false;
-            PassiveCampaign::new(cfg).run().unwrap()
+            PassiveCampaign::new(cfg).run(&opts).unwrap()
         })
     });
 
@@ -29,10 +30,11 @@ fn bench_campaigns(c: &mut Criterion) {
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;
-            PassiveCampaign::new(cfg).run().unwrap()
+            PassiveCampaign::new(cfg).run(&opts).unwrap()
         })
     });
 
+    #[allow(deprecated)] // The legacy driver is the bench baseline.
     group.bench_function("passive_multisite_site_threads", |b| {
         b.iter(|| {
             satiot_core::sweep::clear();
@@ -52,12 +54,30 @@ fn bench_campaigns(c: &mut Criterion) {
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;
-            PassiveCampaign::new(cfg).run().unwrap()
+            PassiveCampaign::new(cfg).run(&opts).unwrap()
+        })
+    });
+
+    // Same warm sweep with the SoA batch kernels disabled: the
+    // simulate-phase speedup `BENCH_simulate.json` commits is the gap
+    // between this and `passive_multisite_pool_warm`.
+    group.bench_function("passive_multisite_pool_warm_scalar", |b| {
+        b.iter(|| {
+            let mut cfg = PassiveConfig::quick(1.0);
+            cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
+            cfg.parallel = true;
+            PassiveCampaign::new(cfg)
+                .run(&opts.with_batch(BatchMode::Off))
+                .unwrap()
         })
     });
 
     group.bench_function("active_1day", |b| {
-        b.iter(|| ActiveCampaign::new(ActiveConfig::quick(1.0)).run().unwrap())
+        b.iter(|| {
+            ActiveCampaign::new(ActiveConfig::quick(1.0))
+                .run(&opts)
+                .unwrap()
+        })
     });
 
     group.bench_function("terrestrial_30day", |b| {

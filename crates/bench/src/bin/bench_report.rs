@@ -20,7 +20,16 @@
 //! the ephemeris backend performs at least 3× fewer SGP4 propagations
 //! than direct on the cold multi-observer sweep — so CI fails if the
 //! optimisation regresses. `--smoke` runs a smaller catalog for CI.
+//!
+//! A second matrix measures the **simulate** phase: a warm-cache passive
+//! sweep (pass lists precomputed, so wall time is the per-beacon channel
+//! work) under the legacy scalar pipeline (`SATIOT_BATCH=0` +
+//! `SATIOT_EPHEMERIS=0`, the pre-batching code path) versus the SoA
+//! batch kernels over ephemeris grids. Writes `BENCH_simulate.json` and
+//! asserts the batched path is at least 2× faster (1.5× under
+//! `--smoke`, where the sweep is too short to amortise).
 
+use satiot_core::prelude::*;
 use satiot_core::{calib, sweep};
 use satiot_orbit::ephemeris::{self, EphemerisMode};
 use satiot_orbit::frames::Geodetic;
@@ -115,7 +124,75 @@ fn measure(
     (cold, warm)
 }
 
+/// One measured cell of the simulate matrix: a warm-cache passive sweep,
+/// so wall time is dominated by the per-beacon simulate phase.
+struct SimCell {
+    config: &'static str,
+    wall_ms: f64,
+    propagations: u64,
+    traces: usize,
+    passes: usize,
+}
+
+fn simulate_config(smoke: bool) -> PassiveConfig {
+    // Smoke keeps three sites over two days — long enough that the
+    // measured walls dwarf scheduler jitter on a loaded CI runner.
+    let mut cfg = PassiveConfig::quick(if smoke { 2.0 } else { 3.0 });
+    if smoke {
+        cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
+    }
+    cfg.parallel = true;
+    cfg
+}
+
+fn measure_simulate(config: &'static str, opts: &RunOptions, smoke: bool) -> SimCell {
+    // The pass cache is not keyed on the ephemeris backend, so each cell
+    // starts from a clean slate and warms its own caches with a
+    // throwaway run before the measured one.
+    sweep::clear();
+    let warmup = PassiveCampaign::new(simulate_config(smoke))
+        .run(opts)
+        .expect("simulate-matrix config is valid");
+    // Best of three repeats: the minimum wall is the least contaminated
+    // by scheduler noise, which matters on shared CI runners.
+    let mut wall_ms = f64::INFINITY;
+    let mut propagations = 0;
+    let mut results = warmup;
+    for _ in 0..3 {
+        sgp4::reset_propagations();
+        let t0 = Instant::now();
+        let rep = PassiveCampaign::new(simulate_config(smoke))
+            .run(opts)
+            .expect("simulate-matrix config is valid");
+        let rep_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            rep.traces.len(),
+            results.traces.len(),
+            "{config}: repeat runs diverged"
+        );
+        if rep_ms < wall_ms {
+            wall_ms = rep_ms;
+            propagations = sgp4::propagations();
+        }
+        results = rep;
+    }
+    println!(
+        "{config:9} warm: {wall_ms:9.1} ms, {propagations:>9} propagations, \
+         {} traces, {} passes",
+        results.traces.len(),
+        results.passes.len(),
+    );
+    SimCell {
+        config,
+        wall_ms,
+        propagations,
+        traces: results.traces.len(),
+        passes: results.passes.len(),
+    }
+}
+
 fn main() {
+    let opts = RunOptions::from_env().apply();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let spec = if smoke { fossa() } else { tianqi() };
     let epoch = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
@@ -162,7 +239,7 @@ fn main() {
         mask_rad,
     );
     // Leave the process-wide latch the way the environment asked for it.
-    ephemeris::set_mode(ephemeris::mode_from_env());
+    ephemeris::set_mode(opts.ephemeris);
 
     assert_eq!(
         d_cold.passes, e_cold.passes,
@@ -214,6 +291,85 @@ fn main() {
     assert!(
         e_warm.propagations == 0 && d_warm.propagations == 0,
         "warm re-runs must be served entirely from the pass cache"
+    );
+
+    // --- Simulate matrix: legacy scalar pipeline vs SoA batch kernels. ---
+    println!(
+        "\nsimulate matrix ({} passive sweep, warm pass cache):",
+        if smoke { "smoke" } else { "full" }
+    );
+    let legacy = measure_simulate(
+        "legacy",
+        &opts
+            .with_batch(BatchMode::Off)
+            .with_ephemeris(EphemerisMode::Off),
+        smoke,
+    );
+    // The two mixed cells attribute the win between the ephemeris-grid
+    // geometry sampling and the SoA channel kernels.
+    let grid_only = measure_simulate(
+        "grid-only",
+        &opts
+            .with_batch(BatchMode::Off)
+            .with_ephemeris(EphemerisMode::On),
+        smoke,
+    );
+    let batch_only = measure_simulate(
+        "batch-only",
+        &opts
+            .with_batch(BatchMode::On)
+            .with_ephemeris(EphemerisMode::Off),
+        smoke,
+    );
+    let batched = measure_simulate(
+        "batched",
+        &opts
+            .with_batch(BatchMode::On)
+            .with_ephemeris(EphemerisMode::On),
+        smoke,
+    );
+    sweep::clear();
+    let sim_speedup = legacy.wall_ms / batched.wall_ms.max(1e-9);
+    println!("simulate wall speedup (legacy/batched): {sim_speedup:.2}×");
+
+    let sim_cfg = simulate_config(smoke);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scenario\": {{");
+    let _ = writeln!(json, "    \"sites\": {},", sim_cfg.sites.len());
+    let _ = writeln!(
+        json,
+        "    \"constellations\": {},",
+        sim_cfg.constellations.len()
+    );
+    let _ = writeln!(json, "    \"days\": {},", sim_cfg.max_days);
+    let _ = writeln!(json, "    \"smoke\": {smoke}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    let cells = [&legacy, &grid_only, &batch_only, &batched];
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"wall_ms\": {:.3}, \"sgp4_propagations\": {}, \
+             \"traces\": {}, \"passes\": {}}}{}",
+            c.config,
+            c.wall_ms,
+            c.propagations,
+            c.traces,
+            c.passes,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"simulate_wall_speedup\": {sim_speedup:.3}\n}}");
+    std::fs::write("BENCH_simulate.json", &json).expect("write BENCH_simulate.json");
+    println!("wrote BENCH_simulate.json");
+
+    let floor = if smoke { 1.5 } else { 2.0 };
+    assert!(
+        sim_speedup >= floor,
+        "batched simulate must be at least {floor}× faster than the legacy \
+         scalar pipeline on the warm passive sweep (got {sim_speedup:.2}×)"
     );
     println!("bench_report: OK");
 }

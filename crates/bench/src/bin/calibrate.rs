@@ -2,8 +2,8 @@
 //! values so channel/protocol constants can be tuned. Not part of the
 //! experiment set — use `reproduce_all` for the real tables.
 
-use satiot_core::active::{ActiveCampaign, ActiveConfig};
-use satiot_core::passive::{theoretical_daily_hours, PassiveCampaign, PassiveConfig};
+use satiot_core::passive::theoretical_daily_hours;
+use satiot_core::prelude::*;
 use satiot_measure::latency::LatencyBreakdown;
 use satiot_measure::stats::Summary;
 use satiot_scenarios::constellations::tianqi;
@@ -11,6 +11,7 @@ use satiot_scenarios::sites::measurement_sites;
 use satiot_terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
 
 fn main() {
+    let opts = RunOptions::from_env().apply();
     let days: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -23,7 +24,7 @@ fn main() {
         .collect::<Vec<_>>();
     let mut pcfg = PassiveConfig::quick(days);
     pcfg.sites = hk.clone();
-    let passive = PassiveCampaign::new(pcfg).run().unwrap();
+    let passive = PassiveCampaign::new(pcfg).run(&opts).unwrap();
     println!("=== PASSIVE (HK, {days} days) ===");
     println!("traces: {}", passive.traces.len());
     for c in ["Tianqi", "FOSSA", "PICO", "CSTP"] {
@@ -82,7 +83,7 @@ fn main() {
     // --- Active. ---
     let mut acfg = ActiveConfig::quick(days);
     acfg.seed = 42;
-    let active = ActiveCampaign::new(acfg).run().unwrap();
+    let active = ActiveCampaign::new(acfg).run(&opts).unwrap();
     let b = LatencyBreakdown::compute(&active.timelines);
     println!("\n=== ACTIVE ({days} days) ===");
     println!(

@@ -23,17 +23,16 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use satiot_core::active::{ActiveCampaign, ActiveConfig};
 use satiot_core::buffer::{DropPolicy, StoreAndForward};
-use satiot_core::error::FaultLog;
 use satiot_core::geometry::beacon_times;
-use satiot_core::passive::{sanitize_candidates, PassiveCampaign, PassiveConfig, SchedulerKind};
+use satiot_core::passive::sanitize_candidates;
+use satiot_core::prelude::*;
 use satiot_core::scheduler::{CandidatePass, PredictiveScheduler, Scheduler, VanillaScheduler};
 use satiot_orbit::pass::Pass;
 use satiot_orbit::time::JulianDate;
 use satiot_scenarios::constellations::tianqi;
 use satiot_scenarios::sites::measurement_sites;
-use satiot_sim::chaos::{seed_from_env, ChaosEngine, ChaosPlan};
+use satiot_sim::chaos::{ChaosEngine, ChaosPlan};
 
 /// Scenario count (the robustness contract asks for ≥ 200).
 const SCENARIOS: u64 = 240;
@@ -51,7 +50,8 @@ enum Verdict {
 }
 
 fn main() {
-    let seed = seed_from_env();
+    let opts = RunOptions::from_env().apply();
+    let seed = opts.chaos_seed;
     let engine = ChaosEngine::new(seed);
     println!("chaos smoke: {SCENARIOS} scenarios from seed {seed:#x}");
 
@@ -71,8 +71,8 @@ fn main() {
             _ => "component",
         };
         let verdict = catch_unwind(AssertUnwindSafe(|| match index % 3 {
-            0 => passive_scenario(&mut plan),
-            1 => active_scenario(&mut plan),
+            0 => passive_scenario(&mut plan, &opts),
+            1 => active_scenario(&mut plan, &opts),
             _ => component_scenario(&mut plan),
         }));
         match verdict {
@@ -124,7 +124,7 @@ fn main() {
 
 /// Family 0: a perturbed passive campaign must run (or be rejected)
 /// identically under the serial and pooled drivers.
-fn passive_scenario(plan: &mut ChaosPlan) -> Verdict {
+fn passive_scenario(plan: &mut ChaosPlan, opts: &RunOptions) -> Verdict {
     let mut cfg = PassiveConfig::quick(0.5);
     cfg.seed = plan.derived_seed();
     cfg.constellations = vec![tianqi()];
@@ -166,8 +166,8 @@ fn passive_scenario(plan: &mut ChaosPlan) -> Verdict {
     let mut serial_cfg = cfg.clone();
     serial_cfg.parallel = false;
     cfg.parallel = true;
-    let serial = PassiveCampaign::new(serial_cfg).run();
-    let pooled = PassiveCampaign::new(cfg).run();
+    let serial = PassiveCampaign::new(serial_cfg).run(opts);
+    let pooled = PassiveCampaign::new(cfg).run(opts);
     match (serial, pooled) {
         (Ok(a), Ok(b)) => {
             if a.faults != b.faults {
@@ -218,7 +218,7 @@ fn ok_or_err<T, E: std::fmt::Display>(r: &Result<T, E>) -> String {
 /// Family 1: a perturbed active campaign must either be rejected with a
 /// typed error or run to completion — and a replay with the identical
 /// config must degrade bit-identically.
-fn active_scenario(plan: &mut ChaosPlan) -> Verdict {
+fn active_scenario(plan: &mut ChaosPlan, opts: &RunOptions) -> Verdict {
     let mut cfg = ActiveConfig::quick(1.0);
     cfg.seed = plan.derived_seed();
     if plan.chance(0.5) {
@@ -243,8 +243,8 @@ fn active_scenario(plan: &mut ChaosPlan) -> Verdict {
         cfg.max_attempts = plan.corrupt_count(cfg.max_attempts);
     }
 
-    let first = ActiveCampaign::new(cfg.clone()).run();
-    let replay = ActiveCampaign::new(cfg).run();
+    let first = ActiveCampaign::new(cfg.clone()).run(opts);
+    let replay = ActiveCampaign::new(cfg).run(opts);
     match (first, replay) {
         (Ok(a), Ok(b)) => {
             if a.faults != b.faults {

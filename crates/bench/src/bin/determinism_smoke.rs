@@ -1,12 +1,18 @@
-//! CI determinism smoke: a quick multi-site passive campaign run three
-//! ways — serial, on the sweep pool, and with the legacy per-site-thread
-//! driver — must produce bit-identical traces and pass records, and the
+//! CI determinism smoke: a quick multi-site passive campaign run four
+//! ways — serial, on the sweep pool, with the legacy per-site-thread
+//! driver, and under both simulate kernels (SoA batched vs scalar) —
+//! must produce bit-identical traces and pass records, and the
 //! pass-prediction cache must have computed each list exactly once.
+//!
+//! The environment picks the baseline options (CI invokes this binary
+//! once with `SATIOT_BATCH=0` and once with `SATIOT_BATCH=1`), but the
+//! explicit batched-vs-scalar comparison below runs regardless, so even
+//! a single invocation pins the kernel equivalence.
 //!
 //! Exits non-zero (panics) on any divergence, so the CI step is just
 //! `cargo run --release -p satiot-bench --bin determinism_smoke`.
 
-use satiot_core::passive::{PassiveCampaign, PassiveConfig, PassiveResults};
+use satiot_core::prelude::*;
 use satiot_core::sweep;
 use satiot_scenarios::sites::measurement_sites;
 
@@ -48,10 +54,16 @@ fn assert_identical(label: &str, a: &PassiveResults, b: &PassiveResults) {
 }
 
 fn main() {
+    let opts = RunOptions::from_env().apply();
+    println!(
+        "determinism smoke: batch={:?} ephemeris={:?}",
+        opts.batch, opts.ephemeris
+    );
     sweep::clear();
-    let pooled_a = PassiveCampaign::new(config(true)).run().unwrap();
-    let pooled_b = PassiveCampaign::new(config(true)).run().unwrap();
-    let serial = PassiveCampaign::new(config(false)).run().unwrap();
+    let pooled_a = PassiveCampaign::new(config(true)).run(&opts).unwrap();
+    let pooled_b = PassiveCampaign::new(config(true)).run(&opts).unwrap();
+    let serial = PassiveCampaign::new(config(false)).run(&opts).unwrap();
+    #[allow(deprecated)] // Pins the legacy driver against the pool.
     let legacy = PassiveCampaign::new(config(true))
         .run_with_site_threads()
         .unwrap();
@@ -59,6 +71,20 @@ fn main() {
     assert_identical("pool vs pool", &pooled_a, &pooled_b);
     assert_identical("pool vs serial", &pooled_a, &serial);
     assert_identical("pool vs site-threads", &pooled_a, &legacy);
+
+    // The SoA gather/scatter path must be a pure re-grouping of the
+    // scalar arithmetic — same floating-point op order per element, same
+    // RNG draw sequence — so the two kernels are compared bit-for-bit
+    // here under the same ephemeris backend, whatever `SATIOT_BATCH`
+    // selected as the baseline above.
+    let batched = PassiveCampaign::new(config(true))
+        .run(&opts.with_batch(BatchMode::On))
+        .unwrap();
+    let scalar = PassiveCampaign::new(config(true))
+        .run(&opts.with_batch(BatchMode::Off))
+        .unwrap();
+    assert_identical("batched vs scalar", &batched, &scalar);
+    assert_identical("batched vs baseline", &batched, &pooled_a);
 
     let cache = sweep::stats();
     println!(
@@ -89,7 +115,7 @@ fn main() {
         grids.computes, grids.entries as u64,
         "an ephemeris grid was sampled more than once"
     );
-    if satiot_orbit::ephemeris::mode() != satiot_orbit::ephemeris::EphemerisMode::Off {
+    if opts.ephemeris != EphemerisMode::Off {
         // HK and GZ start the same campaign day, so their satellites
         // share (satellite, window) grids across sites.
         assert!(

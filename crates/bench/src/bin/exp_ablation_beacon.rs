@@ -2,11 +2,12 @@
 //! — how beacon cadence shapes what a passive observer can measure.
 
 use satiot_bench::Scale;
-use satiot_core::passive::{PassiveCampaign, PassiveConfig};
+use satiot_core::prelude::*;
 use satiot_measure::table::{num, pct, Table};
 
 fn main() {
     let scale = Scale::from_env();
+    let opts = RunOptions::from_env().with_scale(scale).apply();
     let days = scale.passive_days().min(10.0);
     let mut t = Table::new(
         "Ablation A4: Tianqi beacon interval vs measured windows",
@@ -24,7 +25,7 @@ fn main() {
         for c in &mut cfg.constellations {
             c.beacon_interval_s = interval;
         }
-        let results = PassiveCampaign::new(cfg).run().unwrap();
+        let results = PassiveCampaign::new(cfg).run(&opts).unwrap();
         let stats = results.contact_stats_covered("Tianqi", &[]);
         t.row(&[
             num(interval, 0),

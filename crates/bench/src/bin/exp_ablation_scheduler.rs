@@ -3,11 +3,12 @@
 //! pass-aware assignment buy?
 
 use satiot_bench::Scale;
-use satiot_core::passive::{PassiveCampaign, PassiveConfig, SchedulerKind};
+use satiot_core::prelude::*;
 use satiot_measure::table::{num, Table};
 
 fn main() {
     let scale = Scale::from_env();
+    let opts = RunOptions::from_env().with_scale(scale).apply();
     let days = scale.passive_days().min(14.0);
     let mut t = Table::new(
         "Ablation A1: scheduler policy vs. captured measurements",
@@ -33,7 +34,7 @@ fn main() {
         cfg.scheduler = kind;
         // One representative site keeps the ablation fast.
         cfg.sites.retain(|s| s.code == "HK");
-        let results = PassiveCampaign::new(cfg).run().unwrap();
+        let results = PassiveCampaign::new(cfg).run(&opts).unwrap();
         let covered = results.covered_passes().count();
         let stats = results.contact_stats_covered("Tianqi", &[]);
         t.row(&[

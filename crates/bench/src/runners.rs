@@ -1,51 +1,17 @@
 //! Campaign runners at the configured scale.
+//!
+//! The [`Scale`] type itself now lives in `satiot_core::options` (one
+//! `SATIOT_*` parsing site for the whole workspace); it is re-exported
+//! here so the experiment binaries keep their one-line imports. Every
+//! runner resolves the rest of its options through
+//! [`RunOptions::from_env`] and installs them process-wide with
+//! [`RunOptions::apply`], so `SATIOT_THREADS` / `SATIOT_EPHEMERIS` /
+//! `SATIOT_BATCH` / `SATIOT_METRICS` all keep working for the bench
+//! fleet without any binary touching the environment directly.
 
-use satiot_core::active::{ActiveCampaign, ActiveConfig, ActiveResults};
-use satiot_core::passive::{PassiveCampaign, PassiveConfig, PassiveResults};
+pub use satiot_core::options::Scale;
+use satiot_core::prelude::*;
 use satiot_terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig, TerrestrialResults};
-
-/// Campaign scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Truncated campaigns for smoke runs (CI, benches).
-    Quick,
-    /// The paper's full campaign dimensions.
-    Full,
-}
-
-impl Scale {
-    /// Read the scale from `SATIOT_SCALE` (default: full).
-    pub fn from_env() -> Scale {
-        match std::env::var("SATIOT_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
-            _ => Scale::Full,
-        }
-    }
-
-    /// Per-site cap on passive campaign days.
-    pub fn passive_days(self) -> f64 {
-        match self {
-            Scale::Quick => 5.0,
-            Scale::Full => f64::INFINITY,
-        }
-    }
-
-    /// Active campaign length, days (paper: one month).
-    pub fn active_days(self) -> f64 {
-        match self {
-            Scale::Quick => 5.0,
-            Scale::Full => 30.0,
-        }
-    }
-
-    /// Days used for the theoretical-availability analysis (Fig 3a).
-    pub fn availability_days(self) -> u32 {
-        match self {
-            Scale::Quick => 3,
-            Scale::Full => 14,
-        }
-    }
-}
 
 /// Run the passive campaign at this scale.
 ///
@@ -53,12 +19,13 @@ impl Scale {
 /// abort with the typed error rather than returning a `Result` every
 /// bench binary would immediately unwrap.
 pub fn run_passive(scale: Scale) -> PassiveResults {
+    let opts = RunOptions::from_env().with_scale(scale).apply();
     let cfg = PassiveConfig {
         max_days: scale.passive_days(),
         ..Default::default()
     };
     PassiveCampaign::new(cfg)
-        .run()
+        .run(&opts)
         .unwrap_or_else(|e| panic!("passive campaign rejected its scaled config: {e}"))
 }
 
@@ -70,10 +37,11 @@ pub fn run_active(scale: Scale) -> ActiveResults {
 /// Run an active campaign with config tweaks applied on top of the
 /// scaled defaults.
 pub fn run_active_with<F: FnOnce(&mut ActiveConfig)>(scale: Scale, tweak: F) -> ActiveResults {
+    let opts = RunOptions::from_env().with_scale(scale).apply();
     let mut cfg = ActiveConfig::quick(scale.active_days());
     tweak(&mut cfg);
     ActiveCampaign::new(cfg)
-        .run()
+        .run(&opts)
         .unwrap_or_else(|e| panic!("active campaign rejected its scaled config: {e}"))
 }
 
@@ -98,15 +66,6 @@ pub fn run_terrestrial_with<F: FnOnce(&mut TerrestrialConfig)>(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn scale_dimensions() {
-        assert_eq!(Scale::Quick.passive_days(), 5.0);
-        assert_eq!(Scale::Quick.active_days(), 5.0);
-        assert!(Scale::Full.passive_days().is_infinite());
-        assert_eq!(Scale::Full.active_days(), 30.0);
-        assert!(Scale::Full.availability_days() > Scale::Quick.availability_days());
-    }
 
     #[test]
     fn tweaks_apply() {

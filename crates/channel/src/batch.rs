@@ -1,0 +1,324 @@
+//! Structure-of-arrays batched channel kernels.
+//!
+//! The campaign simulate phase evaluates the same deterministic channel
+//! chain — antenna gains, FSPL, tropospheric loss, clutter, weather,
+//! noise — for every beacon of every pass. Doing that one beacon at a
+//! time scatters the working set across the pass loop; doing it over
+//! `&[f64]` slices in fixed-size chunks keeps the inputs hot in cache
+//! and lets the compiler vectorise the polynomial parts of the chain.
+//!
+//! ## Bit-identity contract
+//!
+//! Every kernel performs **exactly the same floating-point operations
+//! in exactly the same order** as the scalar path it batches:
+//!
+//! * [`ChannelBatch::run`] evaluates, per element, the same expression
+//!   as [`LinkBudget::mean_rssi_dbm`] (terms hoisted out of the loop —
+//!   weather loss, implementation loss — are loop-invariant *values*,
+//!   so the per-element arithmetic is unchanged);
+//! * the fading K-factor kernel calls [`FadingParams::k_linear`]
+//!   per element;
+//! * the stochastic tail (fast-fading draw, SNR, metrics) is finished
+//!   per element, in original emission order, by
+//!   [`LinkBudget::sample_prepared`], which consumes the RNG in the
+//!   same sequence as [`LinkBudget::sample`].
+//!
+//! The `prop_batch` property test asserts the batched and scalar paths
+//! produce bit-identical outputs across random geometry and weather.
+//!
+//! Batches are *gathered* (filled from pass geometry), *run* (kernels
+//! over the SoA columns), and *scattered* (outcomes written back in
+//! emission order) — the driver lives in `satiot_core`; this module
+//! owns the reusable arena and the kernels.
+
+use crate::antenna::AntennaPattern;
+use crate::atmosphere::{clutter_loss_db, tropo_loss_db, weather_loss_db};
+use crate::budget::LinkBudget;
+use crate::fspl::fspl_db;
+use crate::weather::Weather;
+use satiot_obs::metrics::Counter;
+
+/// Arena fills (one per gathered pass) (metrics).
+static BATCH_FILLS: Counter = Counter::new("channel.batch.fills");
+/// Kernel flushes — chunked sweeps over a filled arena (metrics).
+static BATCH_FLUSHES: Counter = Counter::new("channel.batch.flushes");
+/// Total elements pushed through the kernels (metrics).
+static BATCH_ELEMENTS: Counter = Counter::new("channel.batch.elements");
+
+/// Elements per kernel chunk. 256 f64 lanes per column keep a full
+/// gather (4 input + 2 output columns) around 12 KiB — inside L1 on
+/// anything this workspace targets — while amortising loop overhead.
+pub const CHUNK: usize = 256;
+
+/// A reusable SoA arena holding one pass's gathered link geometry and
+/// the kernel outputs derived from it.
+///
+/// Columns are parallel: element `i` of every column describes the same
+/// beacon emission. The arena never shrinks its allocations — clear and
+/// refill it across passes to amortise allocation.
+///
+/// ```
+/// use satiot_channel::antenna::AntennaPattern;
+/// use satiot_channel::batch::ChannelBatch;
+/// use satiot_channel::budget::LinkBudget;
+/// use satiot_channel::weather::Weather;
+///
+/// let budget = LinkBudget::dts_downlink(400.45, AntennaPattern::QuarterWaveMonopole);
+/// let mut batch = ChannelBatch::default();
+/// batch.clear();
+/// batch.push(1_250.0, 40.0_f64.to_radians());
+/// batch.run(&budget, Weather::Sunny);
+/// let scalar = budget.mean_rssi_dbm(1_250.0, 40.0_f64.to_radians(), Weather::Sunny);
+/// assert_eq!(batch.mean_rssi_dbm[0].to_bits(), scalar.to_bits());
+/// ```
+#[derive(Debug, Default)]
+pub struct ChannelBatch {
+    /// Slant range per element, km (input).
+    pub range_km: Vec<f64>,
+    /// Elevation per element, radians (input).
+    pub elevation_rad: Vec<f64>,
+    /// Deterministic mean RSSI per element, dBm (output of [`run`](Self::run)).
+    pub mean_rssi_dbm: Vec<f64>,
+    /// Rician K-factor per element, linear (output of [`run`](Self::run)).
+    pub k_linear: Vec<f64>,
+}
+
+impl ChannelBatch {
+    /// Empty the arena, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.range_km.clear();
+        self.elevation_rad.clear();
+        self.mean_rssi_dbm.clear();
+        self.k_linear.clear();
+    }
+
+    /// Number of gathered elements.
+    pub fn len(&self) -> usize {
+        self.range_km.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range_km.is_empty()
+    }
+
+    /// Gather one element of link geometry.
+    #[inline]
+    pub fn push(&mut self, range_km: f64, elevation_rad: f64) {
+        self.range_km.push(range_km);
+        self.elevation_rad.push(elevation_rad);
+    }
+
+    /// Run the deterministic kernels over the gathered columns in
+    /// [`CHUNK`]-sized chunks, filling [`mean_rssi_dbm`](Self::mean_rssi_dbm)
+    /// and [`k_linear`](Self::k_linear).
+    pub fn run(&mut self, budget: &LinkBudget, weather: Weather) {
+        let n = self.len();
+        self.mean_rssi_dbm.clear();
+        self.mean_rssi_dbm.resize(n, 0.0);
+        self.k_linear.clear();
+        self.k_linear.resize(n, 0.0);
+        BATCH_FILLS.inc();
+        BATCH_ELEMENTS.add(n as u64);
+        for start in (0..n).step_by(CHUNK) {
+            let end = (start + CHUNK).min(n);
+            mean_rssi_into(
+                budget,
+                weather,
+                &self.range_km[start..end],
+                &self.elevation_rad[start..end],
+                &mut self.mean_rssi_dbm[start..end],
+            );
+            k_linear_into(
+                &budget.fading,
+                &self.elevation_rad[start..end],
+                &mut self.k_linear[start..end],
+            );
+            BATCH_FLUSHES.inc();
+        }
+    }
+}
+
+/// Deterministic mean-RSSI kernel: per element, the exact expression of
+/// [`LinkBudget::mean_rssi_dbm`]. Loop-invariant terms (weather loss,
+/// the antenna patterns, implementation loss) are hoisted as *values* —
+/// the per-element arithmetic and its order are unchanged, so outputs
+/// are bit-identical to the scalar call.
+pub fn mean_rssi_into(
+    budget: &LinkBudget,
+    weather: Weather,
+    range_km: &[f64],
+    elevation_rad: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(range_km.len(), elevation_rad.len());
+    assert_eq!(range_km.len(), out.len());
+    let wx_loss = weather_loss_db(weather);
+    let tx = budget.tx_antenna;
+    let rx = budget.rx_antenna;
+    for ((o, d), el) in out.iter_mut().zip(range_km).zip(elevation_rad) {
+        *o = budget.tx_power_dbm + tx.gain_dbi(*el) + rx.gain_dbi(*el)
+            - fspl_db(*d, budget.frequency_mhz)
+            - tropo_loss_db(*el)
+            - budget.clutter_scale * clutter_loss_db(*el)
+            - wx_loss
+            - budget.implementation_loss_db;
+    }
+}
+
+/// Elevation-dependent Rician K-factor kernel; per element identical to
+/// [`FadingParams::k_linear`](crate::fading::FadingParams::k_linear).
+pub fn k_linear_into(fading: &crate::fading::FadingParams, elevation_rad: &[f64], out: &mut [f64]) {
+    assert_eq!(elevation_rad.len(), out.len());
+    for (o, el) in out.iter_mut().zip(elevation_rad) {
+        *o = fading.k_linear(*el);
+    }
+}
+
+/// Standalone FSPL kernel over slices (analysis helpers, tests).
+pub fn fspl_into(frequency_mhz: f64, range_km: &[f64], out: &mut [f64]) {
+    assert_eq!(range_km.len(), out.len());
+    for (o, d) in out.iter_mut().zip(range_km) {
+        *o = fspl_db(*d, frequency_mhz);
+    }
+}
+
+/// Standalone tropospheric-loss kernel over slices.
+pub fn tropo_loss_into(elevation_rad: &[f64], out: &mut [f64]) {
+    assert_eq!(elevation_rad.len(), out.len());
+    for (o, el) in out.iter_mut().zip(elevation_rad) {
+        *o = tropo_loss_db(*el);
+    }
+}
+
+/// Standalone clutter-loss kernel over slices.
+pub fn clutter_loss_into(elevation_rad: &[f64], out: &mut [f64]) {
+    assert_eq!(elevation_rad.len(), out.len());
+    for (o, el) in out.iter_mut().zip(elevation_rad) {
+        *o = clutter_loss_db(*el);
+    }
+}
+
+/// Standalone antenna-gain kernel over slices.
+pub fn gain_into(pattern: AntennaPattern, elevation_rad: &[f64], out: &mut [f64]) {
+    assert_eq!(elevation_rad.len(), out.len());
+    for (o, el) in out.iter_mut().zip(elevation_rad) {
+        *o = pattern.gain_dbi(*el);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fading::FadingParams;
+    use satiot_sim::Rng;
+
+    fn budgets() -> Vec<LinkBudget> {
+        vec![
+            LinkBudget::dts_downlink(400.45, AntennaPattern::QuarterWaveMonopole),
+            LinkBudget::dts_uplink(433.0, AntennaPattern::FiveEighthsWaveMonopole),
+            LinkBudget::terrestrial(470.0),
+        ]
+    }
+
+    #[test]
+    fn batched_mean_rssi_is_bit_identical_to_scalar() {
+        // Cover several chunks and ragged tails.
+        let n = CHUNK * 2 + 37;
+        for (b, budget) in budgets().iter().enumerate() {
+            let mut rng = Rng::from_seed(40 + b as u64);
+            let range: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 4000.0)).collect();
+            let el: Vec<f64> = (0..n).map(|_| rng.uniform(-0.2, 1.8)).collect();
+            for wx in [Weather::Sunny, Weather::Cloudy, Weather::Rainy] {
+                let mut batch = ChannelBatch::default();
+                batch.clear();
+                for i in 0..n {
+                    batch.push(range[i], el[i]);
+                }
+                batch.run(budget, wx);
+                for i in 0..n {
+                    let scalar = budget.mean_rssi_dbm(range[i], el[i], wx);
+                    assert_eq!(
+                        batch.mean_rssi_dbm[i].to_bits(),
+                        scalar.to_bits(),
+                        "element {i} diverged"
+                    );
+                    let k = budget.fading.k_linear(el[i]);
+                    assert_eq!(batch.k_linear[i].to_bits(), k.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_prepared_matches_sample_and_rng_stream() {
+        let budget = LinkBudget::dts_downlink(400.45, AntennaPattern::QuarterWaveMonopole);
+        let noise = budget.noise_floor_dbm();
+        let mut a = Rng::from_seed(7);
+        let mut b = Rng::from_seed(7);
+        let mut geom = Rng::from_seed(8);
+        for _ in 0..64 {
+            let d = geom.uniform(400.0, 3500.0);
+            let el = geom.uniform(0.0, 1.5);
+            let shadow = geom.uniform(-4.0, 4.0);
+            let scalar = budget.sample(d, el, Weather::Cloudy, shadow, &mut a);
+            let mean = budget.mean_rssi_dbm(d, el, Weather::Cloudy);
+            let k = budget.fading.k_linear(el);
+            let batched =
+                budget.sample_prepared(d, el, Weather::Cloudy, mean, k, shadow, noise, &mut b);
+            assert_eq!(scalar.rssi_dbm.to_bits(), batched.rssi_dbm.to_bits());
+            assert_eq!(scalar.snr_db.to_bits(), batched.snr_db.to_bits());
+        }
+        // The two RNGs consumed identical draw sequences.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn standalone_kernels_match_their_scalars() {
+        let mut rng = Rng::from_seed(11);
+        let el: Vec<f64> = (0..100).map(|_| rng.uniform(-0.3, 1.9)).collect();
+        let d: Vec<f64> = (0..100).map(|_| rng.uniform(0.0, 5000.0)).collect();
+        let mut out = vec![0.0; 100];
+        fspl_into(433.0, &d, &mut out);
+        for i in 0..100 {
+            assert_eq!(out[i].to_bits(), fspl_db(d[i], 433.0).to_bits());
+        }
+        tropo_loss_into(&el, &mut out);
+        for i in 0..100 {
+            assert_eq!(out[i].to_bits(), tropo_loss_db(el[i]).to_bits());
+        }
+        clutter_loss_into(&el, &mut out);
+        for i in 0..100 {
+            assert_eq!(out[i].to_bits(), clutter_loss_db(el[i]).to_bits());
+        }
+        gain_into(AntennaPattern::Dipole, &el, &mut out);
+        for i in 0..100 {
+            assert_eq!(
+                out[i].to_bits(),
+                AntennaPattern::Dipole.gain_dbi(el[i]).to_bits()
+            );
+        }
+        let fading = FadingParams::default();
+        k_linear_into(&fading, &el, &mut out);
+        for i in 0..100 {
+            assert_eq!(out[i].to_bits(), fading.k_linear(el[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn arena_reuse_keeps_columns_consistent() {
+        let budget = LinkBudget::dts_downlink(400.45, AntennaPattern::QuarterWaveMonopole);
+        let mut batch = ChannelBatch::default();
+        for round in 0..3u64 {
+            batch.clear();
+            let n = 10 + round as usize * 300;
+            for i in 0..n {
+                batch.push(500.0 + i as f64, 0.01 * i as f64);
+            }
+            batch.run(&budget, Weather::Sunny);
+            assert_eq!(batch.len(), n);
+            assert_eq!(batch.mean_rssi_dbm.len(), n);
+            assert_eq!(batch.k_linear.len(), n);
+        }
+    }
+}

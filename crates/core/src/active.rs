@@ -25,9 +25,10 @@ use crate::error::{Fault, FaultLog, SatIotError};
 use crate::geometry::sample_at;
 use crate::messages::{Ack, Beacon, Message, Uplink};
 use crate::node::{BeaconReaction, NodeMachine};
+use crate::options::RunOptions;
 use crate::satellite::{merge_contacts, SatellitePayload};
 use crate::server::DeliveryLog;
-use crate::sweep::{self, PassKey};
+use crate::sweep::{self, GridKey, PassKey};
 use satiot_channel::antenna::AntennaPattern;
 use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::{Weather, WeatherProcess};
@@ -268,6 +269,13 @@ impl ActiveCampaign {
 
     /// Run the simulation.
     ///
+    /// `opts` selects the thread count for the contact-plan sweep and
+    /// the ephemeris backend for every predictor. The event-driven
+    /// uplink path stays scalar regardless of `opts.batch` — its RNG
+    /// draws interleave with event scheduling, so there is no gather
+    /// phase to batch — but the grid-backed geometry sampling applies
+    /// here exactly as in the passive campaign.
+    ///
     /// # Errors
     ///
     /// Returns [`SatIotError`] when the configuration cannot drive the
@@ -277,9 +285,10 @@ impl ActiveCampaign {
     /// but finite values — an elevation mask beyond [0, π/2], a
     /// negative downlink service time, zero `max_attempts` — are
     /// clamped and counted in [`ActiveResults::faults`].
-    pub fn run(&self) -> Result<ActiveResults, SatIotError> {
+    pub fn run(&self, opts: &RunOptions) -> Result<ActiveResults, SatIotError> {
         let cfg = &self.config;
         validate(cfg)?;
+        let threads = opts.threads.unwrap_or_else(pool::thread_count);
         let mut faults = FaultLog::default();
         let t0 = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
         let horizon_s = cfg.days * 86_400.0;
@@ -313,7 +322,10 @@ impl ActiveCampaign {
         // Predictors are kept for geometry sampling during the event
         // loop; the pass lists themselves come from the shared cache so
         // the 12 active-campaign configurations inside `reproduce_all`
-        // predict each one exactly once.
+        // predict each one exactly once. The event-loop predictors are
+        // grid-backed over the farm window (sharing the farm sweep's
+        // grid `Arc`s); instants outside the window fall back to direct
+        // SGP4 bit-identically.
         // Build (and thereby validate) every propagator exactly once;
         // the pool closures below clone these instead of re-deriving —
         // and possibly panicking on — the raw elements.
@@ -323,37 +335,38 @@ impl ActiveCampaign {
             let sgp4 = sat
                 .sgp4()
                 .map_err(|e| SatIotError::orbit("building Tianqi farm predictors", e))?;
-            predictors.push(PassPredictor::new(
-                sgp4.clone(),
+            predictors.push(sweep::predictor_with_mode(
+                opts.ephemeris,
+                GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days),
+                &sgp4,
                 farm,
                 calib::THEORETICAL_MASK_RAD,
             ));
             sgp4s.push(sgp4);
         }
-        let farm_lists: Vec<Arc<Vec<Pass>>> = pool::parallel_map(&catalog, |i, sat| {
-            let sgp4 = sgp4s[i].clone();
-            sweep::passes_for(
-                PassKey::new(
-                    "YUNNAN_FARM",
-                    sat.constellation,
-                    sat.sat_id,
-                    t0,
-                    t0 + cfg.days,
-                    calib::THEORETICAL_MASK_RAD,
-                ),
-                || {
-                    sweep::sat_predictor(
+        let farm_lists: Vec<Arc<Vec<Pass>>> =
+            pool::parallel_map_with(&catalog, threads, |i, sat| {
+                let sgp4 = sgp4s[i].clone();
+                sweep::passes_for(
+                    PassKey::new(
+                        "YUNNAN_FARM",
                         sat.constellation,
                         sat.sat_id,
-                        &sgp4,
-                        farm,
-                        calib::THEORETICAL_MASK_RAD,
                         t0,
                         t0 + cfg.days,
-                    )
-                },
-            )
-        });
+                        calib::THEORETICAL_MASK_RAD,
+                    ),
+                    || {
+                        sweep::predictor_with_mode(
+                            opts.ephemeris,
+                            GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days),
+                            &sgp4,
+                            farm,
+                            calib::THEORETICAL_MASK_RAD,
+                        )
+                    },
+                )
+            });
         let mut farm_passes: Vec<(usize, Pass)> = Vec::new(); // (sat, pass)
         for (i, list) in farm_lists.iter().enumerate() {
             farm_passes.extend(list.iter().map(|pass| (i, *pass)));
@@ -381,33 +394,32 @@ impl ActiveCampaign {
         let gs_tasks: Vec<(usize, usize)> = (0..catalog.len())
             .flat_map(|i| (0..gs_sites.len()).map(move |g| (i, g)))
             .collect();
-        let gs_lists: Vec<Arc<Vec<Pass>>> = pool::parallel_map(&gs_tasks, |_, &(i, g)| {
-            let _shard_span = CONTACT_PLAN_SHARD_S.start();
-            let sat = &catalog[i];
-            let (name, gs) = gs_sites[g];
-            let sgp4 = sgp4s[i].clone();
-            sweep::passes_for(
-                PassKey::new(
-                    name,
-                    sat.constellation,
-                    sat.sat_id,
-                    t0,
-                    t0 + cfg.days + 1.0,
-                    gs_mask_rad,
-                ),
-                || {
-                    sweep::sat_predictor(
+        let gs_lists: Vec<Arc<Vec<Pass>>> =
+            pool::parallel_map_with(&gs_tasks, threads, |_, &(i, g)| {
+                let _shard_span = CONTACT_PLAN_SHARD_S.start();
+                let sat = &catalog[i];
+                let (name, gs) = gs_sites[g];
+                let sgp4 = sgp4s[i].clone();
+                sweep::passes_for(
+                    PassKey::new(
+                        name,
                         sat.constellation,
                         sat.sat_id,
-                        &sgp4,
-                        gs,
-                        gs_mask_rad,
                         t0,
                         t0 + cfg.days + 1.0,
-                    )
-                },
-            )
-        });
+                        gs_mask_rad,
+                    ),
+                    || {
+                        sweep::predictor_with_mode(
+                            opts.ephemeris,
+                            GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days + 1.0),
+                            &sgp4,
+                            gs,
+                            gs_mask_rad,
+                        )
+                    },
+                )
+            });
         let contact_plans: Vec<Vec<(f64, f64)>> = (0..catalog.len())
             .map(|i| {
                 let mut intervals = Vec::new();
@@ -1009,7 +1021,9 @@ mod tests {
     fn quick_results(days: f64, seed: u64) -> ActiveResults {
         let mut cfg = ActiveConfig::quick(days);
         cfg.seed = seed;
-        ActiveCampaign::new(cfg).run().unwrap()
+        ActiveCampaign::new(cfg)
+            .run(&RunOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -1073,11 +1087,15 @@ mod tests {
         let mut no_retx = ActiveConfig::quick(3.0);
         no_retx.max_attempts = 1;
         no_retx.seed = 5;
-        let r1 = ActiveCampaign::new(no_retx).run().unwrap();
+        let r1 = ActiveCampaign::new(no_retx)
+            .run(&RunOptions::default())
+            .unwrap();
         let mut with_retx = ActiveConfig::quick(3.0);
         with_retx.max_attempts = 6;
         with_retx.seed = 5;
-        let r6 = ActiveCampaign::new(with_retx).run().unwrap();
+        let r6 = ActiveCampaign::new(with_retx)
+            .run(&RunOptions::default())
+            .unwrap();
         assert!(
             r6.reliability() >= r1.reliability(),
             "retx {} !>= none {}",
@@ -1120,7 +1138,9 @@ mod tests {
         let mut cfg = ActiveConfig::quick(1.0);
         cfg.period_s = 0.0;
         assert!(matches!(
-            ActiveCampaign::new(cfg).run().unwrap_err(),
+            ActiveCampaign::new(cfg)
+                .run(&RunOptions::default())
+                .unwrap_err(),
             SatIotError::InvalidConfig {
                 field: "period_s",
                 ..
@@ -1129,7 +1149,9 @@ mod tests {
         let mut cfg = ActiveConfig::quick(f64::NAN);
         cfg.seed = 1;
         assert!(matches!(
-            ActiveCampaign::new(cfg).run().unwrap_err(),
+            ActiveCampaign::new(cfg)
+                .run(&RunOptions::default())
+                .unwrap_err(),
             SatIotError::NonFiniteTime {
                 context: "ActiveConfig.days",
                 ..
@@ -1138,7 +1160,9 @@ mod tests {
         let mut cfg = ActiveConfig::quick(1.0);
         cfg.gs_mask_rad = f64::INFINITY;
         assert!(matches!(
-            ActiveCampaign::new(cfg).run().unwrap_err(),
+            ActiveCampaign::new(cfg)
+                .run(&RunOptions::default())
+                .unwrap_err(),
             SatIotError::InvalidConfig {
                 field: "gs_mask_rad",
                 ..
@@ -1152,7 +1176,9 @@ mod tests {
         cfg.gs_mask_rad = 2.0; // Above zenith.
         cfg.downlink_service_s = -3.0;
         cfg.max_attempts = 0;
-        let r = ActiveCampaign::new(cfg).run().unwrap();
+        let r = ActiveCampaign::new(cfg)
+            .run(&RunOptions::default())
+            .unwrap();
         assert_eq!(r.faults.clamped_configs, 3, "{}", r.faults);
         // The campaign still ran to its horizon.
         assert!((r.horizon_s - 0.5 * 86_400.0).abs() < 1e-6);
@@ -1162,7 +1188,9 @@ mod tests {
     fn zero_nodes_run_to_an_empty_campaign() {
         let mut cfg = ActiveConfig::quick(0.5);
         cfg.nodes = 0;
-        let r = ActiveCampaign::new(cfg).run().unwrap();
+        let r = ActiveCampaign::new(cfg)
+            .run(&RunOptions::default())
+            .unwrap();
         assert!(r.sent.is_empty());
         assert!(r.delivered_seqs.is_empty());
         assert!(r.node_energy.is_empty());
@@ -1173,11 +1201,15 @@ mod tests {
         let mut quarter = ActiveConfig::quick(3.0);
         quarter.node_antenna = AntennaPattern::QuarterWaveMonopole;
         quarter.seed = 11;
-        let rq = ActiveCampaign::new(quarter).run().unwrap();
+        let rq = ActiveCampaign::new(quarter)
+            .run(&RunOptions::default())
+            .unwrap();
         let mut five8 = ActiveConfig::quick(3.0);
         five8.node_antenna = AntennaPattern::FiveEighthsWaveMonopole;
         five8.seed = 11;
-        let rf = ActiveCampaign::new(five8).run().unwrap();
+        let rf = ActiveCampaign::new(five8)
+            .run(&RunOptions::default())
+            .unwrap();
         assert!(
             rf.mean_attempts() <= rq.mean_attempts() + 0.05,
             "5/8 {} vs 1/4 {}",

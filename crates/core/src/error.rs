@@ -79,6 +79,18 @@ impl SatIotError {
     }
 }
 
+/// Unified error surface: orbit errors convert with the `?` operator.
+/// Prefer [`SatIotError::orbit`] where a campaign stage can name itself;
+/// this blanket conversion carries a generic context.
+impl From<OrbitError> for SatIotError {
+    fn from(source: OrbitError) -> SatIotError {
+        SatIotError::Orbit {
+            context: "orbit propagation",
+            source,
+        }
+    }
+}
+
 impl fmt::Display for SatIotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -271,6 +283,13 @@ mod tests {
         let e = SatIotError::orbit("farm passes", OrbitError::MeanMotionNonPositive);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("mean motion"));
+    }
+
+    #[test]
+    fn orbit_errors_convert_via_from() {
+        let e: SatIotError = OrbitError::MeanMotionNonPositive.into();
+        assert!(matches!(e, SatIotError::Orbit { .. }));
+        assert!(e.to_string().contains("orbit"));
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //!   campaigns, the theoretical-availability analysis, and the
 //!   bench/ablation binaries; paired with `satiot_sim::pool` it turns
 //!   campaign setup into one cached parallel sweep.
+//! * [`options`] — typed run options ([`RunOptions`]): the single place
+//!   the `SATIOT_*` environment knobs are parsed, and the typed argument
+//!   both campaign `run` entry points take.
+//! * [`prelude`] — one-stop imports for binaries and examples.
 
 // Library code must surface failures as typed errors or counted
 // degradation, not ad-hoc unwraps; CI promotes this to deny.
@@ -46,7 +50,9 @@ pub mod error;
 pub mod geometry;
 pub mod messages;
 pub mod node;
+pub mod options;
 pub mod passive;
+pub mod prelude;
 pub mod satellite;
 pub mod scheduler;
 pub mod server;
@@ -55,4 +61,5 @@ pub mod sweep;
 
 pub use active::{ActiveCampaign, ActiveConfig, ActiveResults};
 pub use error::{Fault, FaultLog, SatIotError};
+pub use options::{BatchMode, RunOptions, Scale};
 pub use passive::{PassiveCampaign, PassiveConfig, PassiveResults};

@@ -1,0 +1,321 @@
+//! Typed campaign run options: the one place `SATIOT_*` knobs are read.
+//!
+//! Before this module, every binary re-read its own slice of the
+//! environment (`SATIOT_THREADS` in the pool, `SATIOT_EPHEMERIS` in the
+//! orbit crate, `SATIOT_METRICS` in obs, `SATIOT_CHAOS_SEED` in sim,
+//! `SATIOT_SCALE` in bench), which made a campaign's effective
+//! configuration impossible to see in one place and impossible to set
+//! programmatically without mutating the process environment.
+//! [`RunOptions`] replaces that: campaigns take `&RunOptions`, the
+//! environment is parsed exactly once by [`RunOptions::from_env`], and
+//! [`RunOptions::apply`] installs the process-wide latches (pool worker
+//! count, ephemeris mode, metrics flag, chaos seed) for code that sits
+//! below the campaign API.
+//!
+//! ```
+//! use satiot_core::options::{BatchMode, RunOptions};
+//! use satiot_orbit::ephemeris::EphemerisMode;
+//!
+//! // Machine defaults; no environment involved.
+//! let opts = RunOptions::default();
+//! assert_eq!(opts.batch, BatchMode::On);
+//!
+//! // Builder-style overrides on top of the environment.
+//! let opts = RunOptions::from_env()
+//!     .with_threads(Some(2))
+//!     .with_ephemeris(EphemerisMode::Off)
+//!     .with_batch(BatchMode::Off);
+//! assert_eq!(opts.threads, Some(2));
+//! ```
+
+use satiot_orbit::ephemeris::{self, EphemerisMode};
+use satiot_sim::{chaos, pool};
+
+/// Whether the campaign simulate phase runs the batched SoA channel
+/// kernels or the element-at-a-time scalar path.
+///
+/// Both paths are bit-identical (the A/B invariant `determinism_smoke`
+/// pins); [`BatchMode::Off`] exists for baselining and bisection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Gather each pass into SoA arenas and run the chunked kernels
+    /// (the default).
+    #[default]
+    On,
+    /// Evaluate the channel chain one beacon at a time (the legacy hot
+    /// path; `SATIOT_BATCH=0`).
+    Off,
+}
+
+/// Campaign scale: truncated smoke dimensions or the paper's full ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Truncated campaigns for smoke runs (CI, benches);
+    /// `SATIOT_SCALE=quick`.
+    Quick,
+    /// The paper's full campaign dimensions (the default).
+    #[default]
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from `SATIOT_SCALE` (default: full).
+    pub fn from_env() -> Scale {
+        RunOptions::from_env().scale
+    }
+
+    /// Per-site cap on passive campaign days.
+    pub fn passive_days(self) -> f64 {
+        match self {
+            Scale::Quick => 5.0,
+            Scale::Full => f64::INFINITY,
+        }
+    }
+
+    /// Active campaign length, days (paper: one month).
+    pub fn active_days(self) -> f64 {
+        match self {
+            Scale::Quick => 5.0,
+            Scale::Full => 30.0,
+        }
+    }
+
+    /// Days used for the theoretical-availability analysis (Fig 3a).
+    pub fn availability_days(self) -> u32 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 14,
+        }
+    }
+}
+
+/// Typed options for one campaign run.
+///
+/// `Default` is the machine default (auto thread count, grids on,
+/// batching on, metrics off) with **no** environment involvement —
+/// hermetic for tests. [`from_env`](Self::from_env) layers the
+/// `SATIOT_*` knobs on top; the `with_*` builders override either.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Worker threads for the sweep pool phases; `None` uses the
+    /// machine's available parallelism (`SATIOT_THREADS`).
+    pub threads: Option<usize>,
+    /// Pass-prediction sampling backend (`SATIOT_EPHEMERIS`).
+    pub ephemeris: EphemerisMode,
+    /// Simulate-phase channel evaluation strategy (`SATIOT_BATCH`).
+    pub batch: BatchMode,
+    /// Root seed for the chaos perturbation engine
+    /// (`SATIOT_CHAOS_SEED`).
+    pub chaos_seed: u64,
+    /// Whether the `satiot_obs` metrics registry records
+    /// (`SATIOT_METRICS`).
+    pub metrics: bool,
+    /// Campaign scale for the bench/reproduction binaries
+    /// (`SATIOT_SCALE`).
+    pub scale: Scale,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: None,
+            ephemeris: EphemerisMode::On,
+            batch: BatchMode::On,
+            chaos_seed: chaos::DEFAULT_SEED,
+            metrics: false,
+            scale: Scale::Full,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options resolved from the `SATIOT_*` environment variables —
+    /// the **only** place in the workspace that reads them.
+    pub fn from_env() -> RunOptions {
+        Self::from_lookup(|key| std::env::var(key).ok())
+    }
+
+    /// [`from_env`](Self::from_env) with an injectable variable source
+    /// (tests exercise the parsing without touching the process
+    /// environment).
+    pub fn from_lookup<F: Fn(&str) -> Option<String>>(lookup: F) -> RunOptions {
+        let threads = lookup("SATIOT_THREADS")
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        let ephemeris = match lookup("SATIOT_EPHEMERIS").as_deref() {
+            Some("0") | Some("off") | Some("false") => EphemerisMode::Off,
+            Some("validate") => EphemerisMode::Validate,
+            _ => EphemerisMode::On,
+        };
+        let batch = match lookup("SATIOT_BATCH").as_deref() {
+            Some("0") | Some("off") | Some("false") => BatchMode::Off,
+            _ => BatchMode::On,
+        };
+        let chaos_seed = lookup("SATIOT_CHAOS_SEED")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(chaos::DEFAULT_SEED);
+        let metrics = lookup("SATIOT_METRICS")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        let scale = match lookup("SATIOT_SCALE").as_deref() {
+            Some("quick") => Scale::Quick,
+            _ => Scale::Full,
+        };
+        RunOptions {
+            threads,
+            ephemeris,
+            batch,
+            chaos_seed,
+            metrics,
+            scale,
+        }
+    }
+
+    /// Override the pool worker count (`None` = machine default).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the ephemeris sampling backend.
+    pub fn with_ephemeris(mut self, mode: EphemerisMode) -> Self {
+        self.ephemeris = mode;
+        self
+    }
+
+    /// Override the simulate-phase batching strategy.
+    pub fn with_batch(mut self, mode: BatchMode) -> Self {
+        self.batch = mode;
+        self
+    }
+
+    /// Override the chaos root seed.
+    pub fn with_chaos_seed(mut self, seed: u64) -> Self {
+        self.chaos_seed = seed;
+        self
+    }
+
+    /// Override the metrics flag.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Override the campaign scale.
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Install these options into the process-wide latches consumed by
+    /// code below the campaign API: the pool worker count, the
+    /// ephemeris mode, the metrics flag, and the chaos seed. Binaries
+    /// call `RunOptions::from_env().apply()` once at startup; returns
+    /// `self` for chaining into a campaign call.
+    pub fn apply(self) -> Self {
+        pool::set_thread_count(self.threads);
+        ephemeris::set_mode(self.ephemeris);
+        satiot_obs::metrics::set_enabled(self.metrics);
+        chaos::set_seed(self.chaos_seed);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn lookup_from(pairs: &[(&str, &str)]) -> impl Fn(&str) -> Option<String> {
+        let map: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        move |key: &str| map.get(key).cloned()
+    }
+
+    #[test]
+    fn empty_lookup_matches_machine_defaults() {
+        let opts = RunOptions::from_lookup(|_| None);
+        assert_eq!(opts, RunOptions::default());
+    }
+
+    #[test]
+    fn every_knob_parses() {
+        let opts = RunOptions::from_lookup(lookup_from(&[
+            ("SATIOT_THREADS", "4"),
+            ("SATIOT_EPHEMERIS", "validate"),
+            ("SATIOT_BATCH", "0"),
+            ("SATIOT_CHAOS_SEED", "12345"),
+            ("SATIOT_METRICS", "1"),
+            ("SATIOT_SCALE", "quick"),
+        ]));
+        assert_eq!(opts.threads, Some(4));
+        assert_eq!(opts.ephemeris, EphemerisMode::Validate);
+        assert_eq!(opts.batch, BatchMode::Off);
+        assert_eq!(opts.chaos_seed, 12345);
+        assert!(opts.metrics);
+        assert_eq!(opts.scale, Scale::Quick);
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let opts = RunOptions::from_lookup(lookup_from(&[
+            ("SATIOT_THREADS", "zero"),
+            ("SATIOT_EPHEMERIS", "plenty"),
+            ("SATIOT_BATCH", "yes"),
+            ("SATIOT_CHAOS_SEED", "-3"),
+            ("SATIOT_METRICS", "0"),
+            ("SATIOT_SCALE", "huge"),
+        ]));
+        assert_eq!(opts.threads, None);
+        assert_eq!(opts.ephemeris, EphemerisMode::On);
+        assert_eq!(opts.batch, BatchMode::On);
+        assert_eq!(opts.chaos_seed, chaos::DEFAULT_SEED);
+        assert!(!opts.metrics);
+        assert_eq!(opts.scale, Scale::Full);
+    }
+
+    #[test]
+    fn threads_of_zero_means_auto() {
+        let opts = RunOptions::from_lookup(lookup_from(&[("SATIOT_THREADS", "0")]));
+        assert_eq!(opts.threads, None);
+    }
+
+    #[test]
+    fn builders_override_lookup_round_trip() {
+        // Env parse → builder override: the builder wins field by
+        // field, leaving the rest of the parsed values intact.
+        let base = RunOptions::from_lookup(lookup_from(&[
+            ("SATIOT_THREADS", "8"),
+            ("SATIOT_BATCH", "off"),
+            ("SATIOT_SCALE", "quick"),
+        ]));
+        let opts = base
+            .with_threads(Some(2))
+            .with_batch(BatchMode::On)
+            .with_ephemeris(EphemerisMode::Off)
+            .with_chaos_seed(7)
+            .with_metrics(true)
+            .with_scale(Scale::Full);
+        assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.batch, BatchMode::On);
+        assert_eq!(opts.ephemeris, EphemerisMode::Off);
+        assert_eq!(opts.chaos_seed, 7);
+        assert!(opts.metrics);
+        assert_eq!(opts.scale, Scale::Full);
+        // Untouched builder chains preserve the parsed values.
+        assert_eq!(base.threads, Some(8));
+        assert_eq!(base.batch, BatchMode::Off);
+        assert_eq!(base.scale, Scale::Quick);
+    }
+
+    #[test]
+    fn scale_dimensions() {
+        assert_eq!(Scale::Quick.passive_days(), 5.0);
+        assert_eq!(Scale::Quick.active_days(), 5.0);
+        assert!(Scale::Full.passive_days().is_infinite());
+        assert_eq!(Scale::Full.active_days(), 30.0);
+        assert!(Scale::Full.availability_days() > Scale::Quick.availability_days());
+    }
+}

@@ -18,19 +18,36 @@
 //! twice). The *simulate* phase then replays each site on its own
 //! forked RNG stream; results merge in site order, so a campaign is
 //! bit-for-bit reproducible regardless of thread count or scheduling.
+//!
+//! Inside the simulate phase, each covered pass first runs a *listen
+//! prepass* shared by both kernels: the deterministic coverage gates
+//! plus the stochastic listen-efficiency gate, drawn in emission order,
+//! yielding the pass's heard emissions. The batched path then evaluates
+//! those in three steps (see [`crate::options::BatchMode`]): a *gather*
+//! step collects each heard emission's geometry into a reusable
+//! structure-of-arrays arena, a *kernel* step runs the chunked
+//! [`satiot_channel::batch`] kernels and the Doppler-penalty table over
+//! the arena's columns, and a *scatter* step walks the arena in emission
+//! order consuming the pass RNG stream in exactly the scalar order
+//! (fading draws, then the decode draw). `SATIOT_BATCH=0` restores the
+//! element-at-a-time path; the two are bit-identical, which
+//! `determinism_smoke` pins.
 
 use crate::calib;
 use crate::error::{Fault, FaultLog, SatIotError};
-use crate::geometry::{beacon_times, sample_at};
+use crate::geometry::{beacon_times, sample_at, GeometrySample};
+use crate::options::{BatchMode, RunOptions};
 use crate::scheduler::{CandidatePass, Coverage, PredictiveScheduler, Scheduler, VanillaScheduler};
 use crate::station::{AvailabilityParams, StationAvailability};
-use crate::sweep::{self, PassKey};
+use crate::sweep::{self, GridKey, PassKey};
 use satiot_channel::antenna::AntennaPattern;
+use satiot_channel::batch::ChannelBatch;
 use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::WeatherProcess;
 use satiot_measure::contact::{ContactStats, EffectiveWindow, TheoreticalWindow};
 use satiot_measure::trace::{BeaconTrace, TraceSet};
 use satiot_obs::metrics::{Counter, Timer};
+use satiot_orbit::ephemeris::EphemerisMode;
 use satiot_orbit::pass::{Pass, PassPredictor};
 use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
@@ -252,6 +269,10 @@ impl PassiveCampaign {
     /// in configuration order, so the output is bit-identical to a
     /// serial run (`parallel_and_serial_agree` pins this).
     ///
+    /// `opts` selects the thread count, the ephemeris backend for both
+    /// phases, and whether the simulate phase runs the batched SoA
+    /// kernels or the scalar hot path (bit-identical either way).
+    ///
     /// # Errors
     ///
     /// Returns [`SatIotError`] when the configuration cannot produce a
@@ -261,14 +282,14 @@ impl PassiveCampaign {
     /// with a non-finite location or empty range, a NaN-timed or
     /// zero-duration pass — is instead *survived* and counted in
     /// [`PassiveResults::faults`].
-    pub fn run(&self) -> Result<PassiveResults, SatIotError> {
+    pub fn run(&self, opts: &RunOptions) -> Result<PassiveResults, SatIotError> {
         self.validate()?;
         let sats = self.flatten_sats()?;
         let root = Rng::from_seed(self.config.seed);
         let n_sites = self.config.sites.len();
         let n_sats = sats.len();
         let threads = if self.config.parallel {
-            pool::thread_count()
+            opts.threads.unwrap_or_else(pool::thread_count)
         } else {
             1
         };
@@ -279,7 +300,12 @@ impl PassiveCampaign {
             .collect();
         let lists: Vec<Arc<Vec<Pass>>> =
             pool::parallel_map_with(&tasks, threads, |_, &(si, qi)| {
-                predict_site_sat(&self.config.sites[si], &sats[qi], self.config.max_days)
+                predict_site_sat(
+                    &self.config.sites[si],
+                    &sats[qi],
+                    self.config.max_days,
+                    opts.ephemeris,
+                )
             });
         let site_lists: Vec<&[Arc<Vec<Pass>>]> = (0..n_sites)
             .map(|s| &lists[s * n_sats..(s + 1) * n_sats])
@@ -289,7 +315,7 @@ impl PassiveCampaign {
         let partials: Vec<PassiveResults> =
             pool::parallel_map_with(&self.config.sites, threads, |idx, site| {
                 let rng = root.fork_indexed("site", idx as u64);
-                run_site(&self.config, site, &sats, rng, Some(site_lists[idx]))
+                run_site(&self.config, opts, site, &sats, rng, Some(site_lists[idx]))
             });
         Ok(merge(partials))
     }
@@ -297,12 +323,17 @@ impl PassiveCampaign {
     /// The pre-pool driver: one scoped thread per site, each predicting
     /// its passes inline and uncached. Kept as the measured baseline the
     /// pooled sweep is benchmarked against (`benches/campaigns.rs`);
-    /// produces bit-identical results to [`Self::run`].
+    /// produces bit-identical results to [`Self::run`] under the same
+    /// environment (it resolves its options via
+    /// [`RunOptions::from_env`]).
     ///
     /// # Errors
     ///
     /// Same contract as [`Self::run`].
+    #[deprecated(note = "use `run(&RunOptions)`; this legacy driver resolves \
+                         its options from the environment")]
     pub fn run_with_site_threads(&self) -> Result<PassiveResults, SatIotError> {
+        let opts = RunOptions::from_env();
         self.validate()?;
         let sats = self.flatten_sats()?;
         let root = Rng::from_seed(self.config.seed);
@@ -313,8 +344,9 @@ impl PassiveCampaign {
                 let rng = root.fork_indexed("site", idx as u64);
                 let sats = &sats;
                 let cfg = &self.config;
+                let opts = &opts;
                 scope.spawn(move || {
-                    *slot = Some(run_site(cfg, site, sats, rng, None));
+                    *slot = Some(run_site(cfg, opts, site, sats, rng, None));
                 });
             }
         });
@@ -431,10 +463,16 @@ fn site_range(site: &Site, max_days: f64) -> (JulianDate, JulianDate, f64) {
 }
 
 /// Predict (through the shared cache) one satellite's passes over one
-/// site for the site's configured campaign range.
-fn predict_site_sat(site: &Site, sat: &FlatSat, max_days: f64) -> Arc<Vec<Pass>> {
+/// site for the site's configured campaign range, honouring the run's
+/// ephemeris mode.
+fn predict_site_sat(
+    site: &Site,
+    sat: &FlatSat,
+    max_days: f64,
+    mode: EphemerisMode,
+) -> Arc<Vec<Pass>> {
     let (start, end, _) = site_range(site, max_days);
-    let sgp4 = sat.sgp4.clone();
+    let grid_key = GridKey::new(sat.constellation, sat.sat_id, start, end);
     sweep::passes_for(
         PassKey::new(
             site.code,
@@ -445,17 +483,94 @@ fn predict_site_sat(site: &Site, sat: &FlatSat, max_days: f64) -> Arc<Vec<Pass>>
             calib::THEORETICAL_MASK_RAD,
         ),
         || {
-            sweep::sat_predictor(
-                sat.constellation,
-                sat.sat_id,
-                &sgp4,
+            sweep::predictor_with_mode(
+                mode,
+                grid_key,
+                &sat.sgp4,
                 site.geodetic(),
                 calib::THEORETICAL_MASK_RAD,
-                start,
-                end,
             )
         },
     )
+}
+
+/// Reusable structure-of-arrays arena for one pass's gathered beacon
+/// emissions: the heard emissions' timestamps, stations, and geometry
+/// columns, plus the [`ChannelBatch`] the chunked kernels run over. One arena lives per simulate-phase worker (`run_site`
+/// allocates it once and `clear` keeps the column capacity across
+/// passes), so the hot loop performs no per-pass allocation in steady
+/// state.
+#[derive(Debug, Default)]
+struct EmissionArena {
+    /// Emission instants (heard emissions, in emission order).
+    t: Vec<JulianDate>,
+    /// Station assigned by the covering piece.
+    station: Vec<u32>,
+    /// Whether `sample_at` produced geometry for the entry (it declines
+    /// degenerate look angles). Absent-geometry entries consume no RNG
+    /// in either kernel; the scatter phase just steps over them.
+    geom_ok: Vec<bool>,
+    /// Doppler shift at emission, Hz (0 when `geom_ok` is false).
+    doppler_hz: Vec<f64>,
+    /// Doppler drift at emission, Hz/s (0 when `geom_ok` is false).
+    doppler_rate_hz_s: Vec<f64>,
+    /// Per-entry demodulator Doppler penalty (`None` = out of sync
+    /// range), filled by [`Self::compute_penalties`].
+    penalty: Vec<Option<f64>>,
+    /// Geometry input / channel output columns for the SoA kernels.
+    batch: ChannelBatch,
+}
+
+impl EmissionArena {
+    /// Entries gathered for the current pass.
+    fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Empty every column, keeping capacity for the next pass.
+    fn clear(&mut self) {
+        self.t.clear();
+        self.station.clear();
+        self.geom_ok.clear();
+        self.doppler_hz.clear();
+        self.doppler_rate_hz_s.clear();
+        self.penalty.clear();
+        self.batch.clear();
+    }
+
+    /// Append one heard emission. Entries without geometry get
+    /// placeholder zeros in the numeric columns; the scatter phase steps
+    /// over them, so the placeholders never reach a link sample.
+    fn push(&mut self, t: JulianDate, station: u32, geom: Option<GeometrySample>) {
+        self.t.push(t);
+        self.station.push(station);
+        match geom {
+            Some(g) => {
+                self.geom_ok.push(true);
+                self.doppler_hz.push(g.doppler_hz);
+                self.doppler_rate_hz_s.push(g.doppler_rate_hz_s);
+                self.batch.push(g.range_km, g.elevation_rad);
+            }
+            None => {
+                self.geom_ok.push(false);
+                self.doppler_hz.push(0.0);
+                self.doppler_rate_hz_s.push(0.0);
+                self.batch.push(0.0, 0.0);
+            }
+        }
+    }
+
+    /// Fill the Doppler-penalty column from the gathered shift/drift
+    /// columns (deterministic; no RNG).
+    fn compute_penalties(&mut self, cfg: &LoRaConfig, payload_len: usize) {
+        self.penalty.clear();
+        self.penalty.extend(
+            self.doppler_hz
+                .iter()
+                .zip(&self.doppler_rate_hz_s)
+                .map(|(&hz, &hz_s)| total_penalty_db(cfg, payload_len, hz, hz_s)),
+        );
+    }
 }
 
 /// The coverage piece to probe for station liveness at culmination: the
@@ -491,6 +606,7 @@ fn piece_for_tca<'a>(pieces: &[&'a Coverage], tca: JulianDate) -> Option<&'a Cov
 /// uncached baseline).
 fn run_site(
     cfg: &PassiveConfig,
+    opts: &RunOptions,
     site: &Site,
     sats: &[FlatSat],
     rng: Rng,
@@ -519,16 +635,19 @@ fn run_site(
 
     // Pass predictions for every satellite: cached lists from the
     // predict phase when provided, inline prediction otherwise. The
-    // inline scan goes through `sweep::sat_predictor` so the legacy
-    // driver shares the pooled drivers' ephemeris grids (and therefore
-    // their bit-exact pass lists); the simulate-phase predictors stay
-    // direct because `sample_at` queries arbitrary instants that may
-    // fall outside any grid window.
+    // simulate-phase predictors are grid-backed too (sharing the predict
+    // phase's grid `Arc`s through [`sweep::grid_for`]): `sample_at`
+    // probes `t` and `t + 1 s`, and an instant outside the grid window
+    // falls back to direct SGP4 bit-identically, so the geometry loop is
+    // safe to interpolate.
     let mut predictors: Vec<PassPredictor> = Vec::with_capacity(sats.len());
     let mut candidates: Vec<CandidatePass> = Vec::new();
     for (i, sat) in sats.iter().enumerate() {
-        let predictor = PassPredictor::new(
-            sat.sgp4.clone(),
+        let grid_key = GridKey::new(sat.constellation, sat.sat_id, start, end);
+        let predictor = sweep::predictor_with_mode(
+            opts.ephemeris,
+            grid_key,
+            &sat.sgp4,
             site.geodetic(),
             calib::THEORETICAL_MASK_RAD,
         );
@@ -537,22 +656,12 @@ fn run_site(
                 sat_index: i,
                 pass: *pass,
             })),
-            None => {
-                let scan = sweep::sat_predictor(
-                    sat.constellation,
-                    sat.sat_id,
-                    &sat.sgp4,
-                    site.geodetic(),
-                    calib::THEORETICAL_MASK_RAD,
-                    start,
-                    end,
-                );
-                candidates.extend(
-                    scan.passes(start, end)
-                        .into_iter()
-                        .map(|pass| CandidatePass { sat_index: i, pass }),
-                );
-            }
+            None => candidates.extend(
+                predictor
+                    .passes(start, end)
+                    .into_iter()
+                    .map(|pass| CandidatePass { sat_index: i, pass }),
+            ),
         }
         predictors.push(predictor);
     }
@@ -594,6 +703,11 @@ fn run_site(
 
     let beacon_cfg = LoRaConfig::dts_beacon();
     let epoch = campaign_epoch();
+    // One SoA arena per simulate worker, reused across every pass of the
+    // site (cleared, not reallocated) — likewise the heard-emission list
+    // the listen-gate prepass fills for both kernels.
+    let mut arena = EmissionArena::default();
+    let mut heard: Vec<(JulianDate, u32)> = Vec::new();
 
     for (pass_idx, pieces) in coverage_by_pass.iter().enumerate() {
         let cp = &candidates[pass_idx];
@@ -659,61 +773,136 @@ fn run_site(
         let mut received_times_rel: Vec<f64> = Vec::new();
         let mut positions: Vec<f64> = Vec::new();
 
+        // Coverage gates and the listen-efficiency draws, hoisted ahead
+        // of the channel work for both kernels. Every gate is applied in
+        // emission order — is any station listening at this instant, is
+        // the assigned station powered and online, has it finished
+        // retuning to this satellite, and is it free of housekeeping
+        // (MQTT sync, OTA, retune; the one stochastic gate) — so the
+        // pass RNG stream reads: all listen draws for the pass, then the
+        // per-reception fading/decode draws. Drawing the listen gates up
+        // front keeps the scalar and batched paths on one stream *and*
+        // spares the batched gather from sampling geometry for emissions
+        // nobody heard.
+        heard.clear();
         for t in &emissions {
-            // Is any station listening at this instant?
             let piece = pieces.iter().find(|c| *t >= c.start && *t <= c.end);
             let Some(piece) = piece else { continue };
-            // The assigned station must actually be powered and online…
             if !availability[piece.station as usize].is_up(t.seconds_since(start)) {
                 continue;
             }
-            // …have finished retuning to this satellite…
             if t.seconds_since(piece.start) < calib::STATION_RETUNE_S {
                 continue;
             }
-            // …and not busy with housekeeping (MQTT sync, OTA, retune).
             if !pass_rng.chance(calib::STATION_LISTEN_EFFICIENCY) {
                 continue;
             }
-            let Some(geom) = sample_at(predictor, *t, sat.frequency_mhz * 1e6) else {
-                continue;
-            };
-            let sample = budget.sample(
-                geom.range_km,
-                geom.elevation_rad,
-                wx,
-                shadowing,
-                &mut pass_rng,
-            );
-            let Some(doppler_penalty) = total_penalty_db(
-                &beacon_cfg,
-                beacon_len,
-                geom.doppler_hz,
-                geom.doppler_rate_hz_s,
-            ) else {
-                continue; // Offset beyond sync range.
-            };
-            let snr = sample.snr_db - doppler_penalty;
-            if !packet_decodes(&beacon_cfg, beacon_len, snr, &mut pass_rng) {
-                continue;
+            heard.push((*t, piece.station));
+        }
+
+        match opts.batch {
+            // The legacy element-at-a-time hot path (`SATIOT_BATCH=0`):
+            // the batched branch below must replay this loop's RNG
+            // stream draw for draw.
+            BatchMode::Off => {
+                for &(t, station) in &heard {
+                    let Some(geom) = sample_at(predictor, t, sat.frequency_mhz * 1e6) else {
+                        continue;
+                    };
+                    let sample = budget.sample(
+                        geom.range_km,
+                        geom.elevation_rad,
+                        wx,
+                        shadowing,
+                        &mut pass_rng,
+                    );
+                    let Some(doppler_penalty) = total_penalty_db(
+                        &beacon_cfg,
+                        beacon_len,
+                        geom.doppler_hz,
+                        geom.doppler_rate_hz_s,
+                    ) else {
+                        continue; // Offset beyond sync range.
+                    };
+                    let snr = sample.snr_db - doppler_penalty;
+                    if !packet_decodes(&beacon_cfg, beacon_len, snr, &mut pass_rng) {
+                        continue;
+                    }
+                    BEACONS_DECODED.inc();
+                    let t_rel_campaign = t.seconds_since(epoch);
+                    received_times_rel.push(t.seconds_since(start));
+                    positions.push(cp.pass.normalized_position(t));
+                    results.traces.push(BeaconTrace {
+                        time_s: t_rel_campaign,
+                        site: site.code.to_string(),
+                        station,
+                        constellation: sat.constellation.to_string(),
+                        sat_id: sat.sat_id,
+                        rssi_dbm: sample.rssi_dbm,
+                        snr_db: snr,
+                        elevation_deg: geom.elevation_rad.to_degrees(),
+                        distance_km: geom.range_km,
+                        doppler_hz: geom.doppler_hz,
+                        weather: wx.label(),
+                    });
+                }
             }
-            BEACONS_DECODED.inc();
-            let t_rel_campaign = t.seconds_since(epoch);
-            received_times_rel.push(t.seconds_since(start));
-            positions.push(cp.pass.normalized_position(*t));
-            results.traces.push(BeaconTrace {
-                time_s: t_rel_campaign,
-                site: site.code.to_string(),
-                station: piece.station,
-                constellation: sat.constellation.to_string(),
-                sat_id: sat.sat_id,
-                rssi_dbm: sample.rssi_dbm,
-                snr_db: snr,
-                elevation_deg: geom.elevation_rad.to_degrees(),
-                distance_km: geom.range_km,
-                doppler_hz: geom.doppler_hz,
-                weather: wx.label(),
-            });
+            // The batched path: gather → kernels → scatter.
+            BatchMode::On => {
+                // Gather: geometry for the heard emissions only; no RNG
+                // is touched, so gathering cannot shift any stream.
+                arena.clear();
+                for &(t, station) in &heard {
+                    arena.push(t, station, sample_at(predictor, t, sat.frequency_mhz * 1e6));
+                }
+                // Kernels: chunked SoA channel math over the gathered
+                // columns, then the deterministic Doppler penalties.
+                arena.batch.run(&budget, wx);
+                arena.compute_penalties(&beacon_cfg, beacon_len);
+                // Scatter: walk the arena in emission order, consuming
+                // the pass RNG stream in exactly the scalar order
+                // (fading draws, then the decode draw).
+                let noise_floor_dbm = budget.noise_floor_dbm();
+                for i in 0..arena.len() {
+                    if !arena.geom_ok[i] {
+                        continue;
+                    }
+                    let sample = budget.sample_prepared(
+                        arena.batch.range_km[i],
+                        arena.batch.elevation_rad[i],
+                        wx,
+                        arena.batch.mean_rssi_dbm[i],
+                        arena.batch.k_linear[i],
+                        shadowing,
+                        noise_floor_dbm,
+                        &mut pass_rng,
+                    );
+                    let Some(doppler_penalty) = arena.penalty[i] else {
+                        continue; // Offset beyond sync range.
+                    };
+                    let snr = sample.snr_db - doppler_penalty;
+                    if !packet_decodes(&beacon_cfg, beacon_len, snr, &mut pass_rng) {
+                        continue;
+                    }
+                    BEACONS_DECODED.inc();
+                    let t = arena.t[i];
+                    received_times_rel.push(t.seconds_since(start));
+                    positions.push(cp.pass.normalized_position(t));
+                    results.traces.push(BeaconTrace {
+                        time_s: t.seconds_since(epoch),
+                        site: site.code.to_string(),
+                        station: arena.station[i],
+                        constellation: sat.constellation.to_string(),
+                        sat_id: sat.sat_id,
+                        rssi_dbm: sample.rssi_dbm,
+                        snr_db: snr,
+                        elevation_deg: arena.batch.elevation_rad[i].to_degrees(),
+                        distance_km: arena.batch.range_km[i],
+                        doppler_hz: arena.doppler_hz[i],
+                        weather: wx.label(),
+                    });
+                }
+            }
         }
 
         let theoretical = TheoreticalWindow {
@@ -847,9 +1036,14 @@ mod tests {
         }
     }
 
+    /// Hermetic machine-default options (no environment involvement).
+    fn opts() -> RunOptions {
+        RunOptions::default()
+    }
+
     #[test]
     fn small_campaign_produces_traces_and_passes() {
-        let results = PassiveCampaign::new(small_config()).run().unwrap();
+        let results = PassiveCampaign::new(small_config()).run(&opts()).unwrap();
         assert!(!results.passes.is_empty(), "no covered passes");
         assert!(!results.traces.is_empty(), "no beacons decoded");
         for t in &results.traces.traces {
@@ -868,8 +1062,8 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic() {
-        let a = PassiveCampaign::new(small_config()).run().unwrap();
-        let b = PassiveCampaign::new(small_config()).run().unwrap();
+        let a = PassiveCampaign::new(small_config()).run(&opts()).unwrap();
+        let b = PassiveCampaign::new(small_config()).run(&opts()).unwrap();
         assert_eq!(a.traces.len(), b.traces.len());
         assert_eq!(a.passes.len(), b.passes.len());
         for (x, y) in a.traces.traces.iter().zip(&b.traces.traces) {
@@ -879,10 +1073,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = PassiveCampaign::new(small_config()).run().unwrap();
+        let a = PassiveCampaign::new(small_config()).run(&opts()).unwrap();
         let mut cfg = small_config();
         cfg.seed = 8;
-        let b = PassiveCampaign::new(cfg).run().unwrap();
+        let b = PassiveCampaign::new(cfg).run(&opts()).unwrap();
         // Scheduler thinning and reception draws both depend on the seed.
         assert_ne!(a.traces.traces, b.traces.traces);
     }
@@ -891,7 +1085,7 @@ mod tests {
     fn effective_windows_are_shorter_than_theoretical() {
         let mut cfg = small_config();
         cfg.max_days = 4.0;
-        let results = PassiveCampaign::new(cfg).run().unwrap();
+        let results = PassiveCampaign::new(cfg).run(&opts()).unwrap();
         let stats = results.contact_stats("FOSSA", &[]);
         assert!(stats.total_windows > 0);
         // The headline finding: effective ≪ theoretical.
@@ -910,9 +1104,9 @@ mod tests {
         let mut cfg = small_config();
         cfg.constellations = all_constellations();
         cfg.max_days = 1.5;
-        let pred = PassiveCampaign::new(cfg.clone()).run().unwrap();
+        let pred = PassiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
         cfg.scheduler = SchedulerKind::Vanilla { dwell_s: 600.0 };
-        let vanilla = PassiveCampaign::new(cfg).run().unwrap();
+        let vanilla = PassiveCampaign::new(cfg).run(&opts()).unwrap();
         assert!(
             (vanilla.traces.len() as f64) < 0.7 * pred.traces.len() as f64,
             "vanilla {} !< 0.7 x predictive {}",
@@ -939,7 +1133,7 @@ mod tests {
 
     #[test]
     fn reception_positions_are_normalized() {
-        let results = PassiveCampaign::new(small_config()).run().unwrap();
+        let results = PassiveCampaign::new(small_config()).run(&opts()).unwrap();
         let pos = results.reception_positions();
         assert!(!pos.is_empty());
         for p in pos {
@@ -976,10 +1170,11 @@ mod tests {
             .filter(|s| matches!(s.code, "HK" | "GZ"))
             .collect();
         cfg.max_days = 1.0;
-        let serial = PassiveCampaign::new(cfg.clone()).run().unwrap();
+        let serial = PassiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
         cfg.parallel = true;
         let campaign = PassiveCampaign::new(cfg);
-        let pooled = campaign.run().unwrap();
+        let pooled = campaign.run(&opts()).unwrap();
+        #[allow(deprecated)]
         let legacy = campaign.run_with_site_threads().unwrap();
         for other in [&pooled, &legacy] {
             assert_eq!(serial.traces.len(), other.traces.len());
@@ -988,6 +1183,23 @@ mod tests {
                 assert_eq!(a, b);
             }
             assert_eq!(pass_fingerprint(&serial), pass_fingerprint(other));
+        }
+    }
+
+    /// The tentpole A/B invariant: the batched SoA simulate path and the
+    /// scalar hot path produce bit-identical campaigns, under both
+    /// ephemeris backends.
+    #[test]
+    fn batched_and_scalar_paths_agree() {
+        for mode in [EphemerisMode::On, EphemerisMode::Off] {
+            let campaign = PassiveCampaign::new(small_config());
+            let batched = campaign.run(&opts().with_ephemeris(mode)).unwrap();
+            let scalar = campaign
+                .run(&opts().with_ephemeris(mode).with_batch(BatchMode::Off))
+                .unwrap();
+            assert!(!batched.traces.is_empty(), "no beacons under {mode:?}");
+            assert_eq!(batched.traces.traces, scalar.traces.traces);
+            assert_eq!(pass_fingerprint(&batched), pass_fingerprint(&scalar));
         }
     }
 
@@ -1029,7 +1241,7 @@ mod tests {
         cfg.sites = vec![site];
         cfg.constellations = all_constellations();
         cfg.max_days = 1.0;
-        let results = PassiveCampaign::new(cfg.clone()).run().unwrap();
+        let results = PassiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
         let uncovered: Vec<_> = results
             .passes
             .iter()
@@ -1112,7 +1324,7 @@ mod tests {
     fn nan_max_days_is_rejected() {
         let mut cfg = small_config();
         cfg.max_days = f64::NAN;
-        let err = PassiveCampaign::new(cfg).run().unwrap_err();
+        let err = PassiveCampaign::new(cfg).run(&opts()).unwrap_err();
         assert!(matches!(
             err,
             SatIotError::NonFiniteTime {
@@ -1127,13 +1339,13 @@ mod tests {
         let mut cfg = small_config();
         cfg.sites = Vec::new();
         assert!(matches!(
-            PassiveCampaign::new(cfg).run(),
+            PassiveCampaign::new(cfg).run(&opts()),
             Err(SatIotError::EmptyPassList { .. })
         ));
         let mut cfg = small_config();
         cfg.constellations = Vec::new();
         assert!(matches!(
-            PassiveCampaign::new(cfg).run(),
+            PassiveCampaign::new(cfg).run(&opts()),
             Err(SatIotError::EmptyPassList { .. })
         ));
     }
@@ -1144,7 +1356,7 @@ mod tests {
             let mut cfg = small_config();
             cfg.scheduler = SchedulerKind::Vanilla { dwell_s };
             assert!(matches!(
-                PassiveCampaign::new(cfg).run(),
+                PassiveCampaign::new(cfg).run(&opts()),
                 Err(SatIotError::InvalidConfig {
                     field: "dwell_s",
                     ..
@@ -1162,9 +1374,9 @@ mod tests {
         broken.lat_deg = f64::NAN;
         let mut cfg = small_config();
         cfg.sites = vec![hk_site(), broken];
-        let serial = PassiveCampaign::new(cfg.clone()).run().unwrap();
+        let serial = PassiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
         cfg.parallel = true;
-        let pooled = PassiveCampaign::new(cfg).run().unwrap();
+        let pooled = PassiveCampaign::new(cfg).run(&opts()).unwrap();
         for r in [&serial, &pooled] {
             assert_eq!(r.faults.skipped_sites, 1, "{}", r.faults);
             assert!(!r.traces.is_empty(), "healthy site produced nothing");

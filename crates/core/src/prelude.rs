@@ -1,0 +1,21 @@
+//! One-stop imports for campaign binaries and examples.
+//!
+//! The bench/reproduction binaries used to deep-import half a dozen
+//! module paths each (`satiot_core::passive::PassiveCampaign`,
+//! `satiot_core::sweep::PassKey`, …). The prelude flattens the public
+//! campaign surface so a binary needs exactly one line:
+//!
+//! ```
+//! use satiot_core::prelude::*;
+//!
+//! let opts = RunOptions::default();
+//! let results = PassiveCampaign::new(PassiveConfig::quick(0.2)).run(&opts);
+//! assert!(results.is_ok());
+//! ```
+
+pub use crate::active::{ActiveCampaign, ActiveConfig, ActiveResults};
+pub use crate::error::{Fault, FaultLog, SatIotError};
+pub use crate::options::{BatchMode, RunOptions, Scale};
+pub use crate::passive::{PassiveCampaign, PassiveConfig, PassiveResults, SchedulerKind};
+pub use crate::sweep::PassKey;
+pub use satiot_orbit::ephemeris::EphemerisMode;

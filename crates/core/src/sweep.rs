@@ -368,9 +368,10 @@ pub fn sat_predictor(
     predictor_with_mode(ephemeris::mode(), key, sgp4, site, mask_rad)
 }
 
-/// [`sat_predictor`] with the mode passed explicitly, so tests can
-/// exercise every branch without racing on the global mode latch.
-fn predictor_with_mode(
+/// [`sat_predictor`] with the mode passed explicitly, so campaign
+/// drivers can honour a `RunOptions::ephemeris` override (and tests can
+/// exercise every branch) without racing on the global mode latch.
+pub fn predictor_with_mode(
     mode: EphemerisMode,
     key: GridKey,
     sgp4: &Sgp4,

@@ -18,12 +18,14 @@
 //!
 //! Each handle lazily registers itself in the global registry on first
 //! use; recording is relaxed atomics. When metrics are disabled (the
-//! default — enable with `SATIOT_METRICS=1` or [`set_enabled`]) every
-//! record call returns after two atomic loads.
+//! default) every record call returns after one atomic load. Recording
+//! is enabled with [`set_enabled`]; the `SATIOT_METRICS=1` environment
+//! knob reaches it through `satiot_core::RunOptions::from_env().apply()`
+//! — this module never reads the environment itself.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -31,25 +33,17 @@ use std::time::Instant;
 // ---------------------------------------------------------------------------
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static ENABLED_INIT: Once = Once::new();
 
-/// Whether metric recording is on. Resolved from the `SATIOT_METRICS`
-/// environment variable on first call (any non-empty value other than
-/// `0` enables), then cached; [`set_enabled`] overrides it.
+/// Whether metric recording is on (off until [`set_enabled`] turns it
+/// on — typed campaign options install the `SATIOT_METRICS` environment
+/// knob here via `satiot_core::RunOptions::from_env().apply()`).
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED_INIT.call_once(|| {
-        let on = std::env::var("SATIOT_METRICS")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false);
-        ENABLED.store(on, Relaxed);
-    });
     ENABLED.load(Relaxed)
 }
 
 /// Force metric recording on or off (tests, programmatic use).
 pub fn set_enabled(on: bool) {
-    ENABLED_INIT.call_once(|| {});
     ENABLED.store(on, Relaxed);
 }
 
@@ -232,6 +226,11 @@ struct HistogramInner {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    /// Non-finite samples rejected by [`record`](Self::record) — a NaN
+    /// would otherwise poison the CAS'd sum and land in a bucket via
+    /// `partition_point`. Surfaced per histogram and as a data-quality
+    /// total by [`report`].
+    dropped: AtomicU64,
 }
 
 impl HistogramInner {
@@ -243,6 +242,7 @@ impl HistogramInner {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -254,9 +254,14 @@ impl HistogramInner {
         self.sum_bits.store(0f64.to_bits(), Relaxed);
         self.min_bits.store(f64::INFINITY.to_bits(), Relaxed);
         self.max_bits.store(f64::NEG_INFINITY.to_bits(), Relaxed);
+        self.dropped.store(0, Relaxed);
     }
 
     fn record(&self, v: f64) {
+        if !crate::invariants::flag_non_finite("metrics::Histogram::record", v) {
+            self.dropped.fetch_add(1, Relaxed);
+            return;
+        }
         let idx = self.bounds.partition_point(|b| v > *b);
         self.buckets[idx].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
@@ -339,6 +344,11 @@ impl Histogram {
     pub fn mean(&self) -> Option<f64> {
         let n = self.count();
         (n > 0).then(|| f64::from_bits(self.slot().sum_bits.load(Relaxed)) / n as f64)
+    }
+
+    /// Non-finite samples rejected instead of recorded.
+    pub fn dropped(&self) -> u64 {
+        self.slot().dropped.load(Relaxed)
     }
 }
 
@@ -426,22 +436,43 @@ pub fn report() -> String {
         .histograms
         .lock()
         .expect("metrics registry mutex poisoned");
+    let mut total_dropped = 0u64;
+    let mut dropped_names: Vec<&'static str> = Vec::new();
     if !histograms.is_empty() {
         out.push_str("-- histograms --\n");
         for (name, h) in histograms.iter() {
             let count = h.count.load(Relaxed);
+            let dropped = h.dropped.load(Relaxed);
+            if dropped > 0 {
+                total_dropped += dropped;
+                dropped_names.push(name);
+            }
             if count == 0 {
-                writeln!(out, "{name:<44} (empty)").expect("String writes are infallible");
+                if dropped > 0 {
+                    writeln!(out, "{name:<44} (empty) dropped={dropped}")
+                        .expect("String writes are infallible");
+                } else {
+                    writeln!(out, "{name:<44} (empty)").expect("String writes are infallible");
+                }
                 continue;
             }
             let mean = f64::from_bits(h.sum_bits.load(Relaxed)) / count as f64;
             let min = f64::from_bits(h.min_bits.load(Relaxed));
             let max = f64::from_bits(h.max_bits.load(Relaxed));
-            writeln!(
-                out,
-                "{name:<44} count={count} mean={mean:.4} min={min:.4} max={max:.4}"
-            )
-            .expect("String writes are infallible");
+            if dropped > 0 {
+                writeln!(
+                    out,
+                    "{name:<44} count={count} mean={mean:.4} min={min:.4} max={max:.4} \
+                     dropped={dropped}"
+                )
+                .expect("String writes are infallible");
+            } else {
+                writeln!(
+                    out,
+                    "{name:<44} count={count} mean={mean:.4} min={min:.4} max={max:.4}"
+                )
+                .expect("String writes are infallible");
+            }
             for (i, bucket) in h.buckets.iter().enumerate() {
                 let n = bucket.load(Relaxed);
                 if n == 0 {
@@ -456,6 +487,19 @@ pub fn report() -> String {
                 }
             }
         }
+    }
+    drop(histograms);
+
+    // Silent data drops must not stay silent: one summary block lists
+    // every histogram that rejected non-finite samples.
+    if total_dropped > 0 {
+        out.push_str("-- data quality --\n");
+        writeln!(
+            out,
+            "non_finite_samples_dropped                   {total_dropped} ({})",
+            dropped_names.join(", ")
+        )
+        .expect("String writes are infallible");
     }
     out
 }
@@ -495,6 +539,15 @@ mod tests {
         }
         assert_eq!(DIST.count(), 4);
         assert!((DIST.mean().unwrap() - 26.25).abs() < 1e-12);
+
+        // Non-finite samples are rejected, counted, and surfaced —
+        // never folded into the sum or a bucket.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            DIST.record(v);
+        }
+        assert_eq!(DIST.count(), 4, "non-finite samples must not count");
+        assert_eq!(DIST.dropped(), 3);
+        assert!((DIST.mean().unwrap() - 26.25).abs() < 1e-12);
         {
             let _g = SPAN.start();
         }
@@ -504,6 +557,9 @@ mod tests {
         assert!(text.contains("test.hits"), "{text}");
         assert!(text.contains("test.depth.high_water"), "{text}");
         assert!(text.contains("count=4"), "{text}");
+        assert!(text.contains("dropped=3"), "{text}");
+        assert!(text.contains("-- data quality --"), "{text}");
+        assert!(text.contains("non_finite_samples_dropped"), "{text}");
 
         // High-water mark survived the later, lower set.
         assert!(text.contains("9"), "{text}");
@@ -511,6 +567,7 @@ mod tests {
         reset();
         assert_eq!(HITS.value(), 0);
         assert_eq!(DIST.count(), 0);
+        assert_eq!(DIST.dropped(), 0);
         set_enabled(false);
     }
 

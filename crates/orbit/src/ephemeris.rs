@@ -48,8 +48,10 @@
 //!   through `satiot_core::sweep` is probed against direct SGP4 at
 //!   build time, panicking if the position contract is violated.
 //!
-//! The mode is read once per process, so a run can never mix backends
-//! between campaign drivers (which would break bit-determinism).
+//! The knob is parsed once by `satiot_core::RunOptions::from_env()` and
+//! installed here via [`set_mode`]; a campaign run pins one backend for
+//! its whole duration, so drivers can never mix backends mid-run (which
+//! would break bit-determinism).
 
 use crate::frames::{teme_to_ecef, StateEcef};
 use crate::sgp4::Sgp4;
@@ -103,27 +105,15 @@ pub enum EphemerisMode {
 // Cached mode: 255 = not yet read from the environment.
 static MODE: AtomicU8 = AtomicU8::new(u8::MAX);
 
-/// The process-wide ephemeris mode, read once from `SATIOT_EPHEMERIS`.
+/// The process-wide ephemeris mode. Defaults to [`EphemerisMode::On`]
+/// until pinned with [`set_mode`]; the `SATIOT_EPHEMERIS` environment
+/// knob reaches this latch through
+/// `satiot_core::RunOptions::from_env().apply()` — this module never
+/// reads the environment itself.
 pub fn mode() -> EphemerisMode {
     match MODE.load(Relaxed) {
         0 => EphemerisMode::Off,
-        1 => EphemerisMode::On,
         2 => EphemerisMode::Validate,
-        _ => {
-            let m = mode_from_env();
-            set_mode(m);
-            m
-        }
-    }
-}
-
-/// Parse `SATIOT_EPHEMERIS` directly, bypassing the latch (harnesses
-/// that pin the mode per measurement and want to restore the
-/// environment's choice afterwards).
-pub fn mode_from_env() -> EphemerisMode {
-    match std::env::var("SATIOT_EPHEMERIS").as_deref() {
-        Ok("0") | Ok("off") | Ok("false") => EphemerisMode::Off,
-        Ok("validate") => EphemerisMode::Validate,
         _ => EphemerisMode::On,
     }
 }

@@ -27,17 +27,31 @@
 //! ```
 
 use crate::rng::Rng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
-/// Default root seed when `SATIOT_CHAOS_SEED` is unset.
+/// Default root seed when none is pinned.
 pub const DEFAULT_SEED: u64 = 0xC4A0_5EED;
 
-/// Root seed for a chaos batch: `SATIOT_CHAOS_SEED` when set to an
-/// integer, otherwise [`DEFAULT_SEED`].
-pub fn seed_from_env() -> u64 {
-    std::env::var("SATIOT_CHAOS_SEED")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .unwrap_or(DEFAULT_SEED)
+static PINNED_SEED: AtomicU64 = AtomicU64::new(DEFAULT_SEED);
+static SEED_PINNED: AtomicBool = AtomicBool::new(false);
+
+/// Pin the root chaos seed process-wide. Typed campaign options
+/// (`satiot_core::RunOptions`) call this from `apply()`, which is how
+/// the `SATIOT_CHAOS_SEED` environment knob reaches this module — it
+/// never reads the environment itself.
+pub fn set_seed(seed: u64) {
+    PINNED_SEED.store(seed, Relaxed);
+    SEED_PINNED.store(true, Relaxed);
+}
+
+/// Root seed for a chaos batch: the pinned seed when [`set_seed`] was
+/// called, otherwise [`DEFAULT_SEED`].
+pub fn seed() -> u64 {
+    if SEED_PINNED.load(Relaxed) {
+        PINNED_SEED.load(Relaxed)
+    } else {
+        DEFAULT_SEED
+    }
 }
 
 /// The seeded scenario factory.
@@ -304,11 +318,15 @@ mod tests {
     }
 
     #[test]
-    fn env_seed_parses_or_defaults() {
-        // Unset (the normal test environment) falls back to the default.
-        if std::env::var("SATIOT_CHAOS_SEED").is_err() {
-            assert_eq!(seed_from_env(), DEFAULT_SEED);
+    fn seed_latch_defaults_then_pins() {
+        // Before anything pins it, the default applies.
+        if !SEED_PINNED.load(Relaxed) {
+            assert_eq!(seed(), DEFAULT_SEED);
         }
+        set_seed(0xBEEF);
+        assert_eq!(seed(), 0xBEEF);
+        set_seed(DEFAULT_SEED);
+        assert_eq!(seed(), DEFAULT_SEED);
     }
 
     #[test]

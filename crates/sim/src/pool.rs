@@ -13,8 +13,11 @@
 //! the ordering a serial loop would produce — only wall-clock changes.
 //!
 //! The worker count defaults to [`std::thread::available_parallelism`]
-//! and can be pinned with the `SATIOT_THREADS` environment variable
-//! (values `>= 1`; `1` forces a serial in-place run).
+//! and can be pinned with [`set_thread_count`] (values `>= 1`; `1`
+//! forces a serial in-place run). Campaign entry points wire the
+//! `SATIOT_THREADS` environment variable through here via
+//! `satiot_core::RunOptions::from_env().apply()` — this module itself
+//! never reads the environment.
 //!
 //! ```
 //! use satiot_sim::pool;
@@ -39,17 +42,24 @@ static TASK_S: Histogram = Histogram::new("sim.pool.task_s", TIMER_BOUNDS_S);
 /// executing tasks — queue-drained tail waiting (metrics).
 static WORKER_IDLE_S: Histogram = Histogram::new("sim.pool.worker_idle_s", TIMER_BOUNDS_S);
 
-/// The pool's worker count: `SATIOT_THREADS` when set to a positive
-/// integer, otherwise the machine's available parallelism.
+/// Pinned worker count; `0` means "not pinned, use the machine".
+static PINNED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the pool's worker count process-wide (`Some(n)` with `n >= 1`),
+/// or restore the machine default with `None`. Typed campaign options
+/// (`satiot_core::RunOptions`) call this from `apply()`.
+pub fn set_thread_count(threads: Option<usize>) {
+    PINNED_THREADS.store(threads.unwrap_or(0), Relaxed);
+}
+
+/// The pool's worker count: the value pinned via [`set_thread_count`]
+/// when set, otherwise the machine's available parallelism.
 pub fn thread_count() -> usize {
-    match std::env::var("SATIOT_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
+    match PINNED_THREADS.load(Relaxed) {
+        0 => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        n => n,
     }
 }
 
@@ -168,6 +178,14 @@ mod tests {
 
     #[test]
     fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn pinned_thread_count_round_trips() {
+        set_thread_count(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_count(None);
         assert!(thread_count() >= 1);
     }
 }

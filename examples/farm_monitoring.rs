@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example farm_monitoring [days]`
 
-use satiot::core::active::{ActiveCampaign, ActiveConfig};
+use satiot::core::prelude::*;
 use satiot::econ::{
     crossover_month, satellite_cost, terrestrial_cost, Deployment, SatellitePricing,
     TerrestrialPricing,
@@ -23,7 +23,7 @@ fn main() {
     println!("Simulating {days} days of the Yunnan farm deployment…\n");
 
     let sat = ActiveCampaign::new(ActiveConfig::quick(days))
-        .run()
+        .run(&RunOptions::from_env().apply())
         .unwrap();
     let terr = TerrestrialCampaign::new(TerrestrialConfig {
         days,

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example trace_archive [days]`
 
-use satiot::core::passive::{PassiveCampaign, PassiveConfig};
+use satiot::core::prelude::*;
 use satiot::measure::csv::{read_traces, write_traces};
 use satiot::measure::stats::Summary;
 use std::fs::File;
@@ -19,7 +19,9 @@ fn main() {
     let mut cfg = PassiveConfig::quick(days);
     cfg.sites.retain(|s| s.code == "HK");
     println!("Running a {days}-day HK campaign…");
-    let results = PassiveCampaign::new(cfg).run().unwrap();
+    let results = PassiveCampaign::new(cfg)
+        .run(&RunOptions::from_env().apply())
+        .unwrap();
     println!("Collected {} beacon traces.", results.traces.len());
 
     let path = std::env::temp_dir().join("satiot_traces.csv");

@@ -9,8 +9,7 @@
 //! ```
 
 use satiot::cli::{parse, CampaignKind, Command, USAGE};
-use satiot::core::active::{ActiveCampaign, ActiveConfig};
-use satiot::core::passive::{PassiveCampaign, PassiveConfig};
+use satiot::core::prelude::*;
 use satiot::measure::latency::LatencyBreakdown;
 use satiot::measure::stats::Summary;
 use satiot::orbit::pass::PassPredictor;
@@ -229,9 +228,12 @@ fn budget(
 }
 
 fn campaign(kind: CampaignKind, days: f64) {
+    // `SATIOT_*` knobs (threads, batch kernels, ephemeris backend,
+    // metrics) still steer the CLI, resolved in one place.
+    let opts = RunOptions::from_env().apply();
     match kind {
         CampaignKind::Passive => {
-            let results = match PassiveCampaign::new(PassiveConfig::quick(days)).run() {
+            let results = match PassiveCampaign::new(PassiveConfig::quick(days)).run(&opts) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("satiot: passive campaign rejected: {e}");
@@ -258,7 +260,7 @@ fn campaign(kind: CampaignKind, days: f64) {
             );
         }
         CampaignKind::Active => {
-            let results = match ActiveCampaign::new(ActiveConfig::quick(days)).run() {
+            let results = match ActiveCampaign::new(ActiveConfig::quick(days)).run(&opts) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("satiot: active campaign rejected: {e}");

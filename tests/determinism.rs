@@ -7,16 +7,23 @@ use satiot::core::passive::{PassiveCampaign, PassiveConfig};
 use satiot::scenarios::constellations::pico;
 use satiot::terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
 
+use satiot::core::RunOptions;
+
+/// Hermetic run options: batched kernels, ephemeris grids, no env reads.
+fn opts() -> RunOptions {
+    RunOptions::default()
+}
+
 #[test]
 fn passive_is_bit_identical_across_runs_and_threading() {
     let mut cfg = PassiveConfig::quick(2.0);
     cfg.sites.retain(|s| matches!(s.code, "HK" | "SYD" | "GZ"));
     cfg.constellations = vec![pico()];
     cfg.parallel = false;
-    let serial = PassiveCampaign::new(cfg.clone()).run().unwrap();
-    let serial2 = PassiveCampaign::new(cfg.clone()).run().unwrap();
+    let serial = PassiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
+    let serial2 = PassiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
     cfg.parallel = true;
-    let parallel = PassiveCampaign::new(cfg).run().unwrap();
+    let parallel = PassiveCampaign::new(cfg).run(&opts()).unwrap();
 
     assert_eq!(serial.traces.traces, serial2.traces.traces);
     assert_eq!(serial.traces.traces, parallel.traces.traces);
@@ -31,8 +38,8 @@ fn passive_is_bit_identical_across_runs_and_threading() {
 fn active_replays_per_seed_and_diverges_across_seeds() {
     let mut cfg = ActiveConfig::quick(2.0);
     cfg.seed = 1234;
-    let a = ActiveCampaign::new(cfg.clone()).run().unwrap();
-    let b = ActiveCampaign::new(cfg.clone()).run().unwrap();
+    let a = ActiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
+    let b = ActiveCampaign::new(cfg.clone()).run(&opts()).unwrap();
     assert_eq!(a.delivered_seqs, b.delivered_seqs);
     assert_eq!(a.counters.uplinks_tx, b.counters.uplinks_tx);
     assert_eq!(a.counters.acks_ok, b.counters.acks_ok);
@@ -41,7 +48,7 @@ fn active_replays_per_seed_and_diverges_across_seeds() {
     }
 
     cfg.seed = 4321;
-    let c = ActiveCampaign::new(cfg).run().unwrap();
+    let c = ActiveCampaign::new(cfg).run(&opts()).unwrap();
     // Same workload, different channel randomness.
     assert_eq!(a.sent.len(), c.sent.len());
     assert_ne!(
@@ -70,8 +77,8 @@ fn config_knobs_change_outcomes_not_workload() {
     one.max_attempts = 1;
     let mut many = ActiveConfig::quick(2.0);
     many.max_attempts = 6;
-    let r1 = ActiveCampaign::new(one).run().unwrap();
-    let r6 = ActiveCampaign::new(many).run().unwrap();
+    let r1 = ActiveCampaign::new(one).run(&opts()).unwrap();
+    let r6 = ActiveCampaign::new(many).run(&opts()).unwrap();
     assert_eq!(r1.sent.len(), r6.sent.len());
     for (a, b) in r1.sent.iter().zip(&r6.sent) {
         assert_eq!(a.seq, b.seq);

@@ -9,6 +9,13 @@ use satiot::scenarios::constellations::{fossa, tianqi};
 use satiot::scenarios::sites::measurement_sites;
 use satiot::terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
 
+use satiot::core::RunOptions;
+
+/// Hermetic run options: batched kernels, ephemeris grids, no env reads.
+fn opts() -> RunOptions {
+    RunOptions::default()
+}
+
 fn small_passive() -> PassiveConfig {
     let mut cfg = PassiveConfig::quick(3.0);
     cfg.sites.retain(|s| s.code == "HK");
@@ -19,7 +26,7 @@ fn small_passive() -> PassiveConfig {
 
 #[test]
 fn passive_traces_respect_physical_bounds() {
-    let results = PassiveCampaign::new(small_passive()).run().unwrap();
+    let results = PassiveCampaign::new(small_passive()).run(&opts()).unwrap();
     assert!(!results.traces.is_empty());
     for t in &results.traces.traces {
         // RSSI of a *decoded* LoRa packet must sit above raw noise-margin
@@ -48,7 +55,7 @@ fn passive_traces_respect_physical_bounds() {
 
 #[test]
 fn passive_windows_contain_their_receptions() {
-    let results = PassiveCampaign::new(small_passive()).run().unwrap();
+    let results = PassiveCampaign::new(small_passive()).run(&opts()).unwrap();
     for pass in results.covered_passes() {
         let w = &pass.window;
         assert!(w.theoretical.duration_s() > 0.0);
@@ -69,7 +76,9 @@ fn passive_windows_contain_their_receptions() {
 
 #[test]
 fn active_pipeline_timelines_are_ordered() {
-    let results = ActiveCampaign::new(ActiveConfig::quick(2.0)).run().unwrap();
+    let results = ActiveCampaign::new(ActiveConfig::quick(2.0))
+        .run(&opts())
+        .unwrap();
     for tl in &results.timelines {
         if let Some(tx) = tl.first_tx_s {
             assert!(tx >= tl.generated_s, "tx before generation");
@@ -90,7 +99,9 @@ fn active_pipeline_timelines_are_ordered() {
 
 #[test]
 fn server_log_agrees_with_delivered_set() {
-    let r = ActiveCampaign::new(ActiveConfig::quick(3.0)).run().unwrap();
+    let r = ActiveCampaign::new(ActiveConfig::quick(3.0))
+        .run(&opts())
+        .unwrap();
     // Every delivered seq (within the horizon) is in the server log; the
     // log may additionally hold deliveries landing past the horizon.
     let log_seqs = r.server.delivered_seqs();
@@ -103,7 +114,9 @@ fn server_log_agrees_with_delivered_set() {
 
 #[test]
 fn active_counters_are_consistent() {
-    let r = ActiveCampaign::new(ActiveConfig::quick(2.0)).run().unwrap();
+    let r = ActiveCampaign::new(ActiveConfig::quick(2.0))
+        .run(&opts())
+        .unwrap();
     let c = &r.counters;
     assert!(c.beacons_heard <= c.beacons_tx);
     assert!(c.uplinks_ok <= c.uplinks_tx);
@@ -121,7 +134,9 @@ fn active_counters_are_consistent() {
 #[test]
 fn satellite_beats_terrestrial_on_nothing_but_coverage() {
     // The paper's comparison table, as an executable assertion.
-    let sat = ActiveCampaign::new(ActiveConfig::quick(3.0)).run().unwrap();
+    let sat = ActiveCampaign::new(ActiveConfig::quick(3.0))
+        .run(&opts())
+        .unwrap();
     let terr = TerrestrialCampaign::new(TerrestrialConfig {
         days: 3.0,
         ..Default::default()
@@ -141,7 +156,7 @@ fn all_sites_produce_data_at_full_breadth() {
     // Every Table 1 site yields traces once its deployment window opens.
     let mut cfg = PassiveConfig::quick(2.0);
     cfg.constellations = vec![tianqi()];
-    let results = PassiveCampaign::new(cfg).run().unwrap();
+    let results = PassiveCampaign::new(cfg).run(&opts()).unwrap();
     for site in measurement_sites() {
         let n = results.traces.by_site(site.code).count();
         assert!(n > 0, "site {} produced no traces", site.code);

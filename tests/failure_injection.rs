@@ -11,11 +11,18 @@ use satiot::core::satellite::SatellitePayload;
 use satiot::measure::latency::LatencyBreakdown;
 use satiot::scenarios::constellations::fossa;
 
+use satiot::core::RunOptions;
+
+/// Hermetic run options: batched kernels, ephemeris grids, no env reads.
+fn opts() -> RunOptions {
+    RunOptions::default()
+}
+
 #[test]
 fn tiny_node_buffer_loses_data_but_never_panics() {
     let mut cfg = ActiveConfig::quick(2.0);
     cfg.buffer_capacity = 1;
-    let r = ActiveCampaign::new(cfg).run().unwrap();
+    let r = ActiveCampaign::new(cfg).run(&opts()).unwrap();
     // Heavy loss, but the pipeline stays consistent.
     assert!(r.reliability() < 0.9);
     assert!(r.node_drop_ratio.iter().any(|d| *d > 0.1));
@@ -30,7 +37,7 @@ fn tiny_node_buffer_loses_data_but_never_panics() {
 fn zero_max_attempts_clamps_to_one() {
     let mut cfg = ActiveConfig::quick(1.0);
     cfg.max_attempts = 0; // NodeMachine clamps to ≥ 1; the clamp is counted.
-    let r = ActiveCampaign::new(cfg).run().unwrap();
+    let r = ActiveCampaign::new(cfg).run(&opts()).unwrap();
     assert!(r.sent.iter().all(|p| p.attempts <= 1));
     assert!(!r.delivered_seqs.is_empty());
     assert_eq!(r.faults.clamped_configs, 1);
@@ -42,8 +49,8 @@ fn permanent_rain_degrades_but_does_not_kill_the_link() {
     sunny.weather_override = Some(Weather::Sunny);
     let mut rainy = sunny.clone();
     rainy.weather_override = Some(Weather::Rainy);
-    let r_sunny = ActiveCampaign::new(sunny).run().unwrap();
-    let r_rainy = ActiveCampaign::new(rainy).run().unwrap();
+    let r_sunny = ActiveCampaign::new(sunny).run(&opts()).unwrap();
+    let r_rainy = ActiveCampaign::new(rainy).run(&opts()).unwrap();
     assert!(r_rainy.mean_attempts() > r_sunny.mean_attempts());
     assert!(
         r_rainy.reliability() > 0.5,
@@ -55,7 +62,7 @@ fn permanent_rain_degrades_but_does_not_kill_the_link() {
 fn congested_downlink_delays_but_preserves_ordering() {
     let mut cfg = ActiveConfig::quick(3.0);
     cfg.downlink_service_s = 900.0; // Far beyond per-contact capacity.
-    let r = ActiveCampaign::new(cfg).run().unwrap();
+    let r = ActiveCampaign::new(cfg).run(&opts()).unwrap();
     let b = LatencyBreakdown::compute(&r.timelines);
     // Severe delivery delays…
     assert!(
@@ -84,7 +91,7 @@ fn single_node_single_day_still_works() {
     let mut cfg = ActiveConfig::quick(1.0);
     cfg.nodes = 1;
     cfg.node_antenna = AntennaPattern::QuarterWaveMonopole;
-    let r = ActiveCampaign::new(cfg).run().unwrap();
+    let r = ActiveCampaign::new(cfg).run(&opts()).unwrap();
     assert_eq!(r.node_energy.len(), 1);
     assert!(r.sent.len() >= 48);
     assert!(r.counters.uplinks_collided <= r.counters.uplinks_tx);
@@ -96,13 +103,13 @@ fn passive_with_no_sites_or_no_constellations_is_rejected() {
     // empty success: the caller gets a typed rejection up front.
     let mut cfg = PassiveConfig::quick(1.0);
     cfg.sites.clear();
-    let err = PassiveCampaign::new(cfg).run().unwrap_err();
+    let err = PassiveCampaign::new(cfg).run(&opts()).unwrap_err();
     assert!(matches!(err, SatIotError::EmptyPassList { .. }), "{err}");
 
     let mut cfg = PassiveConfig::quick(1.0);
     cfg.constellations.clear();
     cfg.sites.retain(|s| s.code == "HK");
-    let err = PassiveCampaign::new(cfg).run().unwrap_err();
+    let err = PassiveCampaign::new(cfg).run(&opts()).unwrap_err();
     assert!(matches!(err, SatIotError::EmptyPassList { .. }), "{err}");
 }
 
@@ -116,7 +123,7 @@ fn passive_before_site_start_produces_nothing() {
     let mut cfg = PassiveConfig::quick(0.0);
     cfg.sites.retain(|s| s.code == "HK");
     cfg.constellations = vec![fossa()];
-    let r = PassiveCampaign::new(cfg).run().unwrap();
+    let r = PassiveCampaign::new(cfg).run(&opts()).unwrap();
     assert!(r.traces.is_empty());
     assert_eq!(r.faults.skipped_sites, 1);
 }
@@ -125,7 +132,7 @@ fn passive_before_site_start_produces_nothing() {
 fn giant_payload_still_fits_the_protocol() {
     let mut cfg = ActiveConfig::quick(1.0);
     cfg.payload_bytes = 200; // Above the 120 B billing cap, below LoRa max.
-    let r = ActiveCampaign::new(cfg).run().unwrap();
+    let r = ActiveCampaign::new(cfg).run(&opts()).unwrap();
     // Airtime-scaled collisions bite hard, retries compensate partially.
     assert!(r.counters.uplinks_tx > 0);
     assert!(r.reliability() > 0.3);

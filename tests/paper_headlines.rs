@@ -12,6 +12,13 @@ use satiot::scenarios::constellations::{fossa, tianqi};
 use satiot::scenarios::sites::measurement_sites;
 use satiot::terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
 
+use satiot::core::RunOptions;
+
+/// Hermetic run options: batched kernels, ephemeris grids, no env reads.
+fn opts() -> RunOptions {
+    RunOptions::default()
+}
+
 fn hk_passive(days: f64) -> PassiveConfig {
     let mut cfg = PassiveConfig::quick(days);
     cfg.sites.retain(|s| s.code == "HK");
@@ -23,7 +30,7 @@ fn hk_passive(days: f64) -> PassiveConfig {
 fn effective_windows_shrink_dramatically() {
     // §3.1: effective contact durations are 73.7–89.2 % shorter than the
     // TLE-predicted ones; daily aggregates shrink 85.7–92.2 %.
-    let results = PassiveCampaign::new(hk_passive(5.0)).run().unwrap();
+    let results = PassiveCampaign::new(hk_passive(5.0)).run(&opts()).unwrap();
     for c in ["Tianqi", "FOSSA"] {
         let covered = results.contact_stats_covered(c, &[]);
         assert!(
@@ -44,7 +51,7 @@ fn effective_windows_shrink_dramatically() {
 fn contact_intervals_expand() {
     // §3.1: measured inter-contact intervals are several times the
     // theoretical ones (paper: 6.1–44.9×).
-    let results = PassiveCampaign::new(hk_passive(5.0)).run().unwrap();
+    let results = PassiveCampaign::new(hk_passive(5.0)).run(&opts()).unwrap();
     let stats = results.contact_stats("Tianqi", &[]);
     assert!(
         stats.interval_expansion() > 2.0,
@@ -56,7 +63,7 @@ fn contact_intervals_expand() {
 #[test]
 fn receptions_concentrate_mid_window() {
     // Appendix C: ~70 % of receptions inside the middle 30–70 % span.
-    let results = PassiveCampaign::new(hk_passive(5.0)).run().unwrap();
+    let results = PassiveCampaign::new(hk_passive(5.0)).run(&opts()).unwrap();
     let pos = results.reception_positions();
     assert!(pos.len() > 100, "too few receptions ({})", pos.len());
     let mut h = Histogram::new(0.0, 1.0, 10);
@@ -96,7 +103,9 @@ fn constellation_size_drives_availability() {
 fn satellite_latency_is_hundreds_of_times_terrestrial() {
     // §3.2: 135.2 min vs 0.2 min (643.6×). At 4 simulated days we accept
     // any ratio above 100×.
-    let sat = ActiveCampaign::new(ActiveConfig::quick(4.0)).run().unwrap();
+    let sat = ActiveCampaign::new(ActiveConfig::quick(4.0))
+        .run(&opts())
+        .unwrap();
     let terr = TerrestrialCampaign::new(TerrestrialConfig {
         days: 4.0,
         ..Default::default()
@@ -116,8 +125,10 @@ fn retransmissions_lift_reliability_above_no_retx() {
     // Fig 5a: 91 % without retransmissions → 96 % with ≤5.
     let mut none = ActiveConfig::quick(4.0);
     none.max_attempts = 1;
-    let r_none = ActiveCampaign::new(none).run().unwrap();
-    let r_retx = ActiveCampaign::new(ActiveConfig::quick(4.0)).run().unwrap();
+    let r_none = ActiveCampaign::new(none).run(&opts()).unwrap();
+    let r_retx = ActiveCampaign::new(ActiveConfig::quick(4.0))
+        .run(&opts())
+        .unwrap();
     assert!(
         r_none.reliability() > 0.75,
         "no-retx {:.2}",
@@ -135,7 +146,9 @@ fn retransmissions_lift_reliability_above_no_retx() {
 fn ack_loss_inflates_retransmissions() {
     // §3.2's "contradicting results": ~half of packets retransmit even
     // though >90 % of first uplinks are received — visible as duplicates.
-    let r = ActiveCampaign::new(ActiveConfig::quick(4.0)).run().unwrap();
+    let r = ActiveCampaign::new(ActiveConfig::quick(4.0))
+        .run(&opts())
+        .unwrap();
     let retx_share = 1.0
         - r.sent.iter().filter(|p| p.attempts == 1).count() as f64
             / r.sent.iter().filter(|p| p.attempts > 0).count().max(1) as f64;
@@ -151,7 +164,9 @@ fn ack_loss_inflates_retransmissions() {
 fn energy_gap_favors_terrestrial_by_an_order_of_magnitude() {
     use satiot::energy::battery::Battery;
     use satiot::energy::profile::{SatNodeDeploymentProfile, TerrestrialDeploymentProfile};
-    let sat = ActiveCampaign::new(ActiveConfig::quick(3.0)).run().unwrap();
+    let sat = ActiveCampaign::new(ActiveConfig::quick(3.0))
+        .run(&opts())
+        .unwrap();
     let terr = TerrestrialCampaign::new(TerrestrialConfig {
         days: 3.0,
         ..Default::default()

@@ -6,6 +6,13 @@
 use satiot::core::active::{ActiveCampaign, ActiveConfig};
 use satiot::core::passive::{PassiveCampaign, PassiveConfig};
 use satiot::terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
+
+use satiot::core::RunOptions;
+
+/// Hermetic run options: batched kernels, ephemeris grids, no env reads.
+fn opts() -> RunOptions {
+    RunOptions::default()
+}
 use satiot_bench::reports;
 
 #[test]
@@ -17,8 +24,10 @@ fn every_report_renders_from_a_one_day_campaign() {
             "HK" | "SYD" | "LDN" | "PGH" | "SH" | "GZ" | "NC" | "YC"
         )
     });
-    let passive = PassiveCampaign::new(pcfg).run().unwrap();
-    let active = ActiveCampaign::new(ActiveConfig::quick(1.0)).run().unwrap();
+    let passive = PassiveCampaign::new(pcfg).run(&opts()).unwrap();
+    let active = ActiveCampaign::new(ActiveConfig::quick(1.0))
+        .run(&opts())
+        .unwrap();
     let terrestrial = TerrestrialCampaign::new(TerrestrialConfig {
         days: 1.0,
         ..Default::default()
