@@ -15,6 +15,10 @@
 //! * component-level damage fed straight to the scheduler, beacon
 //!   sampler, and store-and-forward buffer.
 //!
+//! A standing scenario also points the spill trace sink at an
+//! unwritable path: the campaign must degrade (counted sink IO faults,
+//! sketches intact) rather than panic.
+//!
 //! `SATIOT_CHAOS_SEED=<u64>` reseeds the batch. Every failure report
 //! names the scenario index and the mutation labels its plan applied, so
 //! `SATIOT_CHAOS_SEED=<seed> cargo run --release -p satiot-bench --bin
@@ -54,6 +58,35 @@ fn main() {
     let seed = opts.chaos_seed;
     let engine = ChaosEngine::new(seed);
     println!("chaos smoke: {SCENARIOS} scenarios from seed {seed:#x}");
+
+    // Spill-sink IO chaos: pointing the spill archive at an unwritable
+    // path must degrade (counted in the fault log, sketches intact),
+    // never panic the campaign.
+    {
+        let mut cfg = PassiveConfig::quick(0.5);
+        cfg.constellations = vec![tianqi()];
+        cfg.sites.truncate(2);
+        let spill = SinkMode::SpillCsv {
+            path: "/proc/satiot-no-such-dir/spill.csv",
+        };
+        let results = PassiveCampaign::new(cfg)
+            .run(&opts.with_sink(spill))
+            .expect("unwritable spill path must degrade, not abort");
+        assert!(
+            results.faults.sink_io_errors > 0,
+            "spill failure was not counted as Fault::SinkIo"
+        );
+        assert!(
+            results.traces.traces.is_empty(),
+            "degraded spill shard must not silently retain traces"
+        );
+        let sketch = results.sketch.expect("sketches survive spill failure");
+        assert_eq!(sketch.total, results.sink.emitted);
+        println!(
+            "spill chaos: degraded gracefully ({} sink IO faults, {} traces sketched)",
+            results.faults.sink_io_errors, sketch.total
+        );
+    }
 
     // Expected-degenerate inputs only panic when the harness has found a
     // bug; silence the default hook so a failing batch prints structured

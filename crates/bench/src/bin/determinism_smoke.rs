@@ -3,6 +3,9 @@
 //! driver, and under both simulate kernels (SoA batched vs scalar) —
 //! must produce bit-identical traces and pass records, and the
 //! pass-prediction cache must have computed each list exactly once.
+//! A final section pins the bounded-memory sink: the aggregating mode
+//! retains zero traces (obs-counter-audited) yet sketches identically
+//! across drivers, with quantiles inside the documented error band.
 //!
 //! The environment picks the baseline options (CI invokes this binary
 //! once with `SATIOT_BATCH=0` and once with `SATIOT_BATCH=1`), but the
@@ -14,7 +17,12 @@
 
 use satiot_core::prelude::*;
 use satiot_core::sweep;
+use satiot_measure::stats::nearest_rank_sorted;
+use satiot_obs::metrics::{self, Counter};
 use satiot_scenarios::sites::measurement_sites;
+
+// Shared-slot view of the sink's retention counter (name-keyed).
+static SINK_RETAINED: Counter = Counter::new("measure.sink.traces_retained");
 
 fn config(parallel: bool) -> PassiveConfig {
     let mut cfg = PassiveConfig::quick(1.0);
@@ -101,6 +109,73 @@ fn main() {
     assert!(
         cache.hits() > 0,
         "repeat runs never hit the cache — keying is broken"
+    );
+
+    // Bounded-memory mode: the aggregating sink must not perturb the
+    // simulation, must retain nothing (obs-counter-audited), and must
+    // sketch identically across the serial and pooled drivers — the
+    // sketch merge happens per site in configuration order, exactly
+    // like the trace merge it replaces.
+    let full = PassiveCampaign::new(config(true))
+        .run(&opts.with_sink(SinkMode::Full))
+        .unwrap();
+    // Audit the bounded runs from a clean counter slate (the full run
+    // above legitimately retained everything).
+    metrics::set_enabled(true);
+    metrics::reset();
+    let agg_opts = opts.with_sink(SinkMode::Aggregate);
+    let agg_pooled = PassiveCampaign::new(config(true)).run(&agg_opts).unwrap();
+    let agg_serial = PassiveCampaign::new(config(false)).run(&agg_opts).unwrap();
+    assert!(
+        agg_pooled.traces.traces.is_empty(),
+        "aggregate sink retained traces"
+    );
+    assert_eq!(agg_pooled.sink.retained, 0, "SinkStats counted retention");
+    assert_eq!(
+        SINK_RETAINED.value(),
+        0,
+        "obs counter says the bounded mode retained traces"
+    );
+    assert_eq!(
+        agg_pooled.sink.emitted,
+        full.traces.len() as u64,
+        "aggregate run emitted a different trace count than the full run"
+    );
+    assert_eq!(
+        agg_pooled.sketch, agg_serial.sketch,
+        "serial and pooled aggregate sketches diverged"
+    );
+    assert_eq!(
+        agg_pooled.sketch, full.sketch,
+        "aggregate sketch diverged from the full run's own sketch"
+    );
+    assert_eq!(agg_pooled.passes.len(), full.passes.len());
+
+    // Spot-check the accuracy contract: sketch quantiles within half a
+    // bucket width of the exact nearest-rank statistic.
+    let sketch = agg_pooled.sketch.as_ref().expect("aggregate run sketches");
+    let g = &sketch.groups[0];
+    let mut exact: Vec<f64> = full
+        .traces
+        .traces
+        .iter()
+        .filter(|t| t.constellation == g.constellation)
+        .map(|t| t.rssi_dbm)
+        .collect();
+    exact.sort_by(|a, b| a.total_cmp(b));
+    let band = g.rssi_dbm.quantiles.width() / 2.0 + 1e-9;
+    for p in [10.0, 50.0, 90.0] {
+        let est = g.rssi_dbm.quantiles.quantile(p);
+        let truth = nearest_rank_sorted(&exact, p);
+        assert!(
+            (est - truth).abs() <= band,
+            "{}: p{p} sketch {est} vs exact {truth} exceeds band {band}",
+            g.constellation
+        );
+    }
+    println!(
+        "aggregate sink: 0 retained, {} emitted, sketches identical across drivers",
+        agg_pooled.sink.emitted
     );
 
     let grids = sweep::grid_stats();

@@ -36,6 +36,7 @@ use satiot_energy::accounting::EnergyAccount;
 use satiot_energy::profile::{SatNodeMode, SatNodeProfile};
 use satiot_measure::latency::PacketTimeline;
 use satiot_measure::reliability::SentPacket;
+use satiot_measure::sketch::{MetricSketch, LATENCY_WIDTH_MIN};
 use satiot_obs::metrics::{Counter, Timer};
 use satiot_orbit::pass::{Pass, PassPredictor};
 use satiot_orbit::sgp4::Sgp4;
@@ -177,6 +178,11 @@ pub struct ActiveCounters {
 pub struct ActiveResults {
     /// Per-packet latency timelines (one per generated packet).
     pub timelines: Vec<PacketTimeline>,
+    /// Streaming sketch of end-to-end delivery latency in **minutes**
+    /// (bucket width [`LATENCY_WIDTH_MIN`]), fed as packets deliver —
+    /// the O(1)-memory counterpart of walking `timelines` after the
+    /// fact, and the summary a bounded-memory active campaign keeps.
+    pub latency_min: MetricSketch,
     /// Sent-packet records for reliability analyses.
     pub sent: Vec<SentPacket>,
     /// Sequence IDs delivered to the server.
@@ -880,12 +886,14 @@ impl ActiveCampaign {
         let mut timelines = Vec::with_capacity(records.len());
         let mut sent = Vec::with_capacity(records.len());
         let mut delivered_seqs = std::collections::HashSet::new();
+        let mut latency_min = MetricSketch::new(LATENCY_WIDTH_MIN);
         for (seq, rec) in records.iter().enumerate() {
             // Only count deliveries within the horizon (the paper's
             // matching window).
             let delivered_s = rec.delivered_s.filter(|d| *d <= horizon_s);
-            if delivered_s.is_some() {
+            if let Some(d) = delivered_s {
                 delivered_seqs.insert(seq as u64);
+                latency_min.observe((d - rec.generated_s) / 60.0);
             }
             timelines.push(PacketTimeline {
                 generated_s: rec.generated_s,
@@ -906,6 +914,7 @@ impl ActiveCampaign {
 
         Ok(ActiveResults {
             timelines,
+            latency_min,
             sent,
             delivered_seqs,
             node_energy,
@@ -1051,6 +1060,33 @@ mod tests {
         assert_eq!(a.delivered_seqs, b.delivered_seqs);
         assert_eq!(a.counters.uplinks_tx, b.counters.uplinks_tx);
         assert_eq!(a.counters.acks_ok, b.counters.acks_ok);
+    }
+
+    /// The streaming latency sketch must agree with the exact per-packet
+    /// timelines it summarises: same delivered count, mean within float
+    /// round-off, quantiles within the sketch's documented band.
+    #[test]
+    fn latency_sketch_matches_timelines() {
+        use satiot_measure::stats::nearest_rank_sorted;
+        let r = quick_results(3.0, 5);
+        let mut exact: Vec<f64> = r
+            .timelines
+            .iter()
+            .filter_map(|t| t.delivered_s.map(|d| (d - t.generated_s) / 60.0))
+            .collect();
+        assert!(!exact.is_empty(), "no deliveries");
+        assert_eq!(r.latency_min.summary.count, exact.len() as u64);
+        let mean = exact.iter().sum::<f64>() / exact.len() as f64;
+        assert!((r.latency_min.summary.mean - mean).abs() < 1e-9);
+        exact.sort_by(|a, b| a.total_cmp(b));
+        for p in [10.0, 50.0, 90.0] {
+            let est = r.latency_min.quantiles.quantile(p);
+            let want = nearest_rank_sorted(&exact, p);
+            assert!(
+                (est - want).abs() <= r.latency_min.quantiles.width() / 2.0 + 1e-9,
+                "p{p}: sketch {est} vs exact {want}"
+            );
+        }
     }
 
     #[test]

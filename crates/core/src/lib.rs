@@ -34,6 +34,9 @@
 //!   campaigns, the theoretical-availability analysis, and the
 //!   bench/ablation binaries; paired with `satiot_sim::pool` it turns
 //!   campaign setup into one cached parallel sweep.
+//! * [`sink`] — pluggable trace sinks ([`SinkMode`]): where the
+//!   simulate phase routes decoded beacons — full in-RAM retention,
+//!   bounded-memory streaming sketches, disk spill, or nothing.
 //! * [`options`] — typed run options ([`RunOptions`]): the single place
 //!   the `SATIOT_*` environment knobs are parsed, and the typed argument
 //!   both campaign `run` entry points take.
@@ -56,6 +59,7 @@ pub mod prelude;
 pub mod satellite;
 pub mod scheduler;
 pub mod server;
+pub mod sink;
 pub mod station;
 pub mod sweep;
 
@@ -63,3 +67,4 @@ pub use active::{ActiveCampaign, ActiveConfig, ActiveResults};
 pub use error::{Fault, FaultLog, SatIotError};
 pub use options::{BatchMode, RunOptions, Scale};
 pub use passive::{PassiveCampaign, PassiveConfig, PassiveResults};
+pub use sink::{SinkMode, SinkStats, TraceSink};

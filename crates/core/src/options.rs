@@ -28,6 +28,7 @@
 //! assert_eq!(opts.threads, Some(2));
 //! ```
 
+use crate::sink::SinkMode;
 use satiot_orbit::ephemeris::{self, EphemerisMode};
 use satiot_sim::{chaos, pool};
 
@@ -113,6 +114,10 @@ pub struct RunOptions {
     /// Campaign scale for the bench/reproduction binaries
     /// (`SATIOT_SCALE`).
     pub scale: Scale,
+    /// Where the simulate phase routes decoded beacon traces
+    /// (`SATIOT_SINK`: `full` | `aggregate` | `null` | `csv:<path>` |
+    /// `jsonl:<path>`).
+    pub sink: SinkMode,
 }
 
 impl Default for RunOptions {
@@ -124,6 +129,7 @@ impl Default for RunOptions {
             chaos_seed: chaos::DEFAULT_SEED,
             metrics: false,
             scale: Scale::Full,
+            sink: SinkMode::Full,
         }
     }
 }
@@ -161,6 +167,19 @@ impl RunOptions {
             Some("quick") => Scale::Quick,
             _ => Scale::Full,
         };
+        let sink = match lookup("SATIOT_SINK").as_deref() {
+            Some("aggregate") | Some("agg") => SinkMode::Aggregate,
+            Some("null") => SinkMode::Null,
+            // Spill paths leak once per parse so `RunOptions` stays
+            // `Copy`; a process configures at most a handful of runs.
+            Some(v) if v.starts_with("csv:") && v.len() > 4 => SinkMode::SpillCsv {
+                path: Box::leak(v["csv:".len()..].to_string().into_boxed_str()),
+            },
+            Some(v) if v.starts_with("jsonl:") && v.len() > 6 => SinkMode::SpillJsonl {
+                path: Box::leak(v["jsonl:".len()..].to_string().into_boxed_str()),
+            },
+            _ => SinkMode::Full,
+        };
         RunOptions {
             threads,
             ephemeris,
@@ -168,6 +187,7 @@ impl RunOptions {
             chaos_seed,
             metrics,
             scale,
+            sink,
         }
     }
 
@@ -204,6 +224,12 @@ impl RunOptions {
     /// Override the campaign scale.
     pub fn with_scale(mut self, scale: Scale) -> Self {
         self.scale = scale;
+        self
+    }
+
+    /// Override the simulate-phase trace sink.
+    pub fn with_sink(mut self, sink: SinkMode) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -249,6 +275,7 @@ mod tests {
             ("SATIOT_CHAOS_SEED", "12345"),
             ("SATIOT_METRICS", "1"),
             ("SATIOT_SCALE", "quick"),
+            ("SATIOT_SINK", "aggregate"),
         ]));
         assert_eq!(opts.threads, Some(4));
         assert_eq!(opts.ephemeris, EphemerisMode::Validate);
@@ -256,6 +283,28 @@ mod tests {
         assert_eq!(opts.chaos_seed, 12345);
         assert!(opts.metrics);
         assert_eq!(opts.scale, Scale::Quick);
+        assert_eq!(opts.sink, SinkMode::Aggregate);
+    }
+
+    #[test]
+    fn sink_knob_parses_every_mode() {
+        let parse = |v: &str| RunOptions::from_lookup(lookup_from(&[("SATIOT_SINK", v)])).sink;
+        assert_eq!(parse("full"), SinkMode::Full);
+        assert_eq!(parse("aggregate"), SinkMode::Aggregate);
+        assert_eq!(parse("agg"), SinkMode::Aggregate);
+        assert_eq!(parse("null"), SinkMode::Null);
+        match parse("csv:/tmp/run.csv") {
+            SinkMode::SpillCsv { path } => assert_eq!(path, "/tmp/run.csv"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("jsonl:/tmp/run.jsonl") {
+            SinkMode::SpillJsonl { path } => assert_eq!(path, "/tmp/run.jsonl"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Pathless spill specs and junk fall back to Full.
+        assert_eq!(parse("csv:"), SinkMode::Full);
+        assert_eq!(parse("jsonl:"), SinkMode::Full);
+        assert_eq!(parse("parquet:/tmp/x"), SinkMode::Full);
     }
 
     #[test]
@@ -267,6 +316,7 @@ mod tests {
             ("SATIOT_CHAOS_SEED", "-3"),
             ("SATIOT_METRICS", "0"),
             ("SATIOT_SCALE", "huge"),
+            ("SATIOT_SINK", "firehose"),
         ]));
         assert_eq!(opts.threads, None);
         assert_eq!(opts.ephemeris, EphemerisMode::On);
@@ -274,6 +324,7 @@ mod tests {
         assert_eq!(opts.chaos_seed, chaos::DEFAULT_SEED);
         assert!(!opts.metrics);
         assert_eq!(opts.scale, Scale::Full);
+        assert_eq!(opts.sink, SinkMode::Full);
     }
 
     #[test]
@@ -297,7 +348,9 @@ mod tests {
             .with_ephemeris(EphemerisMode::Off)
             .with_chaos_seed(7)
             .with_metrics(true)
-            .with_scale(Scale::Full);
+            .with_scale(Scale::Full)
+            .with_sink(SinkMode::Aggregate);
+        assert_eq!(opts.sink, SinkMode::Aggregate);
         assert_eq!(opts.threads, Some(2));
         assert_eq!(opts.batch, BatchMode::On);
         assert_eq!(opts.ephemeris, EphemerisMode::Off);

@@ -38,6 +38,7 @@ use crate::error::{Fault, FaultLog, SatIotError};
 use crate::geometry::{beacon_times, sample_at, GeometrySample};
 use crate::options::{BatchMode, RunOptions};
 use crate::scheduler::{CandidatePass, Coverage, PredictiveScheduler, Scheduler, VanillaScheduler};
+use crate::sink::{self, SinkStats, SpillPart};
 use crate::station::{AvailabilityParams, StationAvailability};
 use crate::sweep::{self, GridKey, PassKey};
 use satiot_channel::antenna::AntennaPattern;
@@ -45,6 +46,7 @@ use satiot_channel::batch::ChannelBatch;
 use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::WeatherProcess;
 use satiot_measure::contact::{ContactStats, EffectiveWindow, TheoreticalWindow};
+use satiot_measure::sketch::TraceAggregate;
 use satiot_measure::trace::{BeaconTrace, TraceSet};
 use satiot_obs::metrics::{Counter, Timer};
 use satiot_orbit::ephemeris::EphemerisMode;
@@ -153,13 +155,25 @@ pub struct SitePassRecord {
 /// The campaign output.
 #[derive(Debug, Clone, Default)]
 pub struct PassiveResults {
-    /// Every decoded beacon.
+    /// Every decoded beacon — populated only under the full-trace sink
+    /// ([`crate::sink::SinkMode::Full`], the default); empty under the
+    /// bounded-memory modes.
     pub traces: TraceSet,
     /// Every covered pass.
     pub passes: Vec<SitePassRecord>,
     /// Recoverable input damage survived during the run (sites skipped,
     /// NaN passes dropped, …), merged per site in configuration order.
     pub faults: FaultLog,
+    /// Streaming per-constellation sketches over the decoded beacons,
+    /// merged per site in configuration order. `None` only under the
+    /// null sink (or when every site was skipped).
+    pub sketch: Option<TraceAggregate>,
+    /// Sink accounting: how many traces were emitted, retained in RAM,
+    /// and spilled to disk.
+    pub sink: SinkStats,
+    /// Spill parts awaiting final concatenation (drained by the
+    /// campaign drivers before returning).
+    pub(crate) spill_parts: Vec<SpillPart>,
 }
 
 impl PassiveResults {
@@ -315,9 +329,19 @@ impl PassiveCampaign {
         let partials: Vec<PassiveResults> =
             pool::parallel_map_with(&self.config.sites, threads, |idx, site| {
                 let rng = root.fork_indexed("site", idx as u64);
-                run_site(&self.config, opts, site, &sats, rng, Some(site_lists[idx]))
+                run_site(
+                    &self.config,
+                    opts,
+                    idx,
+                    site,
+                    &sats,
+                    rng,
+                    Some(site_lists[idx]),
+                )
             });
-        Ok(merge(partials))
+        let mut results = merge(partials);
+        finalize(&mut results);
+        Ok(results)
     }
 
     /// The pre-pool driver: one scoped thread per site, each predicting
@@ -346,16 +370,16 @@ impl PassiveCampaign {
                 let cfg = &self.config;
                 let opts = &opts;
                 scope.spawn(move || {
-                    *slot = Some(run_site(cfg, opts, site, sats, rng, None));
+                    *slot = Some(run_site(cfg, opts, idx, site, sats, rng, None));
                 });
             }
         });
         // A scoped thread that panicked would already have propagated at
         // the scope join; an unfilled slot is therefore unreachable, but
         // degrade to an empty partial rather than panicking on it.
-        Ok(merge(
-            slots.into_iter().map(|s| s.unwrap_or_default()).collect(),
-        ))
+        let mut results = merge(slots.into_iter().map(|s| s.unwrap_or_default()).collect());
+        finalize(&mut results);
+        Ok(results)
     }
 
     /// Reject configurations the campaign cannot run meaningfully.
@@ -418,15 +442,32 @@ impl PassiveCampaign {
     }
 }
 
-/// Merge per-site partial results in site order.
+/// Merge per-site partial results in site order (sketch merges
+/// included, so the aggregate is identical across drivers).
 fn merge(partials: Vec<PassiveResults>) -> PassiveResults {
     let mut merged = PassiveResults::default();
     for p in partials {
         merged.traces.traces.extend(p.traces.traces);
         merged.passes.extend(p.passes);
         merged.faults.merge(&p.faults);
+        match (&mut merged.sketch, p.sketch) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (slot @ None, Some(theirs)) => *slot = Some(theirs),
+            (_, None) => {}
+        }
+        merged.sink.merge(&p.sink);
+        merged.spill_parts.extend(p.spill_parts);
     }
     merged
+}
+
+/// Concatenate any spill parts into the final archive (in site order —
+/// `merge` collected them in configuration order) and fold IO failures
+/// into the fault ledger.
+fn finalize(results: &mut PassiveResults) {
+    let parts = std::mem::take(&mut results.spill_parts);
+    let io_errors = sink::finalize_spill(&parts);
+    results.faults.record_n(Fault::SinkIo, io_errors);
 }
 
 /// Drop candidate passes the pipeline cannot simulate: NaN/∞ AOS, LOS,
@@ -601,12 +642,15 @@ fn piece_for_tca<'a>(pieces: &[&'a Coverage], tca: JulianDate) -> Option<&'a Cov
         })
 }
 
-/// Simulate one site end to end. `prepredicted` carries the predict
-/// phase's per-satellite pass lists; `None` predicts inline (the legacy
+/// Simulate one site end to end. `site_idx` is the site's configuration
+/// index (it selects the RNG stream upstream and names spill-sink part
+/// files here); `prepredicted` carries the predict phase's
+/// per-satellite pass lists; `None` predicts inline (the legacy
 /// uncached baseline).
 fn run_site(
     cfg: &PassiveConfig,
     opts: &RunOptions,
+    site_idx: usize,
     site: &Site,
     sats: &[FlatSat],
     rng: Rng,
@@ -624,6 +668,9 @@ fn run_site(
         results.faults.record(Fault::SkippedSite);
         return results;
     }
+    // The shard's trace sink: decoded beacons flow here instead of an
+    // unconditional in-RAM Vec (see `crate::sink`).
+    let mut trace_sink = opts.sink.shard(site_idx);
 
     // Weather timeline, indexed by seconds since site start.
     let mut weather_rng = rng.fork("weather");
@@ -832,7 +879,7 @@ fn run_site(
                     let t_rel_campaign = t.seconds_since(epoch);
                     received_times_rel.push(t.seconds_since(start));
                     positions.push(cp.pass.normalized_position(t));
-                    results.traces.push(BeaconTrace {
+                    trace_sink.record(BeaconTrace {
                         time_s: t_rel_campaign,
                         site: site.code.to_string(),
                         station,
@@ -888,7 +935,7 @@ fn run_site(
                     let t = arena.t[i];
                     received_times_rel.push(t.seconds_since(start));
                     positions.push(cp.pass.normalized_position(t));
-                    results.traces.push(BeaconTrace {
+                    trace_sink.record(BeaconTrace {
                         time_s: t.seconds_since(epoch),
                         site: site.code.to_string(),
                         station: arena.station[i],
@@ -932,6 +979,12 @@ fn run_site(
         });
     }
 
+    let out = trace_sink.finish();
+    results.traces = out.traces;
+    results.sketch = out.sketch;
+    results.sink = out.stats;
+    results.spill_parts.extend(out.spill);
+    results.faults.record_n(Fault::SinkIo, out.io_errors);
     results
 }
 
@@ -1363,6 +1416,81 @@ mod tests {
                 })
             ));
         }
+    }
+
+    /// The bounded-memory aggregate sink must retain zero traces while
+    /// producing sketches identical to the full-trace run's (both sinks
+    /// observe the same decode stream in the same order).
+    #[test]
+    fn aggregate_sink_retains_nothing_and_matches_full_run() {
+        use crate::sink::SinkMode;
+        use satiot_measure::stats::nearest_rank_sorted;
+
+        let campaign = PassiveCampaign::new(small_config());
+        let full = campaign.run(&opts()).unwrap();
+        let agg = campaign
+            .run(&opts().with_sink(SinkMode::Aggregate))
+            .unwrap();
+
+        assert!(agg.traces.is_empty(), "aggregate sink retained traces");
+        assert_eq!(agg.sink.retained, 0);
+        assert_eq!(agg.sink.emitted, full.traces.len() as u64);
+        assert_eq!(full.sink.retained, full.sink.emitted);
+        // Same decode stream → identical sketches (bitwise: PartialEq).
+        let full_sketch = full.sketch.as_ref().expect("full run sketches too");
+        let agg_sketch = agg.sketch.as_ref().expect("aggregate sketch");
+        assert_eq!(full_sketch, agg_sketch);
+
+        // Sketch quantiles sit within the documented band of the exact
+        // nearest-rank percentiles of the retained traces.
+        let mut rssi = full.traces.rssi_of("FOSSA");
+        rssi.sort_by(|a, b| a.total_cmp(b));
+        let sketch = &agg_sketch
+            .constellation("FOSSA")
+            .expect("FOSSA group")
+            .rssi_dbm;
+        for p in [10.0, 50.0, 90.0] {
+            let exact = nearest_rank_sorted(&rssi, p);
+            let est = sketch.quantiles.quantile(p);
+            assert!(
+                (est - exact).abs() <= sketch.quantiles.width() / 2.0 + 1e-9,
+                "p{p}: sketch {est} vs exact {exact}"
+            );
+        }
+        // Passes and faults are sink-independent.
+        assert_eq!(full.passes.len(), agg.passes.len());
+        assert_eq!(full.faults, agg.faults);
+    }
+
+    /// The null sink drops everything but still counts emissions, and
+    /// the aggregate is identical across serial and pooled drivers.
+    #[test]
+    fn null_sink_and_pooled_aggregate_are_consistent() {
+        use crate::sink::SinkMode;
+
+        let campaign = PassiveCampaign::new(small_config());
+        let null = campaign.run(&opts().with_sink(SinkMode::Null)).unwrap();
+        assert!(null.traces.is_empty());
+        assert!(null.sketch.is_none());
+        assert!(null.sink.emitted > 0, "null sink still counts emissions");
+        assert_eq!(null.sink.retained, 0);
+
+        let mut cfg = small_config();
+        cfg.sites = measurement_sites()
+            .into_iter()
+            .filter(|s| matches!(s.code, "HK" | "GZ"))
+            .collect();
+        cfg.max_days = 1.0;
+        let serial = PassiveCampaign::new(cfg.clone())
+            .run(&opts().with_sink(SinkMode::Aggregate))
+            .unwrap();
+        cfg.parallel = true;
+        let pooled = PassiveCampaign::new(cfg)
+            .run(&opts().with_sink(SinkMode::Aggregate))
+            .unwrap();
+        // Shards merge in configuration order: bit-identical aggregates.
+        assert_eq!(serial.sketch, pooled.sketch);
+        assert_eq!(serial.sink, pooled.sink);
     }
 
     /// A damaged site degrades the campaign (skipped + counted) instead

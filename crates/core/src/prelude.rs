@@ -17,5 +17,6 @@ pub use crate::active::{ActiveCampaign, ActiveConfig, ActiveResults};
 pub use crate::error::{Fault, FaultLog, SatIotError};
 pub use crate::options::{BatchMode, RunOptions, Scale};
 pub use crate::passive::{PassiveCampaign, PassiveConfig, PassiveResults, SchedulerKind};
+pub use crate::sink::{SinkMode, SinkStats};
 pub use crate::sweep::PassKey;
 pub use satiot_orbit::ephemeris::EphemerisMode;

@@ -1,9 +1,15 @@
 //! Summary statistics: moments, percentiles, CDFs, histograms.
 
 /// A numeric summary of a sample.
+///
+/// Non-finite inputs are *not* summarised: [`Summary::of`] drops them
+/// before computing any field (a single NaN would otherwise poison
+/// mean, std, min, max, and every percentile) and counts the drops in
+/// [`Summary::non_finite_dropped`], mirroring what [`Histogram::add`]
+/// does — both surface through the `satiot_obs` data-quality counter.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
-    /// Sample size.
+    /// Sample size (finite values only).
     pub n: usize,
     /// Arithmetic mean (0 for empty samples).
     pub mean: f64,
@@ -19,12 +25,22 @@ pub struct Summary {
     pub p10: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// Non-finite inputs dropped before summarising (also flagged
+    /// through the `obs.invariants.non_finite_flagged` counter).
+    pub non_finite_dropped: usize,
 }
 
 impl Summary {
-    /// Summarise a sample. Returns an all-zero summary for empty input.
+    /// Summarise a sample, dropping (and counting) non-finite values.
+    /// Returns an all-zero summary for empty input.
     pub fn of(values: &[f64]) -> Summary {
-        if values.is_empty() {
+        let mut sorted: Vec<f64> = values
+            .iter()
+            .copied()
+            .filter(|v| satiot_obs::invariants::flag_non_finite("measure::stats::Summary::of", *v))
+            .collect();
+        let non_finite_dropped = values.len() - sorted.len();
+        if sorted.is_empty() {
             return Summary {
                 n: 0,
                 mean: 0.0,
@@ -34,12 +50,12 @@ impl Summary {
                 median: 0.0,
                 p10: 0.0,
                 p90: 0.0,
+                non_finite_dropped,
             };
         }
-        let n = values.len();
-        let mean = values.iter().sum::<f64>() / n as f64;
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-        let mut sorted = values.to_vec();
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         sorted.sort_by(|a, b| a.total_cmp(b));
         Summary {
             n,
@@ -50,18 +66,30 @@ impl Summary {
             median: percentile_sorted(&sorted, 50.0),
             p10: percentile_sorted(&sorted, 10.0),
             p90: percentile_sorted(&sorted, 90.0),
+            non_finite_dropped,
         }
     }
 }
 
 impl Summary {
-    /// Half-width of the 95 % normal-approximation confidence interval on
-    /// the mean (`1.96·σ/√n`); 0 for samples of fewer than two points.
+    /// Sample (n−1) standard deviation; 0 for fewer than two points.
+    pub fn sample_std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std_dev * (self.n as f64 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95 % normal-approximation confidence interval
+    /// on the mean (`1.96·s/√n` with the *sample* standard deviation —
+    /// the population σ understates the interval, noticeably so for
+    /// small n); 0 for samples of fewer than two points.
     pub fn ci95_half_width(&self) -> f64 {
         if self.n < 2 {
             0.0
         } else {
-            1.96 * self.std_dev / (self.n as f64).sqrt()
+            1.96 * self.sample_std_dev() / (self.n as f64).sqrt()
         }
     }
 }
@@ -91,6 +119,21 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
         let frac = rank - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
+}
+
+/// Nearest-rank percentile of an already-sorted sample: the element at
+/// rank `round(p/100 · (n−1))`, with no interpolation. This is the rank
+/// convention the streaming [`crate::sketch::QuantileSketch`] mirrors,
+/// so sketch-vs-exact accuracy checks compare like with like (the
+/// interpolated [`percentile_sorted`] can land arbitrarily far from any
+/// actual observation across data gaps).
+pub fn nearest_rank_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Empirical CDF sampled at `points` evenly spaced quantiles, returned as
@@ -207,9 +250,44 @@ mod tests {
         let s_large = Summary::of(&large);
         assert!(s_small.ci95_half_width() > s_large.ci95_half_width());
         assert_eq!(Summary::of(&[1.0]).ci95_half_width(), 0.0);
-        // For the large sample, the CI half-width is 1.96·σ/√n exactly.
-        let expected = 1.96 * s_large.std_dev / 1_000f64.sqrt();
+        // The CI half-width uses the sample (n−1) standard deviation,
+        // not the population σ stored in `std_dev`.
+        let expected = 1.96 * s_large.sample_std_dev() / 1_000f64.sqrt();
         assert!((s_large.ci95_half_width() - expected).abs() < 1e-12);
+        assert!(s_large.sample_std_dev() > s_large.std_dev);
+        let ratio = s_large.sample_std_dev() / s_large.std_dev;
+        assert!((ratio - (1000.0f64 / 999.0).sqrt()).abs() < 1e-12);
+    }
+
+    /// A single NaN used to poison every field of the summary; non-finite
+    /// inputs must be dropped and counted instead.
+    #[test]
+    fn summary_drops_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.non_finite_dropped, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.median.is_finite() && s.p10.is_finite() && s.p90.is_finite());
+        // All-non-finite input degrades to the empty summary, with drops counted.
+        let s = Summary::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.non_finite_dropped, 2);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_order_statistics() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(nearest_rank_sorted(&v, 0.0), 10.0);
+        assert_eq!(nearest_rank_sorted(&v, 100.0), 40.0);
+        // Rank 1.5 rounds to 2 → 30.0 (no interpolation).
+        assert_eq!(nearest_rank_sorted(&v, 50.0), 30.0);
+        assert_eq!(nearest_rank_sorted(&v, 25.0), 20.0);
+        assert_eq!(nearest_rank_sorted(&[], 50.0), 0.0);
+        // Always an actual observation, even across huge gaps.
+        assert_eq!(nearest_rank_sorted(&[0.0, 1000.0], 50.0), 1000.0);
     }
 
     #[test]

@@ -1,11 +1,17 @@
-//! Property-based tests for the analysis layer: statistics and
-//! contact-window algebra over arbitrary inputs.
+//! Property-based tests for the analysis layer: statistics, streaming
+//! sketches, archive codecs, and contact-window algebra over arbitrary
+//! inputs.
 
 use proptest::prelude::*;
 use satiot_measure::contact::{
     effective_windows, merge_overlapping, ContactStats, TheoreticalWindow,
 };
-use satiot_measure::stats::{cdf_points, percentile, Histogram, Summary};
+use satiot_measure::csv::{read_traces, read_traces_jsonl, write_traces, write_traces_jsonl};
+use satiot_measure::sketch::{P2Quantile, QuantileSketch, StreamSummary};
+use satiot_measure::stats::{
+    cdf_points, nearest_rank_sorted, percentile, percentile_sorted, Histogram, Summary,
+};
+use satiot_measure::trace::{BeaconTrace, TraceSet};
 
 proptest! {
     /// Summary invariants: min ≤ p10 ≤ median ≤ p90 ≤ max, mean within
@@ -149,5 +155,275 @@ proptest! {
         let stats = ContactStats::compute(&windows);
         prop_assert!((0.0..=1.0).contains(&stats.duration_shrink));
         prop_assert_eq!(stats.total_windows, count);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sketches: accuracy bands and the merge law
+// ---------------------------------------------------------------------------
+
+/// Bucket widths exercised by the sketch properties (the real campaign
+/// widths plus a coarse one to stress the error band).
+const WIDTHS: [f64; 3] = [0.25, 1.0, 5.0];
+
+proptest! {
+    /// QuantileSketch quantiles stay within the documented band —
+    /// width/2 of the exact nearest-rank order statistic — and the
+    /// extreme order statistics are exact.
+    #[test]
+    fn quantile_sketch_tracks_nearest_rank(
+        values in proptest::collection::vec(-500.0_f64..500.0, 1..400),
+        w_idx in 0usize..3,
+    ) {
+        let width = WIDTHS[w_idx];
+        let mut sk = QuantileSketch::new(width);
+        for v in &values {
+            sk.observe(*v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(sk.count(), values.len() as u64);
+        prop_assert_eq!(sk.quantile(0.0), sorted[0]);
+        prop_assert_eq!(sk.quantile(100.0), sorted[sorted.len() - 1]);
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
+            let exact = nearest_rank_sorted(&sorted, p);
+            let est = sk.quantile(p);
+            prop_assert!(
+                (est - exact).abs() <= width / 2.0 + 1e-9,
+                "p{} off by {} (width {})", p, (est - exact).abs(), width
+            );
+        }
+    }
+
+    /// The sketch merge law: sharding the stream arbitrarily and merging
+    /// the shards — in either order — is *identical* (not just close) to
+    /// sketching the whole stream, because bucket merge is integer exact.
+    #[test]
+    fn quantile_sketch_merge_is_exact_and_order_independent(
+        values in proptest::collection::vec(-200.0_f64..200.0, 1..300),
+        chunk in 1usize..40,
+    ) {
+        let mut global = QuantileSketch::new(1.0);
+        for v in &values {
+            global.observe(*v);
+        }
+        let shards: Vec<QuantileSketch> = values
+            .chunks(chunk)
+            .map(|c| {
+                let mut s = QuantileSketch::new(1.0);
+                for v in c {
+                    s.observe(*v);
+                }
+                s
+            })
+            .collect();
+        let mut forward = QuantileSketch::new(1.0);
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut backward = QuantileSketch::new(1.0);
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        prop_assert_eq!(&forward, &global);
+        prop_assert_eq!(&backward, &global);
+    }
+
+    /// StreamSummary's parallel merge matches pooling the raw stream:
+    /// count exactly, moments within floating-point tolerance.
+    #[test]
+    fn stream_summary_merge_matches_pooled(
+        values in proptest::collection::vec(-1e3_f64..1e3, 2..300),
+        chunk in 1usize..40,
+    ) {
+        let mut pooled = StreamSummary::new();
+        for v in &values {
+            pooled.observe(*v);
+        }
+        let mut merged = StreamSummary::new();
+        for c in values.chunks(chunk) {
+            let mut shard = StreamSummary::new();
+            for v in c {
+                shard.observe(*v);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(merged.count, pooled.count);
+        prop_assert!((merged.mean - pooled.mean).abs() < 1e-6);
+        prop_assert!((merged.variance() - pooled.variance()).abs() < 1e-3);
+        prop_assert_eq!(merged.min, pooled.min);
+        prop_assert_eq!(merged.max, pooled.max);
+    }
+
+    /// P² hard guarantees: the estimate is exact (interpolated
+    /// percentile) while the sample buffer holds, and stays inside
+    /// [min, max] of the observed stream forever after.
+    #[test]
+    fn p2_estimate_stays_in_observed_range(
+        values in proptest::collection::vec(-1e3_f64..1e3, 1..250),
+        p in 0.05_f64..0.95,
+    ) {
+        let mut est = P2Quantile::new(p);
+        for v in &values {
+            est.observe(*v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(est.count(), values.len() as u64);
+        if values.len() <= 5 {
+            let exact = percentile_sorted(&sorted, p * 100.0);
+            prop_assert!((est.estimate() - exact).abs() < 1e-9);
+        }
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        prop_assert!(est.estimate() >= lo - 1e-9 && est.estimate() <= hi + 1e-9);
+        prop_assert_eq!(est.min(), lo);
+        prop_assert_eq!(est.max(), hi);
+    }
+
+    /// Summary::of over a stream with non-finite pollution equals the
+    /// summary of the finite subset, and counts every drop.
+    #[test]
+    fn summary_quarantines_non_finite(
+        values in proptest::collection::vec(-1e3_f64..1e3, 1..100),
+        poison_idx in proptest::collection::vec(0usize..100, 0..10),
+        kind in 0usize..3,
+    ) {
+        let poison = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][kind];
+        let mut polluted = values.clone();
+        for i in &poison_idx {
+            polluted.insert(i % (polluted.len() + 1), poison);
+        }
+        let clean = Summary::of(&values);
+        let s = Summary::of(&polluted);
+        prop_assert_eq!(s.non_finite_dropped, poison_idx.len());
+        prop_assert_eq!(s.n, clean.n);
+        prop_assert!((s.mean - clean.mean).abs() < 1e-9);
+        prop_assert_eq!(s.min, clean.min);
+        prop_assert_eq!(s.max, clean.max);
+        prop_assert_eq!(s.median, clean.median);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Archive codecs: hostile-name round-trips and non-finite rejection
+// ---------------------------------------------------------------------------
+
+/// Label alphabet deliberately stuffed with CSV/JSON metacharacters:
+/// separators, quotes, newlines, backslashes, and ordinary text.
+const NAME_PALETTE: [char; 12] = [',', '"', '\n', '\\', 'a', 'Z', '7', ' ', '-', '.', ':', '/'];
+
+fn hostile_name(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|i| NAME_PALETTE[i % NAME_PALETTE.len()])
+        .collect()
+}
+
+/// Quantise to the archive's written precision so write → read is
+/// lossless (the codecs format floats with fixed decimal places).
+fn q(v: f64, places: i32) -> f64 {
+    let s = 10f64.powi(places);
+    (v * s).round() / s
+}
+
+fn trace_row(
+    site_idx: &[usize],
+    cons_idx: &[usize],
+    signal: (f64, f64, f64),
+    geom: (f64, f64, f64),
+    ids: (usize, usize, usize),
+) -> BeaconTrace {
+    BeaconTrace {
+        time_s: q(signal.0.abs(), 3),
+        site: hostile_name(site_idx),
+        station: ids.0 as u32,
+        constellation: hostile_name(cons_idx),
+        sat_id: ids.1 as u32,
+        rssi_dbm: q(signal.1, 2),
+        snr_db: q(signal.2, 2),
+        elevation_deg: q(geom.0, 3),
+        distance_km: q(geom.1.abs(), 3),
+        doppler_hz: q(geom.2, 1),
+        weather: ["sunny", "cloudy", "rainy"][ids.2 % 3],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV and JSONL archives round-trip losslessly even when site and
+    /// constellation names contain commas, quotes, and newlines.
+    #[test]
+    fn archives_round_trip_hostile_names(
+        rows in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..12, 0..8),
+                proptest::collection::vec(0usize..12, 0..8),
+                (-200.0_f64..200.0, -160.0_f64..-40.0, -10.0_f64..20.0),
+                (0.0_f64..90.0, 300.0_f64..4_000.0, -30e3_f64..30e3),
+                (0usize..30, 0usize..100, 0usize..3),
+            ),
+            0..25,
+        ),
+    ) {
+        let set = TraceSet {
+            traces: rows
+                .iter()
+                .map(|(s, c, sig, geo, ids)| trace_row(s, c, *sig, *geo, *ids))
+                .collect(),
+        };
+
+        let mut csv_bytes = Vec::new();
+        write_traces(&set, &mut csv_bytes).expect("csv write");
+        let csv_back = read_traces(&csv_bytes[..]).expect("csv read");
+        prop_assert_eq!(&csv_back.traces, &set.traces);
+
+        let mut jsonl_bytes = Vec::new();
+        write_traces_jsonl(&set, &mut jsonl_bytes).expect("jsonl write");
+        let jsonl_back = read_traces_jsonl(&jsonl_bytes[..]).expect("jsonl read");
+        prop_assert_eq!(&jsonl_back.traces, &set.traces);
+    }
+
+    /// Any non-finite float in any numeric column is rejected on read,
+    /// and the error names the offending column.
+    #[test]
+    fn archives_reject_non_finite_floats(
+        col in 0usize..6,
+        kind in 0usize..3,
+        time_s in 0.0_f64..1e5,
+    ) {
+        let poison = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][kind];
+        let mut t = BeaconTrace {
+            time_s,
+            site: "HK".into(),
+            station: 1,
+            constellation: "Tianqi".into(),
+            sat_id: 7,
+            rssi_dbm: -120.0,
+            snr_db: 3.0,
+            elevation_deg: 45.0,
+            distance_km: 900.0,
+            doppler_hz: 1_000.0,
+            weather: "sunny",
+        };
+        let name = match col {
+            0 => { t.time_s = poison; "time_s" }
+            1 => { t.rssi_dbm = poison; "rssi_dbm" }
+            2 => { t.snr_db = poison; "snr_db" }
+            3 => { t.elevation_deg = poison; "elevation_deg" }
+            4 => { t.distance_km = poison; "distance_km" }
+            _ => { t.doppler_hz = poison; "doppler_hz" }
+        };
+        let set = TraceSet { traces: vec![t] };
+
+        let mut csv_bytes = Vec::new();
+        write_traces(&set, &mut csv_bytes).expect("csv write");
+        let err = read_traces(&csv_bytes[..]).expect_err("non-finite must be rejected");
+        prop_assert!(err.to_string().contains(name), "error `{}` names `{}`", err, name);
+
+        let mut jsonl_bytes = Vec::new();
+        write_traces_jsonl(&set, &mut jsonl_bytes).expect("jsonl write");
+        let err = read_traces_jsonl(&jsonl_bytes[..]).expect_err("non-finite must be rejected");
+        prop_assert!(err.to_string().contains(name), "error `{}` names `{}`", err, name);
     }
 }

@@ -26,6 +26,7 @@ pub use satiot_core as core;
 pub use satiot_econ as econ;
 pub use satiot_energy as energy;
 pub use satiot_measure as measure;
+pub use satiot_obs as obs;
 pub use satiot_orbit as orbit;
 pub use satiot_phy as phy;
 pub use satiot_scenarios as scenarios;
