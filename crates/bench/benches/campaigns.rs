@@ -87,6 +87,7 @@ fn bench_campaigns(c: &mut Criterion) {
                 ..Default::default()
             })
             .run()
+            .unwrap()
         })
     });
 

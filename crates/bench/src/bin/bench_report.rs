@@ -28,14 +28,27 @@
 //! batch kernels over ephemeris grids. Writes `BENCH_simulate.json` and
 //! asserts the batched path is at least 2× faster (1.5× under
 //! `--smoke`, where the sweep is too short to amortise).
+//!
+//! A third matrix measures the **coarse-scan** phase in isolation: the
+//! [`VisibilitySweep`] horizon-margin kernel over every satellite's
+//! ephemeris grid with all observers in one SoA arena, scalar
+//! (`SATIOT_VISIBILITY=scalar`) versus chunked/auto-vectorised lanes,
+//! each cold (first sweep) and warm (best of repeats). The two kernels
+//! must emit identical sign-change windows; writes
+//! `BENCH_visibility.json` and asserts the chunked kernel clears a 2×
+//! wall-time floor (1.4× under `--smoke`). The predict matrix above
+//! pins `SATIOT_VISIBILITY=0` so both of its backends run the same
+//! legacy coarse scan and stay pass-count-comparable.
 
 use satiot_core::prelude::*;
 use satiot_core::{calib, sweep};
-use satiot_orbit::ephemeris::{self, EphemerisMode};
+use satiot_orbit::ephemeris::{self, EphemerisGrid, EphemerisMode};
 use satiot_orbit::frames::Geodetic;
 use satiot_orbit::pass::Pass;
 use satiot_orbit::sgp4;
 use satiot_orbit::time::JulianDate;
+use satiot_orbit::topo::Observer;
+use satiot_orbit::visibility::{self, SweepOutcome, VisibilitySweep};
 use satiot_scenarios::constellations::{fossa, tianqi, SatelliteDef};
 use satiot_scenarios::sites::{tianqi_ground_stations, yunnan_farm};
 use satiot_sim::pool;
@@ -96,6 +109,10 @@ fn measure(
     mask_rad: f64,
 ) -> (Cell, Cell) {
     ephemeris::set_mode(mode);
+    // Pin the legacy coarse scan for both backends: the visibility sweep
+    // legitimately finds short passes the adaptive scan can step over,
+    // which would break this matrix's pass-count-equality check.
+    visibility::set_mode(VisibilityMode::Off);
     sweep::clear();
     let mut cells = Vec::with_capacity(2);
     for phase in ["cold", "warm"] {
@@ -148,7 +165,11 @@ fn simulate_config(smoke: bool) -> PassiveConfig {
 fn measure_simulate(config: &'static str, opts: &RunOptions, smoke: bool) -> SimCell {
     // The pass cache is not keyed on the ephemeris backend, so each cell
     // starts from a clean slate and warms its own caches with a
-    // throwaway run before the measured one.
+    // throwaway run before the measured one. Visibility is pinned to the
+    // legacy coarse scan so every cell simulates the identical pass
+    // workload (the sweep finds short passes the adaptive scan misses,
+    // which would skew the grid-backed cells).
+    let opts = &opts.with_visibility(VisibilityMode::Off);
     sweep::clear();
     let warmup = PassiveCampaign::new(simulate_config(smoke))
         .run(opts)
@@ -189,6 +210,15 @@ fn measure_simulate(config: &'static str, opts: &RunOptions, smoke: bool) -> Sim
         traces: results.traces.len(),
         passes: results.passes.len(),
     }
+}
+
+/// One measured cell of the visibility coarse-scan matrix.
+struct VisCell {
+    kernel: &'static str,
+    phase: &'static str,
+    wall_ms: f64,
+    points: usize,
+    events: usize,
 }
 
 fn main() {
@@ -238,8 +268,9 @@ fn main() {
         end,
         mask_rad,
     );
-    // Leave the process-wide latch the way the environment asked for it.
+    // Leave the process-wide latches the way the environment asked.
     ephemeris::set_mode(opts.ephemeris);
+    visibility::set_mode(opts.visibility);
 
     assert_eq!(
         d_cold.passes, e_cold.passes,
@@ -291,6 +322,109 @@ fn main() {
     assert!(
         e_warm.propagations == 0 && d_warm.propagations == 0,
         "warm re-runs must be served entirely from the pass cache"
+    );
+
+    // --- Visibility matrix: scalar vs chunked horizon-margin kernels. ---
+    println!(
+        "\nvisibility matrix ({} coarse scan, {} sats × {} observers):",
+        if smoke { "smoke" } else { "full" },
+        sats.len(),
+        observers.len(),
+    );
+    let grids: Vec<EphemerisGrid> = sats
+        .iter()
+        .map(|(_, sgp4)| EphemerisGrid::build(sgp4, start, end))
+        .collect();
+    let mut arena = VisibilitySweep::new();
+    for &(_, site) in &observers {
+        arena.push(&Observer::new(site), mask_rad);
+    }
+    let sweep_all = |mode: VisibilityMode| -> Vec<Vec<SweepOutcome>> {
+        grids
+            .iter()
+            .map(|grid| {
+                arena
+                    .run(grid, start, end, mode)
+                    .expect("fully covered window sweeps")
+            })
+            .collect()
+    };
+    let repeats = if smoke { 5 } else { 3 };
+    let mut vis_cells: Vec<VisCell> = Vec::new();
+    let mut per_kernel: Vec<Vec<Vec<SweepOutcome>>> = Vec::new();
+    for (kernel, mode) in [
+        ("scalar", VisibilityMode::Scalar),
+        ("chunked", VisibilityMode::On),
+    ] {
+        let t0 = Instant::now();
+        let outcomes = sweep_all(mode);
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut warm_ms = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let rep = sweep_all(mode);
+            warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(rep, outcomes, "{kernel}: repeat sweeps diverged");
+        }
+        let points: usize = outcomes.iter().flatten().map(|o| o.points).sum();
+        let events: usize = outcomes.iter().flatten().map(|o| o.events.len()).sum();
+        for (phase, wall_ms) in [("cold", cold_ms), ("warm", warm_ms)] {
+            println!(
+                "{kernel:9} {phase:4}: {wall_ms:9.1} ms, {points:>9} margins, {events} events",
+            );
+            vis_cells.push(VisCell {
+                kernel,
+                phase,
+                wall_ms,
+                points,
+                events,
+            });
+        }
+        per_kernel.push(outcomes);
+    }
+    // The chunked kernel is an elementwise regrouping of the scalar
+    // margin arithmetic, so the emitted windows must match exactly.
+    assert_eq!(
+        per_kernel[0], per_kernel[1],
+        "scalar and chunked sweeps disagree on sign-change windows"
+    );
+    let vis_speedup = vis_cells[1].wall_ms / vis_cells[3].wall_ms.max(1e-9);
+    println!("coarse-scan wall speedup (scalar/chunked, warm): {vis_speedup:.2}×");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scenario\": {{");
+    let _ = writeln!(json, "    \"constellation\": \"{}\",", spec.name);
+    let _ = writeln!(json, "    \"satellites\": {},", sats.len());
+    let _ = writeln!(json, "    \"observers\": {},", observers.len());
+    let _ = writeln!(json, "    \"days\": {days},");
+    let _ = writeln!(json, "    \"mask_deg\": {},", mask_rad.to_degrees());
+    let _ = writeln!(json, "    \"smoke\": {smoke}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in vis_cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"phase\": \"{}\", \"wall_ms\": {:.3}, \
+             \"margins\": {}, \"events\": {}}}{}",
+            c.kernel,
+            c.phase,
+            c.wall_ms,
+            c.points,
+            c.events,
+            if i + 1 < vis_cells.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"warm_wall_speedup\": {vis_speedup:.3}\n}}");
+    std::fs::write("BENCH_visibility.json", &json).expect("write BENCH_visibility.json");
+    println!("wrote BENCH_visibility.json");
+
+    let vis_floor = if smoke { 1.4 } else { 2.0 };
+    assert!(
+        vis_speedup >= vis_floor,
+        "chunked visibility kernel must be at least {vis_floor}× faster than \
+         the scalar sweep on the warm coarse scan (got {vis_speedup:.2}×)"
     );
 
     // --- Simulate matrix: legacy scalar pipeline vs SoA batch kernels. ---
@@ -371,5 +505,6 @@ fn main() {
         "batched simulate must be at least {floor}× faster than the legacy \
          scalar pipeline on the warm passive sweep (got {sim_speedup:.2}×)"
     );
+
     println!("bench_report: OK");
 }

@@ -122,7 +122,8 @@ fn main() {
         days,
         ..Default::default()
     })
-    .run();
+    .run()
+    .expect("default terrestrial config is valid");
     let tb = LatencyBreakdown::compute(&terr.timelines);
     println!("\n=== TERRESTRIAL ({days} days) ===");
     println!("reliability: {:.2}%", terr.reliability() * 100.0);

@@ -5,13 +5,16 @@
 //! [`FaultLog`]s, and an active campaign replayed with the same damaged
 //! config must degrade identically.
 //!
-//! Scenarios interleave three families:
+//! Scenarios interleave four families:
 //!
 //! * passive configs perturbed (NaN day caps, emptied sites and
 //!   constellations, poisoned site coordinates, zero-station sites,
 //!   degenerate vanilla dwells), run serial *and* pooled;
 //! * active configs perturbed (zero/NaN periods, out-of-range elevation
 //!   masks, zero nodes/buffers/attempts), run twice for replay equality;
+//! * terrestrial configs perturbed (zero/NaN periods and day counts,
+//!   emptied or negative distance tables, out-of-range uptimes), run
+//!   twice for replay equality of the clamp accounting;
 //! * component-level damage fed straight to the scheduler, beacon
 //!   sampler, and store-and-forward buffer.
 //!
@@ -37,6 +40,7 @@ use satiot_orbit::time::JulianDate;
 use satiot_scenarios::constellations::tianqi;
 use satiot_scenarios::sites::measurement_sites;
 use satiot_sim::chaos::{ChaosEngine, ChaosPlan};
+use satiot_terrestrial::{TerrestrialCampaign, TerrestrialConfig};
 
 /// Scenario count (the robustness contract asks for ≥ 200).
 const SCENARIOS: u64 = 240;
@@ -98,14 +102,16 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     for index in 0..SCENARIOS {
         let mut plan = engine.scenario(index);
-        let family = match index % 3 {
+        let family = match index % 4 {
             0 => "passive",
             1 => "active",
+            2 => "terrestrial",
             _ => "component",
         };
-        let verdict = catch_unwind(AssertUnwindSafe(|| match index % 3 {
+        let verdict = catch_unwind(AssertUnwindSafe(|| match index % 4 {
             0 => passive_scenario(&mut plan, &opts),
             1 => active_scenario(&mut plan, &opts),
+            2 => terrestrial_scenario(&mut plan),
             _ => component_scenario(&mut plan),
         }));
         match verdict {
@@ -310,7 +316,82 @@ fn active_scenario(plan: &mut ChaosPlan, opts: &RunOptions) -> Verdict {
     }
 }
 
-/// Family 2: component-level damage — corrupted pass lists through
+/// Family 2: a perturbed terrestrial baseline must either be rejected
+/// with a typed error (never a panic, never an infinite loop) or run to
+/// completion — and a replay with the identical config must report a
+/// bit-identical clamp [`FaultLog`] and packet record set.
+fn terrestrial_scenario(plan: &mut ChaosPlan) -> Verdict {
+    let mut cfg = TerrestrialConfig {
+        days: 1.0,
+        seed: plan.derived_seed(),
+        ..Default::default()
+    };
+    if plan.chance(0.4) {
+        cfg.days = plan.corrupt_duration(cfg.days);
+    }
+    if plan.chance(0.4) {
+        cfg.period_s = plan.corrupt_duration(cfg.period_s);
+    }
+    if plan.chance(0.4) {
+        // Out-of-range uptimes (negative, above 1, non-finite) must be
+        // clamped-and-counted or typed-rejected, mirroring the passive
+        // campaign's ground-station masks.
+        cfg.gateway_uptime = plan.corrupt_f64(cfg.gateway_uptime);
+    }
+    if plan.chance(0.35) {
+        let slot = plan.index_in(cfg.gateway_distance_km.len());
+        cfg.gateway_distance_km[slot] = plan.corrupt_f64(cfg.gateway_distance_km[slot]);
+    }
+    if plan.chance(0.25) {
+        cfg.gateway_distance_km = vec![-plan.corrupt_duration(1.0)];
+        plan.note("distances=negated");
+    }
+    if plan.chance(0.1) {
+        plan.note("distances=emptied");
+        cfg.gateway_distance_km.clear();
+    }
+    if plan.chance(0.25) {
+        cfg.gateways = plan.corrupt_count(cfg.gateways);
+    }
+    if plan.chance(0.25) {
+        cfg.nodes = plan.corrupt_count(cfg.nodes);
+    }
+
+    let first = TerrestrialCampaign::new(cfg.clone()).run();
+    let replay = TerrestrialCampaign::new(cfg).run();
+    match (first, replay) {
+        (Ok(a), Ok(b)) => {
+            if a.faults != b.faults {
+                return Verdict::Mismatch(format!(
+                    "replay faults [{}] != [{}]",
+                    b.faults, a.faults
+                ));
+            }
+            if a.sent.len() != b.sent.len() || a.delivered_seqs != b.delivered_seqs {
+                return Verdict::Mismatch("replay diverged on sent/delivered".into());
+            }
+            if a.faults.is_clean() {
+                Verdict::Clean
+            } else {
+                Verdict::Degraded
+            }
+        }
+        (Err(a), Err(b)) => {
+            if a.to_string() == b.to_string() {
+                Verdict::Rejected
+            } else {
+                Verdict::Mismatch(format!("replay rejected differently: [{a}] vs [{b}]"))
+            }
+        }
+        (a, b) => Verdict::Mismatch(format!(
+            "replay disagrees on acceptance: {} vs {}",
+            ok_or_err(&a),
+            ok_or_err(&b)
+        )),
+    }
+}
+
+/// Family 3: component-level damage — corrupted pass lists through
 /// sanitisation and both schedulers, degenerate beacon sampling, and
 /// zero/odd-capacity store-and-forward buffers.
 fn component_scenario(plan: &mut ChaosPlan) -> Verdict {

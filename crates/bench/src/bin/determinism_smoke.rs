@@ -3,9 +3,14 @@
 //! driver, and under both simulate kernels (SoA batched vs scalar) —
 //! must produce bit-identical traces and pass records, and the
 //! pass-prediction cache must have computed each list exactly once.
-//! A final section pins the bounded-memory sink: the aggregating mode
+//! A further section pins the bounded-memory sink: the aggregating mode
 //! retains zero traces (obs-counter-audited) yet sketches identically
 //! across drivers, with quantiles inside the documented error band.
+//! The final section pins the visibility-sweep kernels: the chunked
+//! (auto-vectorised) horizon-margin sweep must yield bit-identical
+//! campaigns to its scalar twin under the pooled, serial, *and* legacy
+//! site-thread drivers (the pass cache is cleared between modes — it
+//! does not key on the visibility knob).
 //!
 //! The environment picks the baseline options (CI invokes this binary
 //! once with `SATIOT_BATCH=0` and once with `SATIOT_BATCH=1`), but the
@@ -64,8 +69,8 @@ fn assert_identical(label: &str, a: &PassiveResults, b: &PassiveResults) {
 fn main() {
     let opts = RunOptions::from_env().apply();
     println!(
-        "determinism smoke: batch={:?} ephemeris={:?}",
-        opts.batch, opts.ephemeris
+        "determinism smoke: batch={:?} ephemeris={:?} visibility={:?}",
+        opts.batch, opts.ephemeris, opts.visibility
     );
     sweep::clear();
     let pooled_a = PassiveCampaign::new(config(true)).run(&opts).unwrap();
@@ -198,5 +203,45 @@ fn main() {
             "no grid was ever shared across observers — keying is broken"
         );
     }
+
+    // Visibility-sweep kernel equivalence: the chunked (auto-vectorised)
+    // horizon-margin sweep and its scalar twin evaluate the same inlined
+    // margin arithmetic per lane, so whole campaigns must match
+    // bit-for-bit under every driver. The pass cache does not key on the
+    // visibility mode, so each mode starts from a cleared cache; the
+    // legacy site-thread driver resolves the global latch, which
+    // `apply()` pins before each batch.
+    let mut per_mode: Vec<PassiveResults> = Vec::new();
+    for mode in [VisibilityMode::Scalar, VisibilityMode::On] {
+        sweep::clear();
+        let mode_opts = opts.with_visibility(mode).apply();
+        let pooled = PassiveCampaign::new(config(true)).run(&mode_opts).unwrap();
+        let serial = PassiveCampaign::new(config(false)).run(&mode_opts).unwrap();
+        assert_identical(
+            &format!("visibility {mode:?}: pool vs serial"),
+            &pooled,
+            &serial,
+        );
+        if opts.visibility == mode {
+            // The legacy driver resolves its options from the
+            // environment, so it can only be pinned for the mode the
+            // environment actually selected (CI covers the others by
+            // re-running this binary under each `SATIOT_VISIBILITY`).
+            #[allow(deprecated)] // Pins the legacy driver's kernel too.
+            let legacy = PassiveCampaign::new(config(true))
+                .run_with_site_threads()
+                .unwrap();
+            assert_identical(
+                &format!("visibility {mode:?}: pool vs site-threads"),
+                &pooled,
+                &legacy,
+            );
+        }
+        per_mode.push(pooled);
+    }
+    assert_identical("visibility scalar vs vector", &per_mode[0], &per_mode[1]);
+    // Restore the environment-selected baseline latch for good measure.
+    opts.apply();
+
     println!("determinism smoke: OK");
 }

@@ -908,6 +908,7 @@ mod tests {
             delivered_seqs,
             node_energy: vec![acc],
             horizon_s: 86_400.0,
+            faults: Default::default(),
         }
     }
 

@@ -60,7 +60,9 @@ pub fn run_terrestrial_with<F: FnOnce(&mut TerrestrialConfig)>(
         ..Default::default()
     };
     tweak(&mut cfg);
-    TerrestrialCampaign::new(cfg).run()
+    TerrestrialCampaign::new(cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("terrestrial campaign rejected its scaled config: {e}"))
 }
 
 #[cfg(test)]

@@ -343,6 +343,7 @@ impl ActiveCampaign {
                 .map_err(|e| SatIotError::orbit("building Tianqi farm predictors", e))?;
             predictors.push(sweep::predictor_with_mode(
                 opts.ephemeris,
+                opts.visibility,
                 GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days),
                 &sgp4,
                 farm,
@@ -365,6 +366,7 @@ impl ActiveCampaign {
                     || {
                         sweep::predictor_with_mode(
                             opts.ephemeris,
+                            opts.visibility,
                             GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days),
                             &sgp4,
                             farm,
@@ -418,6 +420,7 @@ impl ActiveCampaign {
                     || {
                         sweep::predictor_with_mode(
                             opts.ephemeris,
+                            opts.visibility,
                             GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days + 1.0),
                             &sgp4,
                             gs,

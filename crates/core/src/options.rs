@@ -9,8 +9,8 @@
 //! [`RunOptions`] replaces that: campaigns take `&RunOptions`, the
 //! environment is parsed exactly once by [`RunOptions::from_env`], and
 //! [`RunOptions::apply`] installs the process-wide latches (pool worker
-//! count, ephemeris mode, metrics flag, chaos seed) for code that sits
-//! below the campaign API.
+//! count, ephemeris mode, visibility scan mode, metrics flag, chaos
+//! seed) for code that sits below the campaign API.
 //!
 //! ```
 //! use satiot_core::options::{BatchMode, RunOptions};
@@ -30,6 +30,7 @@
 
 use crate::sink::SinkMode;
 use satiot_orbit::ephemeris::{self, EphemerisMode};
+use satiot_orbit::visibility::{self, VisibilityMode};
 use satiot_sim::{chaos, pool};
 
 /// Whether the campaign simulate phase runs the batched SoA channel
@@ -103,6 +104,10 @@ pub struct RunOptions {
     pub threads: Option<usize>,
     /// Pass-prediction sampling backend (`SATIOT_EPHEMERIS`).
     pub ephemeris: EphemerisMode,
+    /// Pass-prediction coarse-scan strategy (`SATIOT_VISIBILITY`:
+    /// `0`/`off` = legacy adaptive scan, `scalar` = element-at-a-time
+    /// margin sweep, anything else = chunked vector kernels).
+    pub visibility: VisibilityMode,
     /// Simulate-phase channel evaluation strategy (`SATIOT_BATCH`).
     pub batch: BatchMode,
     /// Root seed for the chaos perturbation engine
@@ -125,6 +130,7 @@ impl Default for RunOptions {
         RunOptions {
             threads: None,
             ephemeris: EphemerisMode::On,
+            visibility: VisibilityMode::On,
             batch: BatchMode::On,
             chaos_seed: chaos::DEFAULT_SEED,
             metrics: false,
@@ -152,6 +158,11 @@ impl RunOptions {
             Some("0") | Some("off") | Some("false") => EphemerisMode::Off,
             Some("validate") => EphemerisMode::Validate,
             _ => EphemerisMode::On,
+        };
+        let visibility = match lookup("SATIOT_VISIBILITY").as_deref() {
+            Some("0") | Some("off") | Some("false") => VisibilityMode::Off,
+            Some("scalar") => VisibilityMode::Scalar,
+            _ => VisibilityMode::On,
         };
         let batch = match lookup("SATIOT_BATCH").as_deref() {
             Some("0") | Some("off") | Some("false") => BatchMode::Off,
@@ -183,6 +194,7 @@ impl RunOptions {
         RunOptions {
             threads,
             ephemeris,
+            visibility,
             batch,
             chaos_seed,
             metrics,
@@ -200,6 +212,12 @@ impl RunOptions {
     /// Override the ephemeris sampling backend.
     pub fn with_ephemeris(mut self, mode: EphemerisMode) -> Self {
         self.ephemeris = mode;
+        self
+    }
+
+    /// Override the pass-prediction coarse-scan strategy.
+    pub fn with_visibility(mut self, mode: VisibilityMode) -> Self {
+        self.visibility = mode;
         self
     }
 
@@ -235,12 +253,14 @@ impl RunOptions {
 
     /// Install these options into the process-wide latches consumed by
     /// code below the campaign API: the pool worker count, the
-    /// ephemeris mode, the metrics flag, and the chaos seed. Binaries
+    /// ephemeris mode, the visibility scan mode, the metrics flag, and
+    /// the chaos seed. Binaries
     /// call `RunOptions::from_env().apply()` once at startup; returns
     /// `self` for chaining into a campaign call.
     pub fn apply(self) -> Self {
         pool::set_thread_count(self.threads);
         ephemeris::set_mode(self.ephemeris);
+        visibility::set_mode(self.visibility);
         satiot_obs::metrics::set_enabled(self.metrics);
         chaos::set_seed(self.chaos_seed);
         self
@@ -271,6 +291,7 @@ mod tests {
         let opts = RunOptions::from_lookup(lookup_from(&[
             ("SATIOT_THREADS", "4"),
             ("SATIOT_EPHEMERIS", "validate"),
+            ("SATIOT_VISIBILITY", "scalar"),
             ("SATIOT_BATCH", "0"),
             ("SATIOT_CHAOS_SEED", "12345"),
             ("SATIOT_METRICS", "1"),
@@ -279,6 +300,7 @@ mod tests {
         ]));
         assert_eq!(opts.threads, Some(4));
         assert_eq!(opts.ephemeris, EphemerisMode::Validate);
+        assert_eq!(opts.visibility, VisibilityMode::Scalar);
         assert_eq!(opts.batch, BatchMode::Off);
         assert_eq!(opts.chaos_seed, 12345);
         assert!(opts.metrics);
@@ -312,6 +334,7 @@ mod tests {
         let opts = RunOptions::from_lookup(lookup_from(&[
             ("SATIOT_THREADS", "zero"),
             ("SATIOT_EPHEMERIS", "plenty"),
+            ("SATIOT_VISIBILITY", "simd512"),
             ("SATIOT_BATCH", "yes"),
             ("SATIOT_CHAOS_SEED", "-3"),
             ("SATIOT_METRICS", "0"),
@@ -320,6 +343,7 @@ mod tests {
         ]));
         assert_eq!(opts.threads, None);
         assert_eq!(opts.ephemeris, EphemerisMode::On);
+        assert_eq!(opts.visibility, VisibilityMode::On);
         assert_eq!(opts.batch, BatchMode::On);
         assert_eq!(opts.chaos_seed, chaos::DEFAULT_SEED);
         assert!(!opts.metrics);
@@ -346,6 +370,7 @@ mod tests {
             .with_threads(Some(2))
             .with_batch(BatchMode::On)
             .with_ephemeris(EphemerisMode::Off)
+            .with_visibility(VisibilityMode::Off)
             .with_chaos_seed(7)
             .with_metrics(true)
             .with_scale(Scale::Full)
@@ -354,6 +379,7 @@ mod tests {
         assert_eq!(opts.threads, Some(2));
         assert_eq!(opts.batch, BatchMode::On);
         assert_eq!(opts.ephemeris, EphemerisMode::Off);
+        assert_eq!(opts.visibility, VisibilityMode::Off);
         assert_eq!(opts.chaos_seed, 7);
         assert!(opts.metrics);
         assert_eq!(opts.scale, Scale::Full);

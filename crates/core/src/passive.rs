@@ -53,6 +53,7 @@ use satiot_orbit::ephemeris::EphemerisMode;
 use satiot_orbit::pass::{Pass, PassPredictor};
 use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
+use satiot_orbit::visibility::VisibilityMode;
 use satiot_phy::doppler::total_penalty_db;
 use satiot_phy::params::LoRaConfig;
 use satiot_phy::per::packet_decodes;
@@ -319,6 +320,7 @@ impl PassiveCampaign {
                     &sats[qi],
                     self.config.max_days,
                     opts.ephemeris,
+                    opts.visibility,
                 )
             });
         let site_lists: Vec<&[Arc<Vec<Pass>>]> = (0..n_sites)
@@ -505,12 +507,13 @@ fn site_range(site: &Site, max_days: f64) -> (JulianDate, JulianDate, f64) {
 
 /// Predict (through the shared cache) one satellite's passes over one
 /// site for the site's configured campaign range, honouring the run's
-/// ephemeris mode.
+/// ephemeris and visibility modes.
 fn predict_site_sat(
     site: &Site,
     sat: &FlatSat,
     max_days: f64,
     mode: EphemerisMode,
+    visibility: VisibilityMode,
 ) -> Arc<Vec<Pass>> {
     let (start, end, _) = site_range(site, max_days);
     let grid_key = GridKey::new(sat.constellation, sat.sat_id, start, end);
@@ -526,6 +529,7 @@ fn predict_site_sat(
         || {
             sweep::predictor_with_mode(
                 mode,
+                visibility,
                 grid_key,
                 &sat.sgp4,
                 site.geodetic(),
@@ -693,6 +697,7 @@ fn run_site(
         let grid_key = GridKey::new(sat.constellation, sat.sat_id, start, end);
         let predictor = sweep::predictor_with_mode(
             opts.ephemeris,
+            opts.visibility,
             grid_key,
             &sat.sgp4,
             site.geodetic(),

@@ -20,3 +20,4 @@ pub use crate::passive::{PassiveCampaign, PassiveConfig, PassiveResults, Schedul
 pub use crate::sink::{SinkMode, SinkStats};
 pub use crate::sweep::PassKey;
 pub use satiot_orbit::ephemeris::EphemerisMode;
+pub use satiot_orbit::visibility::VisibilityMode;

@@ -40,6 +40,7 @@ use satiot_orbit::frames::Geodetic;
 use satiot_orbit::pass::{Pass, PassPredictor};
 use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
+use satiot_orbit::visibility::{self, VisibilityMode};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -352,6 +353,13 @@ pub fn grid_stats() -> GridStats {
 ///   against direct SGP4 and the process aborts if the accuracy
 ///   contract is violated (CI's `ephemeris_check` runs in this mode).
 ///
+/// The predictor also carries the process-wide [`visibility::mode`]:
+/// with a grid attached, `Scalar`/`On` replace the coarse elevation
+/// scan with the bit-identical-pair margin sweeps over the grid's
+/// columns (`SATIOT_VISIBILITY`); without a grid (`SATIOT_EPHEMERIS=0`)
+/// the sweep has no columns to walk and the legacy scan runs
+/// regardless.
+///
 /// Both the pooled predict phases and the legacy inline path construct
 /// their predictors here, which is what keeps the drivers bit-identical:
 /// they share not just the algorithm but the very same grid `Arc`s.
@@ -365,20 +373,29 @@ pub fn sat_predictor(
     end: JulianDate,
 ) -> PassPredictor {
     let key = GridKey::new(constellation, sat_id, start, end);
-    predictor_with_mode(ephemeris::mode(), key, sgp4, site, mask_rad)
+    predictor_with_mode(
+        ephemeris::mode(),
+        visibility::mode(),
+        key,
+        sgp4,
+        site,
+        mask_rad,
+    )
 }
 
-/// [`sat_predictor`] with the mode passed explicitly, so campaign
-/// drivers can honour a `RunOptions::ephemeris` override (and tests can
-/// exercise every branch) without racing on the global mode latch.
+/// [`sat_predictor`] with both modes passed explicitly, so campaign
+/// drivers can honour `RunOptions::ephemeris` / `RunOptions::visibility`
+/// overrides (and tests can exercise every branch) without racing on
+/// the global mode latches.
 pub fn predictor_with_mode(
     mode: EphemerisMode,
+    visibility: VisibilityMode,
     key: GridKey,
     sgp4: &Sgp4,
     site: Geodetic,
     mask_rad: f64,
 ) -> PassPredictor {
-    let predictor = PassPredictor::new(sgp4.clone(), site, mask_rad);
+    let predictor = PassPredictor::new(sgp4.clone(), site, mask_rad).with_visibility(visibility);
     if mode == EphemerisMode::Off {
         return predictor;
     }
@@ -489,13 +506,36 @@ mod tests {
         let site_b = Geodetic::from_degrees(23.13, 113.26, 0.02);
         let key = GridKey::new("TEST_MODES", 0, start, end);
 
-        let off = predictor_with_mode(EphemerisMode::Off, key, &sgp4, site_a, 0.0);
+        let off = predictor_with_mode(
+            EphemerisMode::Off,
+            VisibilityMode::Off,
+            key,
+            &sgp4,
+            site_a,
+            0.0,
+        );
         assert!(off.ephemeris().is_none(), "Off mode attached a grid");
 
         // Two observers over the same window share one grid Arc; the
         // Validate branch probes it against direct SGP4 on first build.
-        let on_a = predictor_with_mode(EphemerisMode::Validate, key, &sgp4, site_a, 0.0);
-        let on_b = predictor_with_mode(EphemerisMode::On, key, &sgp4, site_b, 0.0);
+        // The gridded predictors run the default margin-sweep scan, so
+        // this also pins sweep-vs-direct agreement end to end.
+        let on_a = predictor_with_mode(
+            EphemerisMode::Validate,
+            VisibilityMode::On,
+            key,
+            &sgp4,
+            site_a,
+            0.0,
+        );
+        let on_b = predictor_with_mode(
+            EphemerisMode::On,
+            VisibilityMode::On,
+            key,
+            &sgp4,
+            site_b,
+            0.0,
+        );
         let (ga, gb) = (on_a.ephemeris().unwrap(), on_b.ephemeris().unwrap());
         assert!(Arc::ptr_eq(ga, gb), "same window built two grids");
 

@@ -303,6 +303,14 @@ impl EphemerisGrid {
         self.t0.plus_seconds(k as f64 * self.step_s)
     }
 
+    /// The raw lattice samples, one ECEF state per point (sample `k`
+    /// is at [`Self::sample_time`]`(k)`). Column-sweep kernels
+    /// ([`visibility`](crate::visibility)) consume these directly
+    /// instead of interpolating point queries.
+    pub fn samples(&self) -> &[StateEcef] {
+        &self.samples
+    }
+
     /// Probe the grid against direct SGP4 at the inter-sample midpoints
     /// (the worst case for Hermite error), at most `max_probes` of
     /// them, spread across the whole lattice.

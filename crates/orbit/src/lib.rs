@@ -21,6 +21,9 @@
 //! * [`ephemeris`] — per-satellite precomputed ECEF grids with cubic
 //!   Hermite interpolation, so multi-site sweeps propagate each
 //!   satellite once instead of once per observer.
+//! * [`visibility`] — chunked, auto-vectorisable horizon-margin
+//!   kernels that sweep ephemeris-grid columns for all observers of
+//!   one satellite and emit only sign-change windows for refinement.
 //! * [`elements`] — Keplerian element helpers and a builder for synthetic
 //!   TLEs (circular-ish shells at a given altitude/inclination).
 //! * [`sun`] — a low-precision solar ephemeris: daylight fractions for
@@ -62,6 +65,7 @@ pub mod time;
 pub mod tle;
 pub mod topo;
 pub mod vec3;
+pub mod visibility;
 
 pub use ephemeris::EphemerisGrid;
 pub use error::OrbitError;
@@ -71,6 +75,7 @@ pub use sgp4::{Sgp4, StateTeme};
 pub use time::JulianDate;
 pub use tle::Tle;
 pub use vec3::Vec3;
+pub use visibility::VisibilityMode;
 
 /// Speed of light in km/s, used for Doppler computations.
 pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;

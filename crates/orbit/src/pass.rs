@@ -20,6 +20,7 @@ use crate::frames::{teme_to_ecef, Geodetic, StateEcef};
 use crate::sgp4::Sgp4;
 use crate::time::JulianDate;
 use crate::topo::Observer;
+use crate::visibility::{self, SweepEventKind, SweepOutcome, VisibilityMode};
 use satiot_obs::metrics::Counter;
 use std::sync::Arc;
 
@@ -97,6 +98,8 @@ pub struct PassPredictor {
     pub coarse_step_s: f64,
     /// Optional shared ephemeris backend (see [`Self::with_ephemeris`]).
     ephemeris: Option<Arc<EphemerisGrid>>,
+    /// How the coarse scan runs (see [`Self::with_visibility`]).
+    visibility: VisibilityMode,
 }
 
 impl PassPredictor {
@@ -111,6 +114,7 @@ impl PassPredictor {
             min_elevation_rad,
             coarse_step_s: 30.0,
             ephemeris: None,
+            visibility: VisibilityMode::Off,
         }
     }
 
@@ -127,6 +131,27 @@ impl PassPredictor {
     /// The attached ephemeris backend, if any.
     pub fn ephemeris(&self) -> Option<&Arc<EphemerisGrid>> {
         self.ephemeris.as_ref()
+    }
+
+    /// Choose how the coarse scan runs. [`VisibilityMode::Scalar`] and
+    /// [`VisibilityMode::On`] replace the adaptive elevation scan with
+    /// a bit-identical pair of margin sweeps over the attached
+    /// ephemeris grid's columns (see the [`visibility`] module docs);
+    /// they take effect only when a grid is attached *and* covers the
+    /// scan window *and* the mask sits inside `(−π/2, π/2)` — the scan
+    /// falls back to the legacy loop otherwise, so enabling a sweep
+    /// never changes which windows are answerable. Raw constructors
+    /// default to [`VisibilityMode::Off`] (the legacy scan);
+    /// `satiot_core::sweep` threads the process-wide knob through
+    /// here.
+    pub fn with_visibility(mut self, mode: VisibilityMode) -> Self {
+        self.visibility = mode;
+        self
+    }
+
+    /// The configured scan mode.
+    pub fn visibility(&self) -> VisibilityMode {
+        self.visibility
     }
 
     /// The satellite's ECEF state at `t` through the sampling backend:
@@ -220,6 +245,27 @@ impl PassPredictor {
         if end <= start {
             return result;
         }
+        // Margin sweep first, when configured and applicable. The mask
+        // gate keeps the margin ⟺ elevation equivalence valid (asin is
+        // only monotone on (−π/2, π/2)); `sweep_one` itself answers
+        // `None` when the grid is absent or does not cover the window,
+        // in which case the legacy scan below takes over.
+        if self.visibility != VisibilityMode::Off
+            && self.min_elevation_rad.abs() < core::f64::consts::FRAC_PI_2
+        {
+            if let Some(grid) = &self.ephemeris {
+                if let Some(sweep) = visibility::sweep_one(
+                    grid,
+                    &self.observer,
+                    self.min_elevation_rad,
+                    start,
+                    end,
+                    self.visibility,
+                ) {
+                    return self.refine_sweep(&sweep, start, end);
+                }
+            }
+        }
         let mask = self.min_elevation_rad;
 
         let mut t_prev = start;
@@ -257,6 +303,89 @@ impl PassPredictor {
             }
         }
         result
+    }
+
+    /// Turn a margin sweep's sparse event list into refined passes,
+    /// through the same bisection ([`Self::refine_crossing`]) and
+    /// golden-section ([`Self::finish_pass`]) machinery as the legacy
+    /// scan — only the *bracketing* changed, from adaptive elevation
+    /// probes to grid-column sign changes.
+    fn refine_sweep(&self, sweep: &SweepOutcome, start: JulianDate, end: JulianDate) -> Vec<Pass> {
+        let mut result = Vec::new();
+        let mut aos: Option<JulianDate> = sweep.above_at_start.then_some(start);
+        for event in &sweep.events {
+            match event.kind {
+                SweepEventKind::Rising => {
+                    if aos.is_none() {
+                        aos = Some(self.refine_crossing(event.t_lo, event.t_hi));
+                    }
+                }
+                SweepEventKind::Falling => {
+                    if let Some(a) = aos.take() {
+                        let los = self.refine_crossing(event.t_lo, event.t_hi);
+                        if let Some(pass) = self.finish_pass(a, los) {
+                            result.push(pass);
+                        }
+                    }
+                }
+                SweepEventKind::Candidate => {
+                    // A pass shorter than one lattice interval may hide
+                    // between two below-mask samples; probe the
+                    // elevation peak before committing to bisection.
+                    if aos.is_none() {
+                        let (t_peak, el_peak) = self.peak_probe(event.t_lo, event.t_hi);
+                        if el_peak > self.min_elevation_rad {
+                            let a = self.refine_crossing(event.t_lo, t_peak);
+                            let los = self.refine_crossing(t_peak, event.t_hi);
+                            if let Some(pass) = self.finish_pass(a, los) {
+                                result.push(pass);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Pass still in progress at `end`.
+        if let Some(a) = aos {
+            if let Some(pass) = self.finish_pass(a, end) {
+                result.push(pass);
+            }
+        }
+        result
+    }
+
+    /// Golden-section probe for the elevation peak inside `[lo, hi]`
+    /// (one lattice interval): the elevation profile of a LEO pass is
+    /// unimodal, and a ≤ 180 s below-horizon window holds at most one
+    /// approach — the same assumption [`Self::finish_pass`] rests on.
+    fn peak_probe(&self, lo: JulianDate, hi: JulianDate) -> (JulianDate, f64) {
+        const INV_PHI: f64 = 0.618_033_988_749_894_9; // (√5 − 1) / 2
+        let mut lo = lo;
+        let mut hi = hi;
+        let mut m1 = JulianDate(hi.0 - INV_PHI * (hi.0 - lo.0));
+        let mut m2 = JulianDate(lo.0 + INV_PHI * (hi.0 - lo.0));
+        let mut e1 = self.elevation_at(m1);
+        let mut e2 = self.elevation_at(m2);
+        for _ in 0..80 {
+            if hi.seconds_since(lo) < 0.05 {
+                break;
+            }
+            if e1 < e2 {
+                lo = m1;
+                m1 = m2;
+                e1 = e2;
+                m2 = JulianDate(lo.0 + INV_PHI * (hi.0 - lo.0));
+                e2 = self.elevation_at(m2);
+            } else {
+                hi = m2;
+                m2 = m1;
+                e2 = e1;
+                m1 = JulianDate(hi.0 - INV_PHI * (hi.0 - lo.0));
+                e1 = self.elevation_at(m1);
+            }
+        }
+        let t_peak = JulianDate(0.5 * (lo.0 + hi.0));
+        (t_peak, self.elevation_at(t_peak))
     }
 
     /// Coarse-scan step given the current elevation (see [`Self::passes`]).
@@ -663,6 +792,148 @@ mod tests {
         let a = direct.look_at(far).expect("direct");
         let b = gridded.look_at(far).expect("fallback");
         assert_eq!(a, b, "fallback must be bit-identical to direct");
+    }
+
+    /// The margin sweep must find the same passes as the legacy scan
+    /// over the same grid, to refinement tolerance: equal counts,
+    /// boundaries within the bisection bracket, elevations within the
+    /// grid contract.
+    #[test]
+    fn sweep_scan_matches_legacy_scan_within_tolerance() {
+        use crate::ephemeris::EphemerisGrid;
+        use crate::visibility::VisibilityMode;
+        let start = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        let end = start + 2.0;
+        for (alt, incl, mask_deg) in [(550.0, 97.6, 0.0), (550.0, 97.6, 10.0), (700.0, 55.0, 5.0)] {
+            let sgp4 = leo_sgp4(alt, incl);
+            let grid = Arc::new(EphemerisGrid::build(&sgp4, start, end));
+            let mask = (mask_deg as f64).to_radians();
+            let legacy = PassPredictor::new(sgp4.clone(), hk(), mask)
+                .with_ephemeris(Arc::clone(&grid))
+                .with_visibility(VisibilityMode::Off);
+            let swept = PassPredictor::new(sgp4, hk(), mask)
+                .with_ephemeris(grid)
+                .with_visibility(VisibilityMode::On);
+            let a = legacy.passes(start, end);
+            let b = swept.passes(start, end);
+            assert_eq!(a.len(), b.len(), "pass counts diverged at mask {mask_deg}");
+            assert!(!a.is_empty(), "test geometry has no passes");
+            for (x, y) in a.iter().zip(&b) {
+                assert!(y.aos.seconds_since(x.aos).abs() < 0.05, "AOS drifted");
+                assert!(y.los.seconds_since(x.los).abs() < 0.05, "LOS drifted");
+                let dmax = (y.max_elevation_rad - x.max_elevation_rad)
+                    .to_degrees()
+                    .abs();
+                assert!(dmax < 0.01, "max elevation drifted {dmax}°");
+            }
+        }
+    }
+
+    /// Scalar and chunked sweeps must agree to the bit — same margin
+    /// expression, same events, same bisection brackets, same passes.
+    #[test]
+    fn scalar_and_vector_sweeps_yield_bit_identical_passes() {
+        use crate::ephemeris::EphemerisGrid;
+        use crate::visibility::VisibilityMode;
+        let sgp4 = leo_sgp4(550.0, 97.6);
+        let start = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        let end = start + 2.0;
+        let grid = Arc::new(EphemerisGrid::build(&sgp4, start, end));
+        let scalar = PassPredictor::new(sgp4.clone(), hk(), 5.0_f64.to_radians())
+            .with_ephemeris(Arc::clone(&grid))
+            .with_visibility(VisibilityMode::Scalar);
+        let vector = PassPredictor::new(sgp4, hk(), 5.0_f64.to_radians())
+            .with_ephemeris(grid)
+            .with_visibility(VisibilityMode::On);
+        let a = scalar.passes(start, end);
+        let b = vector.passes(start, end);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.aos.0.to_bits(), y.aos.0.to_bits());
+            assert_eq!(x.los.0.to_bits(), y.los.0.to_bits());
+            assert_eq!(x.tca.0.to_bits(), y.tca.0.to_bits());
+            assert_eq!(x.max_elevation_rad.to_bits(), y.max_elevation_rad.to_bits());
+            assert_eq!(x.tca_range_km.to_bits(), y.tca_range_km.to_bits());
+        }
+    }
+
+    /// A mask raised to just under a pass's culmination shrinks the
+    /// contact to less than one grid step; the candidate windows must
+    /// still surface it instead of stepping over it.
+    #[test]
+    fn sweep_finds_passes_shorter_than_one_grid_step() {
+        use crate::ephemeris::EphemerisGrid;
+        use crate::visibility::VisibilityMode;
+        let sgp4 = leo_sgp4(550.0, 97.6);
+        let start = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        let end = start + 1.0;
+        let grid = Arc::new(EphemerisGrid::build(&sgp4, start, end));
+        // Find the day's best culmination with an open mask…
+        let open = PassPredictor::new(sgp4.clone(), hk(), 0.0)
+            .with_ephemeris(Arc::clone(&grid))
+            .with_visibility(VisibilityMode::On);
+        let best = open
+            .passes(start, end)
+            .iter()
+            .map(|p| p.max_elevation_rad)
+            .fold(f64::MIN, f64::max);
+        // …then mask 0.15° below it: the surviving contact lasts well
+        // under the 60 s grid step. (The legacy adaptive scan's
+        // no-skip guarantee only covers masks ≤ 10°, and it can
+        // genuinely step over this contact — the sweep's candidate
+        // windows must not.)
+        let mask = best - 0.15_f64.to_radians();
+        let swept = PassPredictor::new(sgp4, hk(), mask)
+            .with_ephemeris(grid)
+            .with_visibility(VisibilityMode::On);
+        let passes = swept.passes(start, end);
+        assert!(!passes.is_empty(), "short pass missed by the sweep");
+        for pass in &passes {
+            assert!(pass.duration_s() < 60.0, "contact should be sub-step");
+            // The found window is genuine: its culmination clears the
+            // mask, its boundaries sit on it.
+            assert!(pass.max_elevation_rad > mask);
+            let el_aos = swept.elevation_at(pass.aos);
+            assert!((el_aos - mask).abs().to_degrees() < 0.05, "AOS off mask");
+        }
+    }
+
+    /// Without a grid (or with a mask outside (−π/2, π/2)) the sweep
+    /// modes must fall back to the legacy scan, bit-identically.
+    #[test]
+    fn sweep_without_grid_falls_back_to_legacy_scan() {
+        use crate::ephemeris::EphemerisGrid;
+        use crate::visibility::VisibilityMode;
+        let sgp4 = leo_sgp4(550.0, 97.6);
+        let start = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
+        let end = start + 1.0;
+        let legacy = PassPredictor::new(sgp4.clone(), hk(), 0.0);
+        let gridless =
+            PassPredictor::new(sgp4.clone(), hk(), 0.0).with_visibility(VisibilityMode::On);
+        let a = legacy.passes(start, end);
+        let b = gridless.passes(start, end);
+        assert_eq!(a, b, "no grid ⇒ sweep must defer to the legacy scan");
+        // A grid that covers only half the window also defers — to the
+        // legacy scan *over that same grid* (covered instants still
+        // interpolate; the sweep itself refuses the partial window).
+        let half = Arc::new(EphemerisGrid::build(&sgp4, start, start + 0.5));
+        let partial_off = PassPredictor::new(sgp4.clone(), hk(), 0.0)
+            .with_ephemeris(Arc::clone(&half))
+            .with_visibility(VisibilityMode::Off);
+        let partial_on = PassPredictor::new(sgp4.clone(), hk(), 0.0)
+            .with_ephemeris(half)
+            .with_visibility(VisibilityMode::On);
+        assert_eq!(
+            partial_off.passes(start, end),
+            partial_on.passes(start, end)
+        );
+        // An always-above mask below −π/2 defers too (and stays one
+        // whole-window pass under both paths).
+        let wide_open = PassPredictor::new(sgp4, hk(), -2.0).with_visibility(VisibilityMode::On);
+        let passes = wide_open.passes(start, end);
+        assert_eq!(passes.len(), 1);
+        assert!((passes[0].aos.0 - start.0).abs() < 1e-12);
     }
 
     #[test]

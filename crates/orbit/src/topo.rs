@@ -69,6 +69,15 @@ impl Observer {
         self.ecef
     }
 
+    /// The local zenith unit vector (ECEF components). Together with
+    /// [`Self::position_ecef`] this is all the visibility kernels need:
+    /// elevation-above-mask reduces to a sign test on the
+    /// zenith-projected slant vector (see
+    /// [`visibility`](crate::visibility)).
+    pub fn zenith(&self) -> Vec3 {
+        self.zenith
+    }
+
     /// Look angles to a satellite TEME state at a UTC instant.
     pub fn look_at(&self, state: &StateTeme, when: JulianDate) -> LookAngles {
         let sat = teme_to_ecef(state, when);

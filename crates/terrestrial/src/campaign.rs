@@ -10,6 +10,7 @@ use crate::backhaul::delivery_delay_s;
 use crate::node::{account_for, DutyCycleParams, LORAWAN_OVERHEAD_BYTES};
 use satiot_channel::budget::LinkBudget;
 use satiot_channel::weather::WeatherProcess;
+use satiot_core::error::{Fault, FaultLog, SatIotError};
 use satiot_core::station::{AvailabilityParams, StationAvailability};
 use satiot_energy::accounting::EnergyAccount;
 use satiot_energy::profile::TerrestrialMode;
@@ -75,6 +76,10 @@ pub struct TerrestrialResults {
     pub node_energy: Vec<EnergyAccount<TerrestrialMode>>,
     /// Campaign horizon, seconds.
     pub horizon_s: f64,
+    /// Recoverable input damage survived by clamping (out-of-domain
+    /// uptimes and distances), mirrored into `core.faults.*` counters —
+    /// the same accounting contract the satellite campaigns honour.
+    pub faults: FaultLog,
 }
 
 impl TerrestrialResults {
@@ -95,9 +100,98 @@ impl TerrestrialCampaign {
         TerrestrialCampaign { config }
     }
 
-    /// Run the baseline.
-    pub fn run(&self) -> TerrestrialResults {
+    /// Validate the configuration, returning a typed error for any
+    /// field that would make the simulation meaningless or non-
+    /// terminating (a zero period turns the event loop into an infinite
+    /// spin; an empty distance table used to panic on index 0).
+    fn validate(&self) -> Result<(), SatIotError> {
         let cfg = &self.config;
+        if !cfg.days.is_finite() {
+            return Err(SatIotError::NonFiniteTime {
+                context: "terrestrial campaign days",
+                value: cfg.days,
+            });
+        }
+        if cfg.days <= 0.0 {
+            return Err(SatIotError::InvalidConfig {
+                field: "days",
+                value: cfg.days,
+                requirement: "a positive, finite campaign length",
+            });
+        }
+        if !cfg.period_s.is_finite() {
+            return Err(SatIotError::NonFiniteTime {
+                context: "terrestrial reporting period",
+                value: cfg.period_s,
+            });
+        }
+        if cfg.period_s <= 0.0 {
+            return Err(SatIotError::InvalidConfig {
+                field: "period_s",
+                value: cfg.period_s,
+                requirement: "a positive reporting period (zero would never advance time)",
+            });
+        }
+        if !cfg.gateway_uptime.is_finite() {
+            return Err(SatIotError::InvalidConfig {
+                field: "gateway_uptime",
+                value: cfg.gateway_uptime,
+                requirement: "a finite long-run uptime in (0, 1]",
+            });
+        }
+        if cfg.gateway_distance_km.is_empty() {
+            return Err(SatIotError::InvalidConfig {
+                field: "gateway_distance_km",
+                value: 0.0,
+                requirement: "at least one node-to-gateway distance",
+            });
+        }
+        if let Some(&bad) = cfg.gateway_distance_km.iter().find(|d| !d.is_finite()) {
+            return Err(SatIotError::InvalidConfig {
+                field: "gateway_distance_km",
+                value: bad,
+                requirement: "finite distances in km",
+            });
+        }
+        Ok(())
+    }
+
+    /// Run the baseline.
+    ///
+    /// Returns a typed [`SatIotError`] for configurations the campaign
+    /// cannot meaningfully simulate (see [`Self::validate`]); values
+    /// that merely fall outside their domain (uptime above 1, negative
+    /// distances) are clamped and counted in the result's
+    /// [`FaultLog`] instead of aborting the run.
+    pub fn run(&self) -> Result<TerrestrialResults, SatIotError> {
+        self.validate()?;
+        let cfg = &self.config;
+        let mut faults = FaultLog::default();
+
+        // Clamp out-of-domain values into range, counting each clamp —
+        // the same contract the passive campaign applies to its ground-
+        // station masks.
+        let mut gateway_uptime = cfg.gateway_uptime;
+        if !(0.0..=1.0).contains(&gateway_uptime) {
+            gateway_uptime = gateway_uptime.clamp(0.0, 1.0);
+            faults.record(Fault::ClampedConfig);
+        }
+        // A non-positive distance would drive the path-loss model to
+        // −∞ dB; floor it at 50 m (antennas cannot be co-located).
+        const MIN_DISTANCE_KM: f64 = 0.05;
+        let gateway_distance_km: Vec<f64> = cfg
+            .gateway_distance_km
+            .iter()
+            .map(|&d| {
+                if d < MIN_DISTANCE_KM {
+                    faults.record(Fault::ClampedConfig);
+                    MIN_DISTANCE_KM
+                } else {
+                    d
+                }
+            })
+            .collect();
+
         let horizon_s = cfg.days * 86_400.0;
         let root = Rng::from_seed(cfg.seed);
         let mut rng = root.fork("events");
@@ -113,10 +207,10 @@ impl TerrestrialCampaign {
         // Gateway availability timelines (always-up at uptime 1.0).
         let gateway_up: Vec<StationAvailability> = (0..cfg.gateways)
             .map(|g| {
-                if cfg.gateway_uptime >= 1.0 {
+                if gateway_uptime >= 1.0 {
                     StationAvailability::always_up()
                 } else {
-                    let params = AvailabilityParams::with_uptime(cfg.gateway_uptime, 12.0);
+                    let params = AvailabilityParams::with_uptime(gateway_uptime, 12.0);
                     StationAvailability::generate(
                         &params,
                         SimTime::from_secs(horizon_s),
@@ -139,8 +233,7 @@ impl TerrestrialCampaign {
                 // Any-gateway reception: sample each gateway link.
                 let mut received = false;
                 for g in 0..cfg.gateways {
-                    let d =
-                        cfg.gateway_distance_km[g as usize % cfg.gateway_distance_km.len().max(1)];
+                    let d = gateway_distance_km[g as usize % gateway_distance_km.len()];
                     let shadowing = budget.draw_shadowing_db(wx, &mut rng);
                     let s = budget.sample(d, 0.0, wx, shadowing, &mut rng);
                     let decodes = packet_decodes(&lora_cfg, phy_len, s.snr_db, &mut rng);
@@ -189,13 +282,14 @@ impl TerrestrialCampaign {
             })
             .collect();
 
-        TerrestrialResults {
+        Ok(TerrestrialResults {
             timelines,
             sent,
             delivered_seqs,
             node_energy,
             horizon_s,
-        }
+            faults,
+        })
     }
 }
 
@@ -210,6 +304,7 @@ mod tests {
             ..Default::default()
         })
         .run()
+        .expect("default config is valid")
     }
 
     #[test]
@@ -260,8 +355,8 @@ mod tests {
         let mut one = base.clone();
         one.gateways = 1;
         one.gateway_distance_km = vec![0.4];
-        let r1 = TerrestrialCampaign::new(one).run();
-        let r3 = TerrestrialCampaign::new(base).run();
+        let r1 = TerrestrialCampaign::new(one).run().unwrap();
+        let r3 = TerrestrialCampaign::new(base).run().unwrap();
         // One 70%-uptime gateway loses ~30% of packets; three independent
         // ones lose ~3%.
         assert!(r1.reliability() < 0.85, "one gw {}", r1.reliability());
@@ -275,10 +370,131 @@ mod tests {
             days: 10.0,
             ..Default::default()
         };
-        let three = TerrestrialCampaign::new(cfg.clone()).run();
+        let three = TerrestrialCampaign::new(cfg.clone()).run().unwrap();
         cfg.gateways = 1;
         cfg.gateway_distance_km = vec![2.0];
-        let one = TerrestrialCampaign::new(cfg).run();
+        let one = TerrestrialCampaign::new(cfg).run().unwrap();
         assert!(one.reliability() <= three.reliability());
+    }
+
+    fn run_with(
+        mutate: impl FnOnce(&mut TerrestrialConfig),
+    ) -> Result<TerrestrialResults, SatIotError> {
+        let mut cfg = TerrestrialConfig {
+            days: 1.0,
+            ..Default::default()
+        };
+        mutate(&mut cfg);
+        TerrestrialCampaign::new(cfg).run()
+    }
+
+    #[test]
+    fn empty_distance_table_is_a_typed_error_not_a_panic() {
+        let err = run_with(|c| c.gateway_distance_km = Vec::new()).unwrap_err();
+        match err {
+            SatIotError::InvalidConfig { field, .. } => {
+                assert_eq!(field, "gateway_distance_km");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_period_is_an_error_not_a_hang() {
+        // `period_s = 0` used to spin `while t < horizon_s` forever;
+        // this test completing at all proves the loop is never entered.
+        let err = run_with(|c| c.period_s = 0.0).unwrap_err();
+        match err {
+            SatIotError::InvalidConfig { field, .. } => assert_eq!(field, "period_s"),
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+        let err = run_with(|c| c.period_s = -60.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SatIotError::InvalidConfig {
+                field: "period_s",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_finite_times_are_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = run_with(|c| c.days = bad).unwrap_err();
+            assert!(
+                matches!(err, SatIotError::NonFiniteTime { .. }),
+                "days={bad}: {err}"
+            );
+            let err = run_with(|c| c.period_s = bad).unwrap_err();
+            assert!(
+                matches!(err, SatIotError::NonFiniteTime { .. }),
+                "period={bad}: {err}"
+            );
+        }
+        let err = run_with(|c| c.days = -3.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SatIotError::InvalidConfig { field: "days", .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_uptime_and_distances_are_rejected() {
+        let err = run_with(|c| c.gateway_uptime = f64::NAN).unwrap_err();
+        assert!(matches!(
+            err,
+            SatIotError::InvalidConfig {
+                field: "gateway_uptime",
+                ..
+            }
+        ));
+        let err = run_with(|c| c.gateway_distance_km = vec![0.4, f64::INFINITY]).unwrap_err();
+        assert!(matches!(
+            err,
+            SatIotError::InvalidConfig {
+                field: "gateway_distance_km",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn excess_uptime_is_clamped_and_counted() {
+        let r = run_with(|c| c.gateway_uptime = 1.7).unwrap();
+        assert_eq!(r.faults.clamped_configs, 1);
+        assert_eq!(r.faults.total(), 1);
+        // Clamped to 1.0 → behaves exactly like the always-up default.
+        let base = run_days(1.0);
+        assert!(base.faults.is_clean());
+        assert_eq!(r.delivered_seqs, base.delivered_seqs);
+    }
+
+    #[test]
+    fn negative_distances_are_floored_and_counted() {
+        let r = run_with(|c| c.gateway_distance_km = vec![-0.4, 0.0, 2.0]).unwrap();
+        // Two entries below the 50 m floor.
+        assert_eq!(r.faults.clamped_configs, 2);
+        // The floored links still decode at near-zero range, so the run
+        // produces a full packet record set.
+        assert_eq!(r.sent.len(), 3 * 48);
+        assert!(r.reliability() > 0.99, "reliability {}", r.reliability());
+    }
+
+    #[test]
+    fn clamped_runs_stay_deterministic() {
+        let run = || {
+            run_with(|c| {
+                c.gateway_uptime = -0.2;
+                c.gateway_distance_km = vec![-1.0, 1.1];
+            })
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.faults, b.faults);
+        assert!(a.faults.clamped_configs >= 2);
+        assert_eq!(a.delivered_seqs, b.delivered_seqs);
+        assert_eq!(a.sent.len(), b.sent.len());
     }
 }

@@ -29,7 +29,8 @@ fn main() {
         days,
         ..Default::default()
     })
-    .run();
+    .run()
+    .unwrap();
 
     let sb = LatencyBreakdown::compute(&sat.timelines);
     let tb = LatencyBreakdown::compute(&terr.timelines);

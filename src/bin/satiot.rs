@@ -289,13 +289,23 @@ fn campaign(kind: CampaignKind, days: f64) {
             );
         }
         CampaignKind::Terrestrial => {
-            let results = TerrestrialCampaign::new(TerrestrialConfig {
+            let results = match TerrestrialCampaign::new(TerrestrialConfig {
                 days,
                 ..Default::default()
             })
-            .run();
+            .run()
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("satiot: terrestrial campaign rejected: {e}");
+                    std::process::exit(2);
+                }
+            };
             let b = LatencyBreakdown::compute(&results.timelines);
             println!("Terrestrial baseline, {days} day(s):");
+            if !results.faults.is_clean() {
+                println!("  degraded inputs survived ({})", results.faults);
+            }
             println!(
                 "  sent {} / delivered {} ({:.2}%)",
                 results.sent.len(),

@@ -63,8 +63,8 @@ fn terrestrial_replays_per_seed() {
         days: 2.0,
         ..Default::default()
     };
-    let a = TerrestrialCampaign::new(cfg.clone()).run();
-    let b = TerrestrialCampaign::new(cfg).run();
+    let a = TerrestrialCampaign::new(cfg.clone()).run().unwrap();
+    let b = TerrestrialCampaign::new(cfg).run().unwrap();
     assert_eq!(a.delivered_seqs, b.delivered_seqs);
     assert_eq!(a.timelines, b.timelines);
 }

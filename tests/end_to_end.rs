@@ -141,7 +141,8 @@ fn satellite_beats_terrestrial_on_nothing_but_coverage() {
         days: 3.0,
         ..Default::default()
     })
-    .run();
+    .run()
+    .unwrap();
     let sb = LatencyBreakdown::compute(&sat.timelines);
     let tb = LatencyBreakdown::compute(&terr.timelines);
     assert!(terr.reliability() > sat.reliability());

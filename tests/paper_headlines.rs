@@ -110,7 +110,8 @@ fn satellite_latency_is_hundreds_of_times_terrestrial() {
         days: 4.0,
         ..Default::default()
     })
-    .run();
+    .run()
+    .unwrap();
     let sb = LatencyBreakdown::compute(&sat.timelines);
     let tb = LatencyBreakdown::compute(&terr.timelines);
     let ratio = sb.end_to_end_min.mean / tb.end_to_end_min.mean;
@@ -171,7 +172,8 @@ fn energy_gap_favors_terrestrial_by_an_order_of_magnitude() {
         days: 3.0,
         ..Default::default()
     })
-    .run();
+    .run()
+    .unwrap();
     let b = Battery::paper_5ah();
     let sat_days = b.lifetime_days(
         sat.node_energy[0]

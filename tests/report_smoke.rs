@@ -32,7 +32,8 @@ fn every_report_renders_from_a_one_day_campaign() {
         days: 1.0,
         ..Default::default()
     })
-    .run();
+    .run()
+    .unwrap();
 
     let sections = [
         ("Table 1", reports::table1(&passive)),
