@@ -39,9 +39,18 @@
 //! wall-time floor (1.4× under `--smoke`). The predict matrix above
 //! pins `SATIOT_VISIBILITY=0` so both of its backends run the same
 //! legacy coarse scan and stay pass-count-comparable.
+//!
+//! A fourth matrix measures the **spatial pre-cull** stage at
+//! mega-constellation scale: a 10×36 Walker shell against 200
+//! uniform-on-sphere sites (4×9 × 60 under `--smoke`), predicted with
+//! `RunOptions::culling` off versus on. The two legs must agree
+//! bit-for-bit on every pass; the `orbit.cull.*` proof counters must
+//! show at least 5× fewer pairs surviving to grid interpolation, with a
+//! wall-clock floor on the warm sweep. Writes `BENCH_culling.json`.
 
 use satiot_core::prelude::*;
 use satiot_core::{calib, sweep};
+use satiot_orbit::cull;
 use satiot_orbit::ephemeris::{self, EphemerisGrid, EphemerisMode};
 use satiot_orbit::frames::Geodetic;
 use satiot_orbit::pass::Pass;
@@ -51,6 +60,7 @@ use satiot_orbit::topo::Observer;
 use satiot_orbit::visibility::{self, SweepOutcome, VisibilitySweep};
 use satiot_scenarios::constellations::{fossa, tianqi, SatelliteDef};
 use satiot_scenarios::sites::{tianqi_ground_stations, yunnan_farm};
+use satiot_scenarios::walker::WalkerShell;
 use satiot_sim::pool;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -219,6 +229,17 @@ struct VisCell {
     wall_ms: f64,
     points: usize,
     events: usize,
+}
+
+/// One measured cell of the mega-scale culling matrix.
+struct CullCell {
+    leg: &'static str,
+    phase: &'static str,
+    wall_ms: f64,
+    pairs_considered: u64,
+    pairs_culled: u64,
+    pairs_kept: u64,
+    passes: usize,
 }
 
 fn main() {
@@ -425,6 +446,211 @@ fn main() {
         vis_speedup >= vis_floor,
         "chunked visibility kernel must be at least {vis_floor}× faster than \
          the scalar sweep on the warm coarse scan (got {vis_speedup:.2}×)"
+    );
+
+    // --- Culling matrix: mega-scale Walker shell, pre-cull off vs on. ---
+    // A dense mid-inclination shell against sites spread uniformly over
+    // the sphere: most (site, sat) pairs either sit outside the shell's
+    // latitude band or never enter the footprint cone during the short
+    // window, so the conservative pre-cull should retire the bulk of the
+    // pair matrix before any grid interpolation. Both legs drive
+    // `predictor_with_mode` exactly like the campaign predict phase
+    // (shared per-satellite grids, per-pair coarse scans); the legacy
+    // coarse scan is pinned so the legs stay comparable.
+    let shell = WalkerShell {
+        planes: if smoke { 4 } else { 10 },
+        sats_per_plane: if smoke { 9 } else { 36 },
+        altitude_km: 600.0,
+        inclination_deg: 53.0,
+        phasing: 1,
+    };
+    shell
+        .validate()
+        .expect("culling-matrix shell is well-formed");
+    let mega: Vec<satiot_orbit::sgp4::Sgp4> = shell
+        .elements(epoch)
+        .iter()
+        .map(|e| e.to_sgp4().expect("walker shell propagates"))
+        .collect();
+    let n_sites = if smoke { 60 } else { 200 };
+    // Equal-area latitudes (uniform in sin φ) with golden-angle
+    // longitudes: a deterministic stand-in for uniform global sites.
+    let cull_sites: Vec<Geodetic> = (0..n_sites)
+        .map(|k| {
+            let z = 1.0 - 2.0 * (k as f64 + 0.5) / n_sites as f64;
+            let lon = (k as f64 * 2.399_963_229_728_653) % std::f64::consts::TAU;
+            Geodetic::new(z.asin(), lon, 0.0)
+        })
+        .collect();
+    let cull_mask = 15.0_f64.to_radians();
+    let (cs, ce) = (epoch, epoch + 0.03);
+    println!(
+        "\nculling matrix ({} Walker {}×{} @ {} km / {}° × {} sites, 15° mask):",
+        if smoke { "smoke" } else { "full" },
+        shell.planes,
+        shell.sats_per_plane,
+        shell.altitude_km,
+        shell.inclination_deg,
+        n_sites,
+    );
+    let predict_mega = |culling: CullingMode| -> Vec<Vec<Pass>> {
+        let mut lists = Vec::with_capacity(cull_sites.len() * mega.len());
+        for &site in &cull_sites {
+            for (s, sgp4) in mega.iter().enumerate() {
+                let predictor = sweep::predictor_with_mode(
+                    EphemerisMode::On,
+                    VisibilityMode::Off,
+                    culling,
+                    sweep::GridKey::new("MEGA", s as u32, cs, ce),
+                    sgp4,
+                    site,
+                    cull_mask,
+                );
+                lists.push(predictor.map(|p| p.passes(cs, ce)).unwrap_or_default());
+            }
+        }
+        lists
+    };
+    let cull_repeats = if smoke { 5 } else { 3 };
+    let mut cull_cells: Vec<CullCell> = Vec::new();
+    let mut per_leg: Vec<Vec<Vec<Pass>>> = Vec::new();
+    for (leg, culling) in [("unculled", CullingMode::Off), ("culled", CullingMode::On)] {
+        sweep::clear();
+        cull::reset_stats();
+        let t0 = Instant::now();
+        let lists = predict_mega(culling);
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Warm repeats are served the shared grids from the cache, so
+        // the measured wall is the per-pair cull + coarse-scan work the
+        // pre-cull exists to avoid.
+        let mut warm_ms = f64::INFINITY;
+        for _ in 0..cull_repeats {
+            cull::reset_stats();
+            let t0 = Instant::now();
+            let rep = predict_mega(culling);
+            warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(rep, lists, "{leg}: repeat sweeps diverged");
+        }
+        let stats = cull::stats();
+        let passes: usize = lists.iter().map(|l| l.len()).sum();
+        for (phase, wall_ms) in [("cold", cold_ms), ("warm", warm_ms)] {
+            println!(
+                "{leg:9} {phase:4}: {wall_ms:9.1} ms, {:>6} considered, {:>6} culled, \
+                 {:>6} kept, {passes} passes",
+                stats.pairs_considered,
+                stats.pairs_culled(),
+                stats.pairs_kept,
+            );
+            cull_cells.push(CullCell {
+                leg,
+                phase,
+                wall_ms,
+                pairs_considered: stats.pairs_considered,
+                pairs_culled: stats.pairs_culled(),
+                pairs_kept: stats.pairs_kept,
+                passes,
+            });
+        }
+        per_leg.push(lists);
+    }
+    sweep::clear();
+    // The cull is conservative, so the two legs must agree bit-for-bit
+    // on every (site, sat) pair's pass list — culled pairs included,
+    // whose unculled lists must come back empty.
+    for (i, (a, b)) in per_leg[0].iter().zip(&per_leg[1]).enumerate() {
+        assert_eq!(a.len(), b.len(), "pair {i}: culling changed the pass count");
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                x.aos.0.to_bits() == y.aos.0.to_bits()
+                    && x.los.0.to_bits() == y.los.0.to_bits()
+                    && x.tca.0.to_bits() == y.tca.0.to_bits()
+                    && x.max_elevation_rad.to_bits() == y.max_elevation_rad.to_bits()
+                    && x.tca_range_km.to_bits() == y.tca_range_km.to_bits(),
+                "pair {i}: culled pass diverged from unculled"
+            );
+        }
+    }
+    let on_stats = (
+        cull_cells[3].pairs_considered,
+        cull_cells[3].pairs_culled,
+        cull_cells[3].pairs_kept,
+    );
+    assert_eq!(
+        on_stats.0,
+        (cull_sites.len() * mega.len()) as u64,
+        "cull stage saw a different pair matrix than the sweep"
+    );
+    assert_eq!(
+        on_stats.0,
+        on_stats.1 + on_stats.2,
+        "proof counters do not balance"
+    );
+    assert_eq!(
+        (
+            cull_cells[0].pairs_considered,
+            cull_cells[0].pairs_culled,
+            cull_cells[0].pairs_kept
+        ),
+        (0, 0, 0),
+        "culling off must not touch the proof counters"
+    );
+    let pair_ratio = on_stats.0 as f64 / on_stats.2.max(1) as f64;
+    let cull_speedup = cull_cells[1].wall_ms / cull_cells[3].wall_ms.max(1e-9);
+    println!(
+        "pair ratio (considered/kept): {pair_ratio:.2}×, warm wall speedup {cull_speedup:.2}×"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scenario\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shell\": {{\"planes\": {}, \"sats_per_plane\": {}, \"altitude_km\": {}, \
+         \"inclination_deg\": {}, \"phasing\": {}}},",
+        shell.planes, shell.sats_per_plane, shell.altitude_km, shell.inclination_deg, shell.phasing,
+    );
+    let _ = writeln!(json, "    \"satellites\": {},", mega.len());
+    let _ = writeln!(json, "    \"sites\": {n_sites},");
+    let _ = writeln!(json, "    \"pairs\": {},", cull_sites.len() * mega.len());
+    let _ = writeln!(json, "    \"window_days\": 0.03,");
+    let _ = writeln!(json, "    \"mask_deg\": {},", cull_mask.to_degrees());
+    let _ = writeln!(json, "    \"smoke\": {smoke}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cull_cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"leg\": \"{}\", \"phase\": \"{}\", \"wall_ms\": {:.3}, \
+             \"pairs_considered\": {}, \"pairs_culled\": {}, \"pairs_kept\": {}, \
+             \"passes\": {}}}{}",
+            c.leg,
+            c.phase,
+            c.wall_ms,
+            c.pairs_considered,
+            c.pairs_culled,
+            c.pairs_kept,
+            c.passes,
+            if i + 1 < cull_cells.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"pair_ratio\": {pair_ratio:.3},\n  \"warm_wall_speedup\": {cull_speedup:.3}\n}}"
+    );
+    std::fs::write("BENCH_culling.json", &json).expect("write BENCH_culling.json");
+    println!("wrote BENCH_culling.json");
+
+    assert!(
+        pair_ratio >= 5.0,
+        "the spatial pre-cull must retire at least 5× the surviving pair count \
+         on the mega-scale matrix (got {pair_ratio:.2}×)"
+    );
+    let cull_floor = if smoke { 1.2 } else { 1.5 };
+    assert!(
+        cull_speedup >= cull_floor,
+        "culling must be at least {cull_floor}× faster than the unculled sweep \
+         on the warm mega-scale matrix (got {cull_speedup:.2}×)"
     );
 
     // --- Simulate matrix: legacy scalar pipeline vs SoA batch kernels. ---

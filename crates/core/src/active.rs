@@ -341,14 +341,23 @@ impl ActiveCampaign {
             let sgp4 = sat
                 .sgp4()
                 .map_err(|e| SatIotError::orbit("building Tianqi farm predictors", e))?;
-            predictors.push(sweep::predictor_with_mode(
+            let predictor = sweep::predictor_with_mode(
                 opts.ephemeris,
                 opts.visibility,
+                opts.culling,
                 GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days),
                 &sgp4,
                 farm,
                 calib::THEORETICAL_MASK_RAD,
-            ));
+            )
+            .unwrap_or_else(|| {
+                // A culled (farm, satellite) pair produces no farm
+                // passes, so its event-loop predictor is never sampled;
+                // a plain ungridded one keeps the index mapping intact.
+                PassPredictor::new(sgp4.clone(), farm, calib::THEORETICAL_MASK_RAD)
+                    .with_visibility(opts.visibility)
+            });
+            predictors.push(predictor);
             sgp4s.push(sgp4);
         }
         let farm_lists: Vec<Arc<Vec<Pass>>> =
@@ -367,6 +376,7 @@ impl ActiveCampaign {
                         sweep::predictor_with_mode(
                             opts.ephemeris,
                             opts.visibility,
+                            opts.culling,
                             GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days),
                             &sgp4,
                             farm,
@@ -421,6 +431,7 @@ impl ActiveCampaign {
                         sweep::predictor_with_mode(
                             opts.ephemeris,
                             opts.visibility,
+                            opts.culling,
                             GridKey::new(sat.constellation, sat.sat_id, t0, t0 + cfg.days + 1.0),
                             &sgp4,
                             gs,

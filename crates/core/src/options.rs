@@ -29,6 +29,7 @@
 //! ```
 
 use crate::sink::SinkMode;
+use satiot_orbit::cull::{self, CullingMode};
 use satiot_orbit::ephemeris::{self, EphemerisMode};
 use satiot_orbit::visibility::{self, VisibilityMode};
 use satiot_sim::{chaos, pool};
@@ -108,6 +109,11 @@ pub struct RunOptions {
     /// `0`/`off` = legacy adaptive scan, `scalar` = element-at-a-time
     /// margin sweep, anything else = chunked vector kernels).
     pub visibility: VisibilityMode,
+    /// Spatial pre-culling of (site, satellite) pairs before pass
+    /// prediction (`SATIOT_CULLING`: `0`/`off` = predict every pair,
+    /// bit-identical legacy; anything else = conservative cull, the
+    /// default).
+    pub culling: CullingMode,
     /// Simulate-phase channel evaluation strategy (`SATIOT_BATCH`).
     pub batch: BatchMode,
     /// Root seed for the chaos perturbation engine
@@ -131,6 +137,7 @@ impl Default for RunOptions {
             threads: None,
             ephemeris: EphemerisMode::On,
             visibility: VisibilityMode::On,
+            culling: CullingMode::On,
             batch: BatchMode::On,
             chaos_seed: chaos::DEFAULT_SEED,
             metrics: false,
@@ -164,6 +171,10 @@ impl RunOptions {
             Some("scalar") => VisibilityMode::Scalar,
             _ => VisibilityMode::On,
         };
+        let culling = match lookup("SATIOT_CULLING").as_deref() {
+            Some("0") | Some("off") | Some("false") => CullingMode::Off,
+            _ => CullingMode::On,
+        };
         let batch = match lookup("SATIOT_BATCH").as_deref() {
             Some("0") | Some("off") | Some("false") => BatchMode::Off,
             _ => BatchMode::On,
@@ -195,6 +206,7 @@ impl RunOptions {
             threads,
             ephemeris,
             visibility,
+            culling,
             batch,
             chaos_seed,
             metrics,
@@ -218,6 +230,12 @@ impl RunOptions {
     /// Override the pass-prediction coarse-scan strategy.
     pub fn with_visibility(mut self, mode: VisibilityMode) -> Self {
         self.visibility = mode;
+        self
+    }
+
+    /// Override the spatial pre-culling mode.
+    pub fn with_culling(mut self, mode: CullingMode) -> Self {
+        self.culling = mode;
         self
     }
 
@@ -253,14 +271,15 @@ impl RunOptions {
 
     /// Install these options into the process-wide latches consumed by
     /// code below the campaign API: the pool worker count, the
-    /// ephemeris mode, the visibility scan mode, the metrics flag, and
-    /// the chaos seed. Binaries
+    /// ephemeris mode, the visibility scan mode, the culling mode, the
+    /// metrics flag, and the chaos seed. Binaries
     /// call `RunOptions::from_env().apply()` once at startup; returns
     /// `self` for chaining into a campaign call.
     pub fn apply(self) -> Self {
         pool::set_thread_count(self.threads);
         ephemeris::set_mode(self.ephemeris);
         visibility::set_mode(self.visibility);
+        cull::set_mode(self.culling);
         satiot_obs::metrics::set_enabled(self.metrics);
         chaos::set_seed(self.chaos_seed);
         self
@@ -292,6 +311,7 @@ mod tests {
             ("SATIOT_THREADS", "4"),
             ("SATIOT_EPHEMERIS", "validate"),
             ("SATIOT_VISIBILITY", "scalar"),
+            ("SATIOT_CULLING", "off"),
             ("SATIOT_BATCH", "0"),
             ("SATIOT_CHAOS_SEED", "12345"),
             ("SATIOT_METRICS", "1"),
@@ -301,6 +321,7 @@ mod tests {
         assert_eq!(opts.threads, Some(4));
         assert_eq!(opts.ephemeris, EphemerisMode::Validate);
         assert_eq!(opts.visibility, VisibilityMode::Scalar);
+        assert_eq!(opts.culling, CullingMode::Off);
         assert_eq!(opts.batch, BatchMode::Off);
         assert_eq!(opts.chaos_seed, 12345);
         assert!(opts.metrics);
@@ -335,6 +356,7 @@ mod tests {
             ("SATIOT_THREADS", "zero"),
             ("SATIOT_EPHEMERIS", "plenty"),
             ("SATIOT_VISIBILITY", "simd512"),
+            ("SATIOT_CULLING", "aggressive"),
             ("SATIOT_BATCH", "yes"),
             ("SATIOT_CHAOS_SEED", "-3"),
             ("SATIOT_METRICS", "0"),
@@ -344,6 +366,7 @@ mod tests {
         assert_eq!(opts.threads, None);
         assert_eq!(opts.ephemeris, EphemerisMode::On);
         assert_eq!(opts.visibility, VisibilityMode::On);
+        assert_eq!(opts.culling, CullingMode::On);
         assert_eq!(opts.batch, BatchMode::On);
         assert_eq!(opts.chaos_seed, chaos::DEFAULT_SEED);
         assert!(!opts.metrics);
@@ -371,6 +394,7 @@ mod tests {
             .with_batch(BatchMode::On)
             .with_ephemeris(EphemerisMode::Off)
             .with_visibility(VisibilityMode::Off)
+            .with_culling(CullingMode::Off)
             .with_chaos_seed(7)
             .with_metrics(true)
             .with_scale(Scale::Full)
@@ -380,6 +404,7 @@ mod tests {
         assert_eq!(opts.batch, BatchMode::On);
         assert_eq!(opts.ephemeris, EphemerisMode::Off);
         assert_eq!(opts.visibility, VisibilityMode::Off);
+        assert_eq!(opts.culling, CullingMode::Off);
         assert_eq!(opts.chaos_seed, 7);
         assert!(opts.metrics);
         assert_eq!(opts.scale, Scale::Full);

@@ -49,6 +49,7 @@ use satiot_measure::contact::{ContactStats, EffectiveWindow, TheoreticalWindow};
 use satiot_measure::sketch::TraceAggregate;
 use satiot_measure::trace::{BeaconTrace, TraceSet};
 use satiot_obs::metrics::{Counter, Timer};
+use satiot_orbit::cull::CullingMode;
 use satiot_orbit::ephemeris::EphemerisMode;
 use satiot_orbit::pass::{Pass, PassPredictor};
 use satiot_orbit::sgp4::Sgp4;
@@ -321,6 +322,7 @@ impl PassiveCampaign {
                     self.config.max_days,
                     opts.ephemeris,
                     opts.visibility,
+                    opts.culling,
                 )
             });
         let site_lists: Vec<&[Arc<Vec<Pass>>]> = (0..n_sites)
@@ -514,6 +516,7 @@ fn predict_site_sat(
     max_days: f64,
     mode: EphemerisMode,
     visibility: VisibilityMode,
+    culling: CullingMode,
 ) -> Arc<Vec<Pass>> {
     let (start, end, _) = site_range(site, max_days);
     let grid_key = GridKey::new(sat.constellation, sat.sat_id, start, end);
@@ -530,6 +533,7 @@ fn predict_site_sat(
             sweep::predictor_with_mode(
                 mode,
                 visibility,
+                culling,
                 grid_key,
                 &sat.sgp4,
                 site.geodetic(),
@@ -698,24 +702,37 @@ fn run_site(
         let predictor = sweep::predictor_with_mode(
             opts.ephemeris,
             opts.visibility,
+            opts.culling,
             grid_key,
             &sat.sgp4,
             site.geodetic(),
             calib::THEORETICAL_MASK_RAD,
         );
-        match prepredicted {
-            Some(lists) => candidates.extend(lists[i].iter().map(|pass| CandidatePass {
+        match (&predictor, prepredicted) {
+            (_, Some(lists)) => candidates.extend(lists[i].iter().map(|pass| CandidatePass {
                 sat_index: i,
                 pass: *pass,
             })),
-            None => candidates.extend(
-                predictor
-                    .passes(start, end)
+            (Some(p), None) => candidates.extend(
+                p.passes(start, end)
                     .into_iter()
                     .map(|pass| CandidatePass { sat_index: i, pass }),
             ),
+            // Culled pair: the pass list is provably empty, skip the
+            // inline scan entirely.
+            (None, None) => {}
         }
-        predictors.push(predictor);
+        // A culled satellite contributes no candidate passes, so its
+        // predictor slot is never sampled; a plain ungridded predictor
+        // keeps the index mapping intact.
+        predictors.push(predictor.unwrap_or_else(|| {
+            PassPredictor::new(
+                sat.sgp4.clone(),
+                site.geodetic(),
+                calib::THEORETICAL_MASK_RAD,
+            )
+            .with_visibility(opts.visibility)
+        }));
     }
     PASSES_PREDICTED.add(candidates.len() as u64);
     sanitize_candidates(&mut candidates, &mut results.faults);

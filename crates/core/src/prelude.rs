@@ -19,5 +19,6 @@ pub use crate::options::{BatchMode, RunOptions, Scale};
 pub use crate::passive::{PassiveCampaign, PassiveConfig, PassiveResults, SchedulerKind};
 pub use crate::sink::{SinkMode, SinkStats};
 pub use crate::sweep::PassKey;
+pub use satiot_orbit::cull::CullingMode;
 pub use satiot_orbit::ephemeris::EphemerisMode;
 pub use satiot_orbit::visibility::VisibilityMode;

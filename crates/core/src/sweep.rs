@@ -27,7 +27,7 @@
 //! let key = PassKey::new("HK", "DOC", 1, epoch, epoch + 1.0, 0.0);
 //! let make = || {
 //!     let sgp4 = Elements::circular(550.0, 97.6, epoch).to_sgp4().unwrap();
-//!     PassPredictor::new(sgp4, site, 0.0)
+//!     Some(PassPredictor::new(sgp4, site, 0.0))
 //! };
 //! let first = passes_for(key, make);
 //! let again = passes_for(key, make); // Served from the cache.
@@ -35,6 +35,7 @@
 //! ```
 
 use satiot_obs::metrics::{Counter, Gauge};
+use satiot_orbit::cull::{self, CullingMode};
 use satiot_orbit::ephemeris::{self, EphemerisGrid, EphemerisMode};
 use satiot_orbit::frames::Geodetic;
 use satiot_orbit::pass::{Pass, PassPredictor};
@@ -153,13 +154,18 @@ fn cache() -> &'static Mutex<HashMap<PassKey, Entry>> {
 /// The pass list for `key`, predicting it with `make_predictor` on the
 /// first request and serving the shared list afterwards.
 ///
+/// `make_predictor` returning `None` means the pair was proven empty
+/// without prediction (the spatial pre-cull, see [`satiot_orbit::cull`])
+/// and caches an empty list — bit-identical to what the predictor would
+/// have returned, because the cull is conservative.
+///
 /// The map lock is held only to resolve the entry slot; the prediction
 /// itself runs outside it, so concurrent lookups of *different* keys
 /// predict in parallel while concurrent lookups of the *same* key block
 /// on one computation (`OnceLock` guarantees exactly-once).
 pub fn passes_for<F>(key: PassKey, make_predictor: F) -> Arc<Vec<Pass>>
 where
-    F: FnOnce() -> PassPredictor,
+    F: FnOnce() -> Option<PassPredictor>,
 {
     LOOKUPS.fetch_add(1, Relaxed);
     let entry: Entry = {
@@ -175,7 +181,10 @@ where
             COMPUTES.fetch_add(1, Relaxed);
             CACHE_MISSES.inc();
             let (start, end) = key.range();
-            Arc::new(make_predictor().passes(start, end))
+            match make_predictor() {
+                Some(predictor) => Arc::new(predictor.passes(start, end)),
+                None => Arc::new(Vec::new()),
+            }
         })
         .clone();
     if !computed {
@@ -363,6 +372,10 @@ pub fn grid_stats() -> GridStats {
 /// Both the pooled predict phases and the legacy inline path construct
 /// their predictors here, which is what keeps the drivers bit-identical:
 /// they share not just the algorithm but the very same grid `Arc`s.
+///
+/// Returns `None` when the process-wide [`cull::mode`] is on and the
+/// pair is provably invisible over the window (see
+/// [`predictor_with_mode`]) — the pass list is empty by construction.
 pub fn sat_predictor(
     constellation: &str,
     sat_id: u32,
@@ -371,11 +384,12 @@ pub fn sat_predictor(
     mask_rad: f64,
     start: JulianDate,
     end: JulianDate,
-) -> PassPredictor {
+) -> Option<PassPredictor> {
     let key = GridKey::new(constellation, sat_id, start, end);
     predictor_with_mode(
         ephemeris::mode(),
         visibility::mode(),
+        cull::mode(),
         key,
         sgp4,
         site,
@@ -383,21 +397,46 @@ pub fn sat_predictor(
     )
 }
 
-/// [`sat_predictor`] with both modes passed explicitly, so campaign
+/// [`sat_predictor`] with every mode passed explicitly, so campaign
 /// drivers can honour `RunOptions::ephemeris` / `RunOptions::visibility`
-/// overrides (and tests can exercise every branch) without racing on
-/// the global mode latches.
+/// / `RunOptions::culling` overrides (and tests can exercise every
+/// branch) without racing on the global mode latches.
+///
+/// With `culling` on, the pair runs the conservative spatial pre-cull
+/// before any grid interpolation: the latitude-band test needs no
+/// propagation at all, and the footprint-cone test scans only the
+/// shared grid's raw samples. A culled pair returns `None` — its pass
+/// list over the key's window is provably empty — and the always-on
+/// `orbit.cull.*` proof counters record the decision. With `culling`
+/// off no counter moves and every pair gets a predictor, bit-identical
+/// to the pre-cull pipeline.
 pub fn predictor_with_mode(
     mode: EphemerisMode,
     visibility: VisibilityMode,
+    culling: CullingMode,
     key: GridKey,
     sgp4: &Sgp4,
     site: Geodetic,
     mask_rad: f64,
-) -> PassPredictor {
+) -> Option<PassPredictor> {
+    if culling == CullingMode::On {
+        cull::record_considered();
+        if cull::never_in_latitude_band(
+            site,
+            sgp4.inclination_rad(),
+            sgp4.apogee_radius_km(),
+            mask_rad,
+        ) {
+            cull::record_lat_band_cull();
+            return None;
+        }
+    }
     let predictor = PassPredictor::new(sgp4.clone(), site, mask_rad).with_visibility(visibility);
     if mode == EphemerisMode::Off {
-        return predictor;
+        if culling == CullingMode::On {
+            cull::record_kept();
+        }
+        return Some(predictor);
     }
     let (start, end) = key.range();
     let grid = grid_for(key, || {
@@ -413,7 +452,14 @@ pub fn predictor_with_mode(
         }
         grid
     });
-    predictor.with_ephemeris(grid)
+    if culling == CullingMode::On {
+        if cull::cone_clears_grid(&grid, site, mask_rad, start, end) {
+            cull::record_cone_cull();
+            return None;
+        }
+        cull::record_kept();
+    }
+    Some(predictor.with_ephemeris(grid))
 }
 
 #[cfg(test)]
@@ -441,7 +487,7 @@ mod tests {
         let built = AtomicUsize::new(0);
         let make = || {
             built.fetch_add(1, Relaxed);
-            make_predictor()
+            Some(make_predictor())
         };
         let a = passes_for(key, make);
         let b = passes_for(key, make);
@@ -458,9 +504,9 @@ mod tests {
         let k1 = PassKey::new("TEST_DISTINCT", "T", 0, epoch(), epoch() + 1.0, 0.0);
         let k2 = PassKey::new("TEST_DISTINCT", "T", 0, epoch(), epoch() + 2.0, 0.0);
         let k3 = PassKey::new("TEST_DISTINCT", "T", 1, epoch(), epoch() + 1.0, 0.0);
-        let a = passes_for(k1, make_predictor);
-        let b = passes_for(k2, make_predictor);
-        let c = passes_for(k3, make_predictor);
+        let a = passes_for(k1, || Some(make_predictor()));
+        let b = passes_for(k2, || Some(make_predictor()));
+        let c = passes_for(k3, || Some(make_predictor()));
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(b.len() >= a.len(), "wider range lost passes");
@@ -509,11 +555,13 @@ mod tests {
         let off = predictor_with_mode(
             EphemerisMode::Off,
             VisibilityMode::Off,
+            CullingMode::Off,
             key,
             &sgp4,
             site_a,
             0.0,
-        );
+        )
+        .expect("culling off never drops a pair");
         assert!(off.ephemeris().is_none(), "Off mode attached a grid");
 
         // Two observers over the same window share one grid Arc; the
@@ -523,19 +571,23 @@ mod tests {
         let on_a = predictor_with_mode(
             EphemerisMode::Validate,
             VisibilityMode::On,
+            CullingMode::Off,
             key,
             &sgp4,
             site_a,
             0.0,
-        );
+        )
+        .expect("culling off never drops a pair");
         let on_b = predictor_with_mode(
             EphemerisMode::On,
             VisibilityMode::On,
+            CullingMode::Off,
             key,
             &sgp4,
             site_b,
             0.0,
-        );
+        )
+        .expect("culling off never drops a pair");
         let (ga, gb) = (on_a.ephemeris().unwrap(), on_b.ephemeris().unwrap());
         assert!(Arc::ptr_eq(ga, gb), "same window built two grids");
 
@@ -553,6 +605,58 @@ mod tests {
     }
 
     #[test]
+    fn culling_drops_invisible_pairs_and_keeps_visible_ones() {
+        let start = epoch();
+        let end = epoch() + 0.5;
+        // Low-inclination shell: never visible from a polar site.
+        let sgp4 = Elements::circular(550.0, 20.0, epoch()).to_sgp4().unwrap();
+        let polar = Geodetic::from_degrees(80.0, 10.0, 0.0);
+        let equatorial = Geodetic::from_degrees(0.0, 10.0, 0.0);
+        let key = GridKey::new("TEST_CULL", 0, start, end);
+
+        let before = cull::stats();
+        let culled = predictor_with_mode(
+            EphemerisMode::On,
+            VisibilityMode::On,
+            CullingMode::On,
+            key,
+            &sgp4,
+            polar,
+            0.0,
+        );
+        assert!(culled.is_none(), "polar pair survived the lat-band cull");
+        let kept = predictor_with_mode(
+            EphemerisMode::On,
+            VisibilityMode::On,
+            CullingMode::On,
+            key,
+            &sgp4,
+            equatorial,
+            0.0,
+        );
+        let kept = kept.expect("equatorial pair must be kept");
+        let after = cull::stats();
+        assert_eq!(after.pairs_considered - before.pairs_considered, 2);
+        assert_eq!(after.pairs_culled() - before.pairs_culled(), 1);
+        assert_eq!(after.pairs_kept - before.pairs_kept, 1);
+
+        // The kept pair's pass set is bit-identical to the unculled one.
+        let unculled = predictor_with_mode(
+            EphemerisMode::On,
+            VisibilityMode::On,
+            CullingMode::Off,
+            key,
+            &sgp4,
+            equatorial,
+            0.0,
+        )
+        .expect("culling off never drops a pair");
+        assert_eq!(kept.passes(start, end), unculled.passes(start, end));
+        // Culling off moves no counters.
+        assert_eq!(cull::stats(), after);
+    }
+
+    #[test]
     fn concurrent_same_key_computes_exactly_once() {
         let key = PassKey::new("TEST_CONCURRENT", "T", 0, epoch(), epoch() + 1.0, 0.0);
         let built = AtomicUsize::new(0);
@@ -560,7 +664,7 @@ mod tests {
             satiot_sim::pool::parallel_map_with(&[(); 16], 8, |_, _| {
                 passes_for(key, || {
                     built.fetch_add(1, Relaxed);
-                    make_predictor()
+                    Some(make_predictor())
                 })
             });
         assert_eq!(built.load(Relaxed), 1, "racing lookups predicted twice");

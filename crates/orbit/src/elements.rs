@@ -34,14 +34,26 @@ pub fn circular_speed_km_s(alt_km: f64) -> f64 {
     (MU_KM3_S2 / sma_for_altitude_km(alt_km)).sqrt()
 }
 
+/// Earth-central half-angle λ (radians) of the visibility cone from a
+/// satellite at `alt_km` above a spherical Earth, for a ground observer
+/// with elevation mask `min_elevation_rad`:
+///
+/// `λ = acos(re/(re+h) · cos ε) − ε`
+///
+/// A ground point sees the satellite above the mask iff the central
+/// angle between the subsatellite point and the observer is ≤ λ. The
+/// spatial pre-cull stage ([`crate::cull`]) and the stochastic-geometry
+/// availability closed form both build on this angle.
+pub fn footprint_half_angle_rad(alt_km: f64, min_elevation_rad: f64) -> f64 {
+    let re = EARTH_RADIUS_KM;
+    ((re / (re + alt_km)) * min_elevation_rad.cos()).acos() - min_elevation_rad
+}
+
 /// Ground footprint area (km²) visible from `alt_km` above a minimum
 /// elevation mask — the spherical-cap area the paper's Table 3 reports.
 pub fn footprint_area_km2(alt_km: f64, min_elevation_rad: f64) -> f64 {
     let re = EARTH_RADIUS_KM;
-    // Earth-central angle λ of the visibility cone:
-    // cos(λ + ε') relationships reduce to
-    // λ = acos(re/(re+h) · cos ε) − ε.
-    let lam = ((re / (re + alt_km)) * min_elevation_rad.cos()).acos() - min_elevation_rad;
+    let lam = footprint_half_angle_rad(alt_km, min_elevation_rad);
     // Spherical cap area = 2πR²(1 − cos λ).
     TAU * re * re * (1.0 - lam.cos())
 }
@@ -148,10 +160,24 @@ impl Elements {
     }
 }
 
-fn wrap_tau(x: f64) -> f64 {
+/// Normalise an angle into `[0, 2π)`.
+///
+/// Synthetic catalogs accumulate angles well past τ (Walker phasing,
+/// golden-angle jitter, per-shell RAAN offsets), and TLE fields are
+/// formatted as degrees in `[0, 360)`; every angle is pushed through
+/// this before formatting or propagator initialisation. The final guard
+/// handles the boundary case where `x % τ` is a sub-ulp negative value
+/// and adding τ rounds back up to exactly τ — without it the function
+/// could return τ itself, which is outside the half-open range and
+/// would survive a *second* wrap as `0.0` (a bit-identity hazard
+/// between once- and twice-normalised pipelines).
+pub fn wrap_tau(x: f64) -> f64 {
     let mut w = x % TAU;
     if w < 0.0 {
         w += TAU;
+    }
+    if w >= TAU {
+        w = 0.0;
     }
     w
 }
@@ -270,6 +296,31 @@ mod tests {
         assert!((wrap_tau(-0.5) - (TAU - 0.5)).abs() < 1e-12);
         assert!((wrap_tau(TAU + 0.25) - 0.25).abs() < 1e-12);
         assert_eq!(wrap_tau(0.0), 0.0);
+        // Half-open range: τ itself and sub-ulp negatives must land in
+        // [0, τ), never *at* τ.
+        assert_eq!(wrap_tau(TAU), 0.0);
+        let w = wrap_tau(-1e-20);
+        assert!((0.0..TAU).contains(&w), "wrap_tau(-1e-20) = {w}");
+        for hostile in [37.2, -41.9, 6.0 * TAU + 1.0, -3.0 * TAU - 2.5] {
+            let w = wrap_tau(hostile);
+            assert!((0.0..TAU).contains(&w), "wrap_tau({hostile}) = {w}");
+            // Idempotent: a second wrap is bit-identical.
+            assert_eq!(wrap_tau(w).to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn footprint_half_angle_matches_area() {
+        // The extracted half-angle must reproduce the area formula.
+        for (alt, mask) in [(510.0, 0.0), (857.0, 0.0), (600.0, 0.26)] {
+            let lam = footprint_half_angle_rad(alt, mask);
+            let area = TAU * EARTH_RADIUS_KM * EARTH_RADIUS_KM * (1.0 - lam.cos());
+            assert_eq!(area.to_bits(), footprint_area_km2(alt, mask).to_bits());
+            assert!(lam > 0.0 && lam < core::f64::consts::FRAC_PI_2);
+        }
+        // Higher orbits see further; masks shrink the cone.
+        assert!(footprint_half_angle_rad(900.0, 0.0) > footprint_half_angle_rad(500.0, 0.0));
+        assert!(footprint_half_angle_rad(600.0, 0.0) > footprint_half_angle_rad(600.0, 0.3));
     }
 }
 

@@ -175,6 +175,16 @@ pub struct EphemerisGrid {
     /// bracketed by one degrade to `None` (callers fall back to direct
     /// propagation, which reports the same failure its own way).
     samples: Vec<StateEcef>,
+    /// Maximum geocentric radius over the samples, km (NaN when any
+    /// sample is degenerate). Grid-only aggregate consumed by the
+    /// spatial pre-cull; computed once here instead of once per
+    /// (site, satellite) pair.
+    max_radius_km: f64,
+    /// Maximum `|v|/|r|` over the samples, rad/s (NaN when any sample
+    /// is degenerate) — bounds how fast the satellite's ECEF direction
+    /// can swing, which bounds the Earth-central angle it can close
+    /// within one step.
+    max_angular_rate: f64,
 }
 
 impl EphemerisGrid {
@@ -200,6 +210,8 @@ impl EphemerisGrid {
                 t0: start,
                 step_s: DEFAULT_STEP_S,
                 samples: Vec::new(),
+                max_radius_km: f64::NAN,
+                max_angular_rate: f64::NAN,
             };
         }
         let step_s = Self::step_for_span(span_s);
@@ -221,10 +233,25 @@ impl EphemerisGrid {
             .collect();
         GRIDS_BUILT.inc();
         GRID_SAMPLES.add(samples.len() as u64);
+        let mut max_radius_km = 0.0_f64;
+        let mut max_angular_rate = 0.0_f64;
+        for st in &samples {
+            let r = st.position_km.norm();
+            let rate = st.velocity_km_s.norm() / r;
+            if !(r.is_finite() && r > 0.0 && rate.is_finite()) {
+                max_radius_km = f64::NAN;
+                max_angular_rate = f64::NAN;
+                break;
+            }
+            max_radius_km = max_radius_km.max(r);
+            max_angular_rate = max_angular_rate.max(rate);
+        }
         EphemerisGrid {
             t0,
             step_s,
             samples,
+            max_radius_km,
+            max_angular_rate,
         }
     }
 
@@ -296,6 +323,23 @@ impl EphemerisGrid {
     /// Sample spacing, seconds.
     pub fn step_s(&self) -> f64 {
         self.step_s
+    }
+
+    /// Maximum geocentric radius over the stored samples, km — `NaN`
+    /// when the grid is empty or any sample is degenerate. The spatial
+    /// pre-cull ([`cull`](crate::cull)) sizes its visibility cone from
+    /// this instead of re-scanning the samples per (site, sat) pair.
+    pub fn max_radius_km(&self) -> f64 {
+        self.max_radius_km
+    }
+
+    /// Maximum `|v|/|r|` over the stored samples, rad/s — `NaN` when
+    /// the grid is empty or any sample is degenerate. Bounds the
+    /// Earth-central angular rate of the satellite's ECEF direction
+    /// (`|d r̂/dt| ≤ |v|/|r|`), hence how far it can move between
+    /// samples.
+    pub fn max_angular_rate(&self) -> f64 {
+        self.max_angular_rate
     }
 
     /// The instant of lattice point `k`.

@@ -24,6 +24,10 @@
 //! * [`visibility`] — chunked, auto-vectorisable horizon-margin
 //!   kernels that sweep ephemeris-grid columns for all observers of
 //!   one satellite and emit only sign-change windows for refinement.
+//! * [`cull`] — conservative spatial pre-culling of (site, satellite)
+//!   pairs (latitude-band reachability plus a footprint-cone scan over
+//!   raw grid samples), with always-on proof counters, so
+//!   mega-constellation sweeps cost O(visible pairs).
 //! * [`elements`] — Keplerian element helpers and a builder for synthetic
 //!   TLEs (circular-ish shells at a given altitude/inclination).
 //! * [`sun`] — a low-precision solar ephemeris: daylight fractions for
@@ -54,6 +58,7 @@
 // degradation, not ad-hoc unwraps; CI promotes this to deny.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod cull;
 pub mod elements;
 pub mod ephemeris;
 pub mod error;

@@ -327,6 +327,35 @@ impl Sgp4 {
         TAU / self.no_unkozai
     }
 
+    /// Mean inclination of the element set, radians.
+    ///
+    /// The spatial pre-cull ([`crate::cull`]) bounds the satellite's
+    /// reachable latitude band from this without propagating.
+    pub fn inclination_rad(&self) -> f64 {
+        self.inclo
+    }
+
+    /// Mean eccentricity of the element set.
+    pub fn eccentricity(&self) -> f64 {
+        self.ecco
+    }
+
+    /// Brouwer-mean semi-major axis implied by the un-Kozai'd mean
+    /// motion, km.
+    pub fn semi_major_axis_km(&self) -> f64 {
+        (XKE / self.no_unkozai).powf(X2O3) * EARTH_RADIUS_KM
+    }
+
+    /// Mean apogee radius `a·(1+e)`, km from the geocentre.
+    ///
+    /// An upper bound (to within short-period J₂ oscillations — callers
+    /// pad, see [`crate::cull::RADIUS_PAD_KM`]) on how far from Earth's
+    /// centre the propagated satellite can be, and therefore on its
+    /// visibility-cone half-angle.
+    pub fn apogee_radius_km(&self) -> f64 {
+        self.semi_major_axis_km() * (1.0 + self.ecco)
+    }
+
     /// Propagate to `tsince_min` minutes after the element-set epoch.
     ///
     /// Returns the TEME position/velocity, or a typed error if the element

@@ -122,6 +122,104 @@ proptest! {
         let g = jd.gmst_rad();
         prop_assert!((0.0..core::f64::consts::TAU).contains(&g));
     }
+
+    /// Hostile (far-out-of-range, negative) angles survive the TLE
+    /// round trip: `to_tle` normalises into [0, 2π) before field
+    /// formatting, and the reparsed angles match the wrapped originals
+    /// to the format's 1e-4-degree resolution. Walker phasing and the
+    /// catalog's golden-angle offsets push raw angles well past τ, so
+    /// this must hold by construction, not luck.
+    #[test]
+    fn hostile_angles_round_trip_through_tle(
+        alt in 300.0_f64..1_500.0,
+        incl in 0.0_f64..179.0,
+        raan in -50.0_f64..50.0,
+        argp in -50.0_f64..50.0,
+        ma in -50.0_f64..50.0,
+    ) {
+        use satiot_orbit::elements::wrap_tau;
+        let mut e = Elements::circular(alt, incl, epoch());
+        e.raan_rad = raan;
+        e.arg_perigee_rad = argp;
+        e.mean_anomaly_rad = ma;
+        let tle = e.to_tle(42_424, "HOSTILE").unwrap();
+        // The formatted fields are already in degrees of [0, 360).
+        let (l1, l2) = tle.format_lines();
+        let parsed = Tle::parse_lines(&l1, &l2).unwrap();
+        // 1e-4° field resolution ≈ 1.75e-6 rad, plus rounding slack.
+        let tol = 5e-6;
+        for (got, raw) in [
+            (parsed.raan_rad, raan),
+            (parsed.arg_perigee_rad, argp),
+            (parsed.mean_anomaly_rad, ma),
+        ] {
+            let want = wrap_tau(raw);
+            // Compare on the circle: 0 and 2π−ε are the same angle.
+            let diff = wrap_tau(got - want).min(wrap_tau(want - got));
+            prop_assert!(diff < tol, "angle {got} vs wrapped {want} (raw {raw})");
+        }
+    }
+
+    /// The latitude-band cull is conservative: whenever it fires, the
+    /// full predictor (direct SGP4, no grid) finds zero passes over a
+    /// two-day window — equivalently, it never fires for a pair with a
+    /// nonzero-duration pass.
+    #[test]
+    fn lat_band_cull_is_conservative(
+        alt in 400.0_f64..1_200.0,
+        incl in 5.0_f64..130.0,
+        lat in -85.0_f64..85.0,
+        lon in -180.0_f64..180.0,
+        mask_deg in 0.0_f64..15.0,
+    ) {
+        use satiot_orbit::cull;
+        let e = Elements::circular(alt, incl, epoch());
+        let sgp4 = e.to_sgp4().unwrap();
+        let site = Geodetic::from_degrees(lat, lon, 0.0);
+        let mask = mask_deg.to_radians();
+        if cull::never_in_latitude_band(site, sgp4.inclination_rad(), sgp4.apogee_radius_km(), mask) {
+            let passes = PassPredictor::new(sgp4, site, mask).passes(epoch(), epoch() + 2.0);
+            prop_assert!(
+                passes.is_empty(),
+                "lat-band cull dropped a pair with {} passes (alt {alt}, incl {incl}, lat {lat})",
+                passes.len()
+            );
+        }
+    }
+
+    /// The footprint-cone grid scan is conservative: whenever it clears
+    /// a window, both the direct and the grid-backed predictors find
+    /// zero passes in that window.
+    #[test]
+    fn cone_cull_is_conservative(
+        alt in 400.0_f64..1_200.0,
+        incl in 5.0_f64..130.0,
+        lat in -85.0_f64..85.0,
+        lon in -180.0_f64..180.0,
+        mask_deg in 0.0_f64..15.0,
+    ) {
+        use satiot_orbit::cull;
+        use satiot_orbit::ephemeris::EphemerisGrid;
+        use std::sync::Arc;
+        let e = Elements::circular(alt, incl, epoch());
+        let sgp4 = e.to_sgp4().unwrap();
+        let site = Geodetic::from_degrees(lat, lon, 0.0);
+        let mask = mask_deg.to_radians();
+        let (start, end) = (epoch(), epoch() + 0.5);
+        let grid = Arc::new(EphemerisGrid::build(&sgp4, start, end));
+        if cull::cone_clears_grid(&grid, site, mask, start, end) {
+            let direct = PassPredictor::new(sgp4.clone(), site, mask).passes(start, end);
+            prop_assert!(
+                direct.is_empty(),
+                "cone cull dropped a pair with {} direct passes (alt {alt}, incl {incl}, lat {lat}, lon {lon})",
+                direct.len()
+            );
+            let gridded = PassPredictor::new(sgp4, site, mask)
+                .with_ephemeris(grid)
+                .passes(start, end);
+            prop_assert!(gridded.is_empty(), "cone cull dropped {} gridded passes", gridded.len());
+        }
+    }
 }
 
 proptest! {

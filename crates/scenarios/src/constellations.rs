@@ -14,13 +14,12 @@
 //! band. The layout is index-deterministic so catalogs are reproducible
 //! without an RNG.
 
-use satiot_orbit::elements::Elements;
+use crate::walker::WalkerShell;
+use satiot_orbit::elements::{wrap_tau, Elements};
 use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
 use satiot_orbit::tle::Tle;
 use satiot_orbit::OrbitError;
-
-use core::f64::consts::TAU;
 
 /// One altitude/inclination shell of a constellation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,23 +184,47 @@ pub fn constellation_by_name(name: &str) -> Option<ConstellationSpec> {
     all_constellations().into_iter().find(|c| c.name == name)
 }
 
+/// Largest divisor of `n` that is at most `cap` (at least 1), so every
+/// plane of a shell holds exactly `n / planes` satellites.
+fn planes_for(n: u32, cap: u32) -> u32 {
+    (1..=cap.min(n))
+        .rev()
+        .find(|d| n.is_multiple_of(*d))
+        .unwrap_or(1)
+}
+
 impl ConstellationSpec {
     /// Generate the satellite catalog at `epoch`.
     ///
-    /// Layout per shell: satellites are placed in `min(count, 6)` planes
-    /// with RAANs spread over 2π, phased uniformly in-plane, with a
-    /// Walker-style inter-plane phase offset; altitudes interpolate
-    /// linearly across the shell's published band.
+    /// Layout per shell: an exact Walker-delta grid
+    /// ([`WalkerShell`]) of `planes × sats_per_plane` satellites, where
+    /// `planes` is the largest divisor of the shell count ≤ 6 — every
+    /// plane is exactly full with uniform in-plane spacing for
+    /// arbitrary counts (the old layout capped planes at
+    /// `count.clamp(1, 6)` and `div_ceil` left the last plane of the
+    /// 16- and 9-sat shells underfilled with uneven spacing).
+    /// Altitudes interpolate linearly across the shell's published
+    /// band; each shell's RAANs get a golden-angle-ish offset so
+    /// shells do not align artificially, and each satellite a
+    /// golden-angle anomaly jitter that breaks the RAAN+π / MA+π
+    /// degeneracy (without it, opposite planes of a small shell start
+    /// nearly coincident). Stored angles are normalised into
+    /// `[0, 2π)`.
     pub fn catalog(&self, epoch: JulianDate) -> Vec<SatelliteDef> {
         let mut sats = Vec::with_capacity(self.sat_count() as usize);
         let mut sat_id = 0u32;
         for (shell_idx, shell) in self.shells.iter().enumerate() {
             let n = shell.count;
-            let planes = n.clamp(1, 6);
-            let per_plane = n.div_ceil(planes);
+            let planes = planes_for(n.max(1), 6);
+            let walker = WalkerShell {
+                planes,
+                sats_per_plane: n.max(1) / planes,
+                altitude_km: 0.5 * (shell.alt_lo_km + shell.alt_hi_km),
+                inclination_deg: shell.inclination_deg,
+                phasing: 1.min(planes - 1),
+            };
             for i in 0..n {
-                let plane = i / per_plane;
-                let slot = i % per_plane;
+                let (plane, slot) = walker.plane_slot(i);
                 let alt = if n <= 1 {
                     0.5 * (shell.alt_lo_km + shell.alt_hi_km)
                 } else {
@@ -209,16 +232,9 @@ impl ConstellationSpec {
                         + (shell.alt_hi_km - shell.alt_lo_km) * i as f64 / (n - 1) as f64
                 };
                 let mut elements = Elements::circular(alt, shell.inclination_deg, epoch);
-                // RAAN: planes spread over the full circle, offset per
-                // shell so shells do not align artificially.
-                elements.raan_rad = (plane as f64 / planes as f64) * TAU + shell_idx as f64 * 0.61; // Golden-angle-ish offset.
-                                                                                                    // In-plane phase plus Walker phase offset between planes,
-                                                                                                    // plus a golden-angle jitter that breaks the RAAN+π /
-                                                                                                    // MA+π degeneracy (without it, opposite planes of a small
-                                                                                                    // shell start nearly coincident).
-                elements.mean_anomaly_rad = (slot as f64 / per_plane as f64) * TAU
-                    + (plane as f64 / planes as f64) * (TAU / per_plane.max(1) as f64)
-                    + i as f64 * 2.399_963; // Golden angle, radians.
+                elements.raan_rad = wrap_tau(walker.raan_of(plane) + shell_idx as f64 * 0.61);
+                elements.mean_anomaly_rad =
+                    wrap_tau(walker.mean_anomaly_of(plane, slot) + i as f64 * 2.399_963);
                 sats.push(SatelliteDef {
                     constellation: self.name,
                     sat_id,
@@ -338,6 +354,77 @@ mod tests {
         assert_eq!(constellation_by_name("Tianqi").unwrap().sat_count(), 22);
         assert!(constellation_by_name("Starlink").is_none());
     }
+
+    #[test]
+    fn walker_layout_fills_every_plane_exactly() {
+        // The 16-sat Tianqi shell must be 4 planes × 4 sats and the
+        // 9-sat PICO shell 3 × 3 (the old `clamp(1, 6)` + `div_ceil`
+        // layout underfilled the last plane of both).
+        let tianqi_shell0: Vec<_> = tianqi()
+            .catalog(epoch())
+            .into_iter()
+            .take(16)
+            .map(|s| s.elements.raan_rad)
+            .collect();
+        let mut raans = tianqi_shell0.clone();
+        raans.sort_by(f64::total_cmp);
+        raans.dedup();
+        assert_eq!(raans.len(), 4, "4 distinct planes");
+        for r in &raans {
+            let occupancy = tianqi_shell0.iter().filter(|x| *x == r).count();
+            assert_eq!(occupancy, 4, "every plane exactly full");
+        }
+        let pico_raans: Vec<_> = pico()
+            .catalog(epoch())
+            .into_iter()
+            .map(|s| s.elements.raan_rad)
+            .collect();
+        let mut distinct = pico_raans.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+        for r in &distinct {
+            assert_eq!(pico_raans.iter().filter(|x| *x == r).count(), 3);
+        }
+    }
+
+    /// FNV-1a over each satellite's (sma, inclination, wrapped RAAN,
+    /// wrapped mean anomaly) bit patterns: any bitwise layout change
+    /// trips this.
+    fn fingerprint(sats: &[SatelliteDef]) -> u64 {
+        use satiot_orbit::elements::wrap_tau;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for s in sats {
+            for v in [
+                s.elements.sma_km,
+                s.elements.inclination_rad,
+                wrap_tau(s.elements.raan_rad),
+                wrap_tau(s.elements.mean_anomaly_rad),
+            ] {
+                for b in v.to_bits().to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn published_catalogs_are_pinned_bitwise() {
+        // The layout fix may only touch the two shells that were
+        // actually uneven (Tianqi's 16-sat shell and PICO's 9): shells
+        // whose count already divided into ≤ 6 planes are pinned to
+        // their pre-fix fingerprints, captured from the seed revision.
+        let tianqi_cat = tianqi().catalog(epoch());
+        assert_eq!(fingerprint(&tianqi_cat[16..20]), 0x7e7f05219c5fcacf); // 4-sat shell, unchanged
+        assert_eq!(fingerprint(&tianqi_cat[20..22]), 0x33ff9a1a9418e175); // 2-sat shell, unchanged
+        assert_eq!(fingerprint(&fossa().catalog(epoch())), 0x7fac185caa54195b); // unchanged
+        assert_eq!(fingerprint(&cstp().catalog(epoch())), 0x8668649eeeb85964); // unchanged
+                                                                               // The repaired shells, pinned at the fixed layout.
+        assert_eq!(fingerprint(&tianqi_cat[..16]), 0x220f012661ec7a4a);
+        assert_eq!(fingerprint(&pico().catalog(epoch())), 0x7281073a774abd46);
+    }
 }
 
 /// Export every constellation's catalog as 3LE text — the file a TinyGS
@@ -347,7 +434,13 @@ pub fn export_full_catalog(epoch: JulianDate) -> String {
     let mut tles = Vec::new();
     for spec in all_constellations() {
         for sat in spec.catalog(epoch) {
-            tles.push(sat.tle().expect("catalog elements are valid"));
+            let tle = sat.tle().unwrap_or_else(|e| {
+                panic!(
+                    "catalog TLE for {}-{} failed to format: {e}",
+                    sat.constellation, sat.sat_id
+                )
+            });
+            tles.push(tle);
         }
     }
     satiot_orbit::tle::format_catalog(&tles)

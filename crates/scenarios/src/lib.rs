@@ -16,11 +16,16 @@
 
 pub mod constellations;
 pub mod sites;
+pub mod walker;
 
 pub use constellations::{
     all_constellations, constellation_by_name, ConstellationSpec, SatelliteDef, Shell,
 };
 pub use sites::{
-    campaign_end, campaign_epoch, hong_kong_server, measurement_sites, tianqi_ground_stations,
-    yunnan_farm, Climate, Site,
+    campaign_end, campaign_epoch, hong_kong_server, measurement_sites, site_by_code,
+    tianqi_ground_stations, yunnan_farm, Climate, Site,
+};
+pub use walker::{
+    single_sat_visibility_fraction, union_availability, WalkerConstellation, WalkerParseError,
+    WalkerShell,
 };

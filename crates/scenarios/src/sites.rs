@@ -173,6 +173,11 @@ pub fn measurement_sites() -> Vec<Site> {
     ]
 }
 
+/// Look up a measurement site by its Table 1 code (`"HK"` …).
+pub fn site_by_code(code: &str) -> Option<Site> {
+    measurement_sites().into_iter().find(|s| s.code == code)
+}
+
 /// The four cities used for the per-constellation availability analysis
 /// (paper §3.1: one per continent).
 pub fn availability_sites() -> Vec<Site> {
@@ -228,8 +233,8 @@ mod tests {
 
     #[test]
     fn start_dates_match_table_1() {
-        let sites = measurement_sites();
-        let by_code = |c: &str| sites.iter().find(|s| s.code == c).unwrap();
+        let by_code =
+            |c: &str| site_by_code(c).unwrap_or_else(|| panic!("unknown site code {c:?}"));
         assert_eq!(by_code("HK").start_day, 0.0); // 2024/09.
         assert_eq!(by_code("GZ").start_day, 0.0);
         assert_eq!(by_code("YC").start_day, 0.0);
@@ -262,9 +267,8 @@ mod tests {
             ("NC", 1),
             ("YC", 4),
         ];
-        let sites = measurement_sites();
         for (code, count) in expected {
-            let site = sites.iter().find(|s| s.code == code).unwrap();
+            let site = site_by_code(code).unwrap_or_else(|| panic!("unknown site code {code:?}"));
             assert_eq!(site.station_count, count, "{code}");
         }
     }
