@@ -47,6 +47,14 @@
 //! bit-for-bit on every pass; the `orbit.cull.*` proof counters must
 //! show at least 5× fewer pairs surviving to grid interpolation, with a
 //! wall-clock floor on the warm sweep. Writes `BENCH_culling.json`.
+//!
+//! A fifth matrix measures the **sweep server**: the same multi-seed
+//! job queue run as sequential cold batches (caches cleared before
+//! every job, the one-process-per-job workflow) versus one
+//! `SweepServer` pass sharing pass lists and ephemeris grids across
+//! jobs. Both legs must produce bit-identical job records and merged
+//! sketches; writes `BENCH_sweep.json` and asserts the server clears a
+//! 2× throughput floor (1.5× under `--smoke`).
 
 use satiot_core::prelude::*;
 use satiot_core::{calib, sweep};
@@ -482,10 +490,14 @@ fn main() {
             Geodetic::new(z.asin(), lon, 0.0)
         })
         .collect();
-    let cull_mask = 15.0_f64.to_radians();
+    // The mask is authored in degrees and stays in degrees all the way
+    // to the report; converting only at the predictor call site keeps
+    // round-trip noise (14.999999999999998°) out of the committed JSON.
+    let cull_mask_deg = 15.0_f64;
+    let cull_mask = cull_mask_deg.to_radians();
     let (cs, ce) = (epoch, epoch + 0.03);
     println!(
-        "\nculling matrix ({} Walker {}×{} @ {} km / {}° × {} sites, 15° mask):",
+        "\nculling matrix ({} Walker {}×{} @ {} km / {}° × {} sites, {cull_mask_deg}° mask):",
         if smoke { "smoke" } else { "full" },
         shell.planes,
         shell.sats_per_plane,
@@ -613,7 +625,7 @@ fn main() {
     let _ = writeln!(json, "    \"sites\": {n_sites},");
     let _ = writeln!(json, "    \"pairs\": {},", cull_sites.len() * mega.len());
     let _ = writeln!(json, "    \"window_days\": 0.03,");
-    let _ = writeln!(json, "    \"mask_deg\": {},", cull_mask.to_degrees());
+    let _ = writeln!(json, "    \"mask_deg\": {cull_mask_deg},");
     let _ = writeln!(json, "    \"smoke\": {smoke}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cells\": [");
@@ -730,6 +742,133 @@ fn main() {
         sim_speedup >= floor,
         "batched simulate must be at least {floor}× faster than the legacy \
          scalar pipeline on the warm passive sweep (got {sim_speedup:.2}×)"
+    );
+
+    // --- Sweep matrix: sequential cold batches vs the warm sweep server. ---
+    // The same seed sweep run two ways. The cold leg models the
+    // pre-server workflow — one OS process per job, so every job pays
+    // the full predict phase again (emulated by clearing the process
+    // caches before each job). The warm leg hands the whole queue to
+    // `SweepServer`, whose jobs share pass lists and ephemeris grids.
+    // Both legs must produce bit-identical per-job records and merged
+    // sketches; the win is pure cache amortisation (this box pins the
+    // pool to one core, so no parallelism is hiding in the numbers).
+    let n_jobs: u64 = if smoke { 4 } else { 8 };
+    let sweep_days = if smoke { 0.5 } else { 2.0 };
+    let jobs: Vec<SweepJob> = (0..n_jobs)
+        .map(|i| SweepJob::new(format!("bench-{i}"), 0xB0B + i).with_max_days(sweep_days))
+        .collect();
+    let sweep_cfg = jobs[0].to_config().expect("bench sweep job is valid");
+    println!(
+        "\nsweep matrix ({} {n_jobs} jobs × {} sites × {} constellations × {sweep_days} days):",
+        if smoke { "smoke" } else { "full" },
+        sweep_cfg.sites.len(),
+        sweep_cfg.constellations.len(),
+    );
+    // Checkpointing off: a spill dir inherited from the environment
+    // would let the warm leg resume the cold leg's results and measure
+    // nothing.
+    let server = SweepServer::new(opts).with_spill_dir(None).with_shard(None);
+    let t0 = Instant::now();
+    let mut cold_records: Vec<JobRecord> = Vec::new();
+    for job in &jobs {
+        sweep::clear();
+        let outcome = server
+            .run(std::slice::from_ref(job))
+            .expect("cold sweep job runs");
+        cold_records.extend(outcome.records);
+    }
+    let sweep_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut cold_merged = satiot_measure::sketch::TraceAggregate::new();
+    for r in &cold_records {
+        cold_merged.merge(r.sketch.as_ref().expect("aggregate sink sketches"));
+    }
+
+    sweep::clear();
+    let t0 = Instant::now();
+    let warm = server.run(&jobs).expect("warm sweep runs");
+    let sweep_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sweep::clear();
+
+    assert_eq!(warm.records.len(), jobs.len());
+    for (cold, warm) in cold_records.iter().zip(&warm.records) {
+        assert!(
+            cold.same_results(warm),
+            "sweep server changed job {:?}'s results",
+            cold.job.tag
+        );
+    }
+    assert_eq!(
+        cold_merged, warm.merged,
+        "merged sketches must be bit-identical across the two legs"
+    );
+    for record in &warm.records[1..] {
+        assert_eq!(
+            record.cache.pass_computes, 0,
+            "warm job {:?} re-predicted pass lists",
+            record.job.tag
+        );
+    }
+
+    let attribution = |records: &[JobRecord]| -> (u64, u64, u64, u64) {
+        records.iter().fold((0, 0, 0, 0), |acc, r| {
+            (
+                acc.0 + r.cache.pass_computes,
+                acc.1 + r.cache.pass_hits(),
+                acc.2 + r.cache.grid_computes,
+                acc.3 + r.cache.grid_hits(),
+            )
+        })
+    };
+    let sweep_speedup = sweep_cold_ms / sweep_warm_ms.max(1e-9);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scenario\": {{");
+    let _ = writeln!(json, "    \"jobs\": {n_jobs},");
+    let _ = writeln!(json, "    \"sites\": {},", sweep_cfg.sites.len());
+    let _ = writeln!(
+        json,
+        "    \"constellations\": {},",
+        sweep_cfg.constellations.len()
+    );
+    let _ = writeln!(json, "    \"days\": {sweep_days},");
+    let _ = writeln!(json, "    \"smoke\": {smoke}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, (leg, wall_ms, records)) in [
+        ("sequential-cold", sweep_cold_ms, &cold_records),
+        ("server-warm", sweep_warm_ms, &warm.records),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (pass_computes, pass_hits, grid_computes, grid_hits) = attribution(records);
+        let jobs_per_s = n_jobs as f64 / (wall_ms / 1e3).max(1e-12);
+        println!(
+            "{leg:15}: {wall_ms:9.1} ms, {jobs_per_s:8.2} jobs/s, \
+             {pass_computes:>5} pass computes, {pass_hits:>5} hits, \
+             {grid_computes:>4} grid computes, {grid_hits:>4} hits"
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"leg\": \"{leg}\", \"wall_ms\": {wall_ms:.3}, \
+             \"jobs_per_s\": {jobs_per_s:.3}, \"pass_computes\": {pass_computes}, \
+             \"pass_hits\": {pass_hits}, \"grid_computes\": {grid_computes}, \
+             \"grid_hits\": {grid_hits}}}{}",
+            if i == 0 { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"throughput_speedup\": {sweep_speedup:.3}\n}}");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+    println!("sweep throughput speedup (server-warm/sequential-cold): {sweep_speedup:.2}×");
+
+    let sweep_floor = if smoke { 1.5 } else { 2.0 };
+    assert!(
+        sweep_speedup >= sweep_floor,
+        "the sweep server must push at least {sweep_floor}× the throughput of \
+         sequential cold jobs on the shared-scenario sweep (got {sweep_speedup:.2}×)"
     );
 
     println!("bench_report: OK");

@@ -16,12 +16,19 @@
 //! * the sketch's memory footprint estimate is below the full trace
 //!   set's, and is reported so regressions are visible in CI logs.
 //!
+//! A third section bounds the *sweep caches*: a job queue over disjoint
+//! windows is run unbudgeted to measure its natural pass-cache/grid
+//! footprint, then re-run under a cache budget of half that, asserting
+//! the post-sweep footprint respects the ceiling, evictions actually
+//! fired, and the budgeted sweep's results stay bit-identical.
+//!
 //! `--smoke` keeps the campaign at one day for the CI lane; without it
 //! the run covers three days for a more demanding local check. Exits
 //! non-zero (panics) on any violation, so the CI step is just
 //! `cargo run --release -p satiot-bench --bin memory_ceiling -- --smoke`.
 
 use satiot_core::prelude::*;
+use satiot_core::sweep;
 use satiot_measure::sketch::{ConstellationSketch, QuantileSketch};
 use satiot_measure::stats::nearest_rank_sorted;
 use satiot_measure::trace::BeaconTrace;
@@ -174,5 +181,46 @@ fn main() {
         agg_mem < full_mem,
         "sketch footprint {agg_mem} B is not below the trace set's {full_mem} B"
     );
+
+    // Sweep-cache ceiling: disjoint windows grow the process-wide pass
+    // cache and grid store without bound unless the budget latch stops
+    // them. Calibrate the budget from an unbudgeted run so the check
+    // tracks the scenario instead of a magic constant.
+    let sweep_jobs: Vec<SweepJob> = (0..6)
+        .map(|i| {
+            SweepJob::new(format!("ceiling-{i}"), 0xCE11 + i)
+                .with_max_days(0.5 + 0.1 * i as f64)
+                .with_sites(["HK"])
+        })
+        .collect();
+    let server = SweepServer::new(opts).with_spill_dir(None).with_shard(None);
+    sweep::clear();
+    let unbudgeted = server.run(&sweep_jobs).expect("unbudgeted sweep runs");
+    let cache_bytes = || sweep::stats().approx_bytes + sweep::grid_stats().approx_bytes;
+    let natural = cache_bytes();
+    assert!(natural > 0, "sweep left nothing in the caches to bound");
+
+    let budget = natural / 2;
+    sweep::clear();
+    sweep::set_cache_budget_bytes(Some(budget));
+    let budgeted = server.run(&sweep_jobs).expect("budgeted sweep runs");
+    let bounded = cache_bytes();
+    let evictions = sweep::stats().evictions + sweep::grid_stats().evictions;
+    println!(
+        "sweep caches: natural {natural} B, budget {budget} B, \
+         post-sweep {bounded} B, {evictions} evictions"
+    );
+    assert!(
+        bounded <= budget,
+        "cache footprint {bounded} B exceeds the {budget} B budget"
+    );
+    assert!(evictions > 0, "the budget never fired an eviction");
+    assert!(
+        budgeted.same_results(&unbudgeted),
+        "evictions changed sweep results"
+    );
+    sweep::set_cache_budget_bytes(None);
+    sweep::clear();
+
     println!("memory ceiling: OK");
 }

@@ -70,6 +70,15 @@ pub enum SatIotError {
         /// The underlying orbit error.
         source: OrbitError,
     },
+    /// A name-valued field referenced something that is not in the
+    /// catalog (an unknown site code or constellation label), or
+    /// carried a name the sweep checkpoint codec cannot represent.
+    InvalidName {
+        /// The offending field.
+        field: &'static str,
+        /// The offending name.
+        name: String,
+    },
 }
 
 impl SatIotError {
@@ -113,6 +122,9 @@ impl fmt::Display for SatIotError {
             ),
             SatIotError::Orbit { context, source } => {
                 write!(f, "{context}: orbit error: {source}")
+            }
+            SatIotError::InvalidName { field, name } => {
+                write!(f, "config field `{field}`: unusable name {name:?}")
             }
         }
     }

@@ -62,6 +62,7 @@ pub mod server;
 pub mod sink;
 pub mod station;
 pub mod sweep;
+pub mod sweep_server;
 
 pub use active::{ActiveCampaign, ActiveConfig, ActiveResults};
 pub use error::{Fault, FaultLog, SatIotError};

@@ -129,6 +129,19 @@ pub struct RunOptions {
     /// (`SATIOT_SINK`: `full` | `aggregate` | `null` | `csv:<path>` |
     /// `jsonl:<path>`).
     pub sink: SinkMode,
+    /// Sweep-server spill directory for checkpoint/resume
+    /// (`SATIOT_SWEEP_DIR`); `None` disables checkpointing.
+    pub sweep_dir: Option<&'static str>,
+    /// Sweep-server shard assignment as `(index, count)`
+    /// (`SATIOT_SWEEP_SHARD=i/n`, `i < n`); `None` runs every job.
+    pub sweep_shard: Option<(usize, usize)>,
+    /// Combined payload budget for the process-wide pass cache and
+    /// ephemeris grid store, MiB (`SATIOT_SWEEP_CACHE_MB`; `0` or unset
+    /// = unlimited, preserving exactly-once memoisation). Installed by
+    /// [`apply`](Self::apply) through
+    /// [`crate::sweep::set_cache_budget_bytes`]; the sweep server
+    /// enforces it between jobs.
+    pub sweep_cache_mb: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -143,6 +156,9 @@ impl Default for RunOptions {
             metrics: false,
             scale: Scale::Full,
             sink: SinkMode::Full,
+            sweep_dir: None,
+            sweep_shard: None,
+            sweep_cache_mb: None,
         }
     }
 }
@@ -150,44 +166,114 @@ impl Default for RunOptions {
 impl RunOptions {
     /// Options resolved from the `SATIOT_*` environment variables —
     /// the **only** place in the workspace that reads them.
+    ///
+    /// Malformed values fall back to the documented defaults (see
+    /// [`from_lookup_with_warnings`](Self::from_lookup_with_warnings))
+    /// and each rejection is reported on stderr, so a typo'd knob is
+    /// visible instead of silently ignored.
     pub fn from_env() -> RunOptions {
-        Self::from_lookup(|key| std::env::var(key).ok())
+        let (opts, warnings) = Self::from_lookup_with_warnings(|key| std::env::var(key).ok());
+        for w in &warnings {
+            eprintln!("satiot: warning: {w}");
+        }
+        opts
     }
 
     /// [`from_env`](Self::from_env) with an injectable variable source
     /// (tests exercise the parsing without touching the process
-    /// environment).
+    /// environment). Discards rejection warnings; use
+    /// [`from_lookup_with_warnings`](Self::from_lookup_with_warnings)
+    /// to observe them.
     pub fn from_lookup<F: Fn(&str) -> Option<String>>(lookup: F) -> RunOptions {
-        let threads = lookup("SATIOT_THREADS")
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1);
+        Self::from_lookup_with_warnings(lookup).0
+    }
+
+    /// Parse every `SATIOT_*` knob from `lookup`, collecting one
+    /// human-readable warning per *rejected* value. Rejection is never
+    /// silent and never fatal: each malformed value falls back to its
+    /// documented default —
+    ///
+    /// * `SATIOT_THREADS`: unparsable → auto (`None`); `0` is the
+    ///   *documented* spelling of auto, not a rejection.
+    /// * `SATIOT_EPHEMERIS` / `SATIOT_VISIBILITY` / `SATIOT_CULLING` /
+    ///   `SATIOT_BATCH`: unknown word → the `On` default.
+    /// * `SATIOT_CHAOS_SEED`: unparsable → the built-in chaos seed.
+    /// * `SATIOT_SCALE`: unknown word → `full`.
+    /// * `SATIOT_SINK`: unknown mode or a pathless `csv:`/`jsonl:` →
+    ///   the full-trace sink.
+    /// * `SATIOT_SWEEP_DIR`: empty → checkpointing off.
+    /// * `SATIOT_SWEEP_SHARD`: anything but `i/n` with `i < n` → run
+    ///   every job.
+    /// * `SATIOT_SWEEP_CACHE_MB`: unparsable → unlimited; `0` is the
+    ///   documented spelling of unlimited, not a rejection.
+    pub fn from_lookup_with_warnings<F: Fn(&str) -> Option<String>>(
+        lookup: F,
+    ) -> (RunOptions, Vec<String>) {
+        let mut warnings: Vec<String> = Vec::new();
+        let mut reject = |key: &str, value: &str, fallback: &str| {
+            warnings.push(format!("{key}={value:?} is invalid; using {fallback}"));
+        };
+        let threads = lookup("SATIOT_THREADS").and_then(|v| match v.trim().parse::<usize>() {
+            Ok(0) => None, // Documented: 0 = auto.
+            Ok(n) => Some(n),
+            Err(_) => {
+                reject("SATIOT_THREADS", &v, "the machine's parallelism");
+                None
+            }
+        });
         let ephemeris = match lookup("SATIOT_EPHEMERIS").as_deref() {
             Some("0") | Some("off") | Some("false") => EphemerisMode::Off,
             Some("validate") => EphemerisMode::Validate,
-            _ => EphemerisMode::On,
+            Some("1") | Some("on") | Some("true") | Some("") | None => EphemerisMode::On,
+            Some(v) => {
+                reject("SATIOT_EPHEMERIS", v, "the grid backend (on)");
+                EphemerisMode::On
+            }
         };
         let visibility = match lookup("SATIOT_VISIBILITY").as_deref() {
             Some("0") | Some("off") | Some("false") => VisibilityMode::Off,
             Some("scalar") => VisibilityMode::Scalar,
-            _ => VisibilityMode::On,
+            Some("1") | Some("on") | Some("true") | Some("") | None => VisibilityMode::On,
+            Some(v) => {
+                reject("SATIOT_VISIBILITY", v, "the vector kernels (on)");
+                VisibilityMode::On
+            }
         };
         let culling = match lookup("SATIOT_CULLING").as_deref() {
             Some("0") | Some("off") | Some("false") => CullingMode::Off,
-            _ => CullingMode::On,
+            Some("1") | Some("on") | Some("true") | Some("") | None => CullingMode::On,
+            Some(v) => {
+                reject("SATIOT_CULLING", v, "the spatial pre-cull (on)");
+                CullingMode::On
+            }
         };
         let batch = match lookup("SATIOT_BATCH").as_deref() {
             Some("0") | Some("off") | Some("false") => BatchMode::Off,
-            _ => BatchMode::On,
+            Some("1") | Some("on") | Some("true") | Some("") | None => BatchMode::On,
+            Some(v) => {
+                reject("SATIOT_BATCH", v, "the SoA kernels (on)");
+                BatchMode::On
+            }
         };
         let chaos_seed = lookup("SATIOT_CHAOS_SEED")
-            .and_then(|v| v.trim().parse::<u64>().ok())
+            .and_then(|v| match v.trim().parse::<u64>() {
+                Ok(s) => Some(s),
+                Err(_) => {
+                    reject("SATIOT_CHAOS_SEED", &v, "the built-in seed");
+                    None
+                }
+            })
             .unwrap_or(chaos::DEFAULT_SEED);
         let metrics = lookup("SATIOT_METRICS")
             .map(|v| !v.is_empty() && v != "0")
             .unwrap_or(false);
         let scale = match lookup("SATIOT_SCALE").as_deref() {
             Some("quick") => Scale::Quick,
-            _ => Scale::Full,
+            Some("full") | Some("") | None => Scale::Full,
+            Some(v) => {
+                reject("SATIOT_SCALE", v, "the full campaign scale");
+                Scale::Full
+            }
         };
         let sink = match lookup("SATIOT_SINK").as_deref() {
             Some("aggregate") | Some("agg") => SinkMode::Aggregate,
@@ -200,9 +286,42 @@ impl RunOptions {
             Some(v) if v.starts_with("jsonl:") && v.len() > 6 => SinkMode::SpillJsonl {
                 path: Box::leak(v["jsonl:".len()..].to_string().into_boxed_str()),
             },
-            _ => SinkMode::Full,
+            Some("full") | Some("") | None => SinkMode::Full,
+            Some(v) => {
+                reject("SATIOT_SINK", v, "the full-trace sink");
+                SinkMode::Full
+            }
         };
-        RunOptions {
+        let sweep_dir = lookup("SATIOT_SWEEP_DIR").and_then(|v| {
+            if v.is_empty() {
+                reject("SATIOT_SWEEP_DIR", &v, "no checkpointing");
+                None
+            } else {
+                Some(&*Box::leak(v.into_boxed_str()))
+            }
+        });
+        let sweep_shard = lookup("SATIOT_SWEEP_SHARD").and_then(|v| {
+            let parsed = v.split_once('/').and_then(|(i, n)| {
+                let i = i.trim().parse::<usize>().ok()?;
+                let n = n.trim().parse::<usize>().ok()?;
+                (i < n).then_some((i, n))
+            });
+            if parsed.is_none() {
+                reject("SATIOT_SWEEP_SHARD", &v, "an unsharded sweep");
+            }
+            parsed
+        });
+        let sweep_cache_mb = lookup("SATIOT_SWEEP_CACHE_MB").and_then(|v| {
+            match v.trim().parse::<u64>() {
+                Ok(0) => None, // Documented: 0 = unlimited.
+                Ok(mb) => Some(mb),
+                Err(_) => {
+                    reject("SATIOT_SWEEP_CACHE_MB", &v, "an unbounded cache");
+                    None
+                }
+            }
+        });
+        let opts = RunOptions {
             threads,
             ephemeris,
             visibility,
@@ -212,7 +331,11 @@ impl RunOptions {
             metrics,
             scale,
             sink,
-        }
+            sweep_dir,
+            sweep_shard,
+            sweep_cache_mb,
+        };
+        (opts, warnings)
     }
 
     /// Override the pool worker count (`None` = machine default).
@@ -269,12 +392,34 @@ impl RunOptions {
         self
     }
 
+    /// Override the sweep-server spill directory (`None` = no
+    /// checkpointing). The path is interned for the process lifetime so
+    /// `RunOptions` stays `Copy`.
+    pub fn with_sweep_dir(mut self, dir: Option<&str>) -> Self {
+        self.sweep_dir = dir.map(|d| &*Box::leak(d.to_string().into_boxed_str()));
+        self
+    }
+
+    /// Override the sweep shard assignment (`(index, count)`,
+    /// `index < count`).
+    pub fn with_sweep_shard(mut self, shard: Option<(usize, usize)>) -> Self {
+        self.sweep_shard = shard;
+        self
+    }
+
+    /// Override the combined cache payload budget in MiB (`None` =
+    /// unlimited).
+    pub fn with_sweep_cache_mb(mut self, mb: Option<u64>) -> Self {
+        self.sweep_cache_mb = mb;
+        self
+    }
+
     /// Install these options into the process-wide latches consumed by
     /// code below the campaign API: the pool worker count, the
     /// ephemeris mode, the visibility scan mode, the culling mode, the
-    /// metrics flag, and the chaos seed. Binaries
-    /// call `RunOptions::from_env().apply()` once at startup; returns
-    /// `self` for chaining into a campaign call.
+    /// metrics flag, the chaos seed, and the cache payload budget.
+    /// Binaries call `RunOptions::from_env().apply()` once at startup;
+    /// returns `self` for chaining into a campaign call.
     pub fn apply(self) -> Self {
         pool::set_thread_count(self.threads);
         ephemeris::set_mode(self.ephemeris);
@@ -282,6 +427,7 @@ impl RunOptions {
         cull::set_mode(self.culling);
         satiot_obs::metrics::set_enabled(self.metrics);
         chaos::set_seed(self.chaos_seed);
+        crate::sweep::set_cache_budget_bytes(self.sweep_cache_mb.map(|mb| mb << 20));
         self
     }
 }
@@ -317,7 +463,13 @@ mod tests {
             ("SATIOT_METRICS", "1"),
             ("SATIOT_SCALE", "quick"),
             ("SATIOT_SINK", "aggregate"),
+            ("SATIOT_SWEEP_DIR", "/tmp/sweep"),
+            ("SATIOT_SWEEP_SHARD", "1/4"),
+            ("SATIOT_SWEEP_CACHE_MB", "256"),
         ]));
+        assert_eq!(opts.sweep_dir, Some("/tmp/sweep"));
+        assert_eq!(opts.sweep_shard, Some((1, 4)));
+        assert_eq!(opts.sweep_cache_mb, Some(256));
         assert_eq!(opts.threads, Some(4));
         assert_eq!(opts.ephemeris, EphemerisMode::Validate);
         assert_eq!(opts.visibility, VisibilityMode::Scalar);
@@ -378,6 +530,132 @@ mod tests {
     fn threads_of_zero_means_auto() {
         let opts = RunOptions::from_lookup(lookup_from(&[("SATIOT_THREADS", "0")]));
         assert_eq!(opts.threads, None);
+    }
+
+    // ---- rejection paths: malformed values must fall back to the
+    // documented default *and* say so, never silently mis-parse ----
+
+    fn parse_with_warnings(pairs: &[(&str, &str)]) -> (RunOptions, Vec<String>) {
+        RunOptions::from_lookup_with_warnings(lookup_from(pairs))
+    }
+
+    #[test]
+    fn malformed_threads_warns_and_falls_back_to_auto() {
+        for bad in ["zero", "-2", "3.5", "many", " "] {
+            let (opts, warnings) = parse_with_warnings(&[("SATIOT_THREADS", bad)]);
+            assert_eq!(opts.threads, None, "SATIOT_THREADS={bad:?}");
+            assert_eq!(warnings.len(), 1, "SATIOT_THREADS={bad:?}: {warnings:?}");
+            assert!(warnings[0].contains("SATIOT_THREADS"), "{warnings:?}");
+        }
+        // The documented spellings parse silently.
+        for (good, want) in [("0", None), ("1", Some(1)), (" 8 ", Some(8))] {
+            let (opts, warnings) = parse_with_warnings(&[("SATIOT_THREADS", good)]);
+            assert_eq!(opts.threads, want, "SATIOT_THREADS={good:?}");
+            assert!(warnings.is_empty(), "SATIOT_THREADS={good:?}: {warnings:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_sink_warns_and_falls_back_to_full() {
+        for bad in ["firehose", "csv:", "jsonl:", "aggregate "] {
+            let (opts, warnings) = parse_with_warnings(&[("SATIOT_SINK", bad)]);
+            assert_eq!(opts.sink, SinkMode::Full, "SATIOT_SINK={bad:?}");
+            assert_eq!(warnings.len(), 1, "SATIOT_SINK={bad:?}: {warnings:?}");
+            assert!(warnings[0].contains("SATIOT_SINK"), "{warnings:?}");
+        }
+        for good in [
+            "full",
+            "aggregate",
+            "agg",
+            "null",
+            "csv:/tmp/a.csv",
+            "jsonl:/tmp/a.jl",
+        ] {
+            let (_, warnings) = parse_with_warnings(&[("SATIOT_SINK", good)]);
+            assert!(warnings.is_empty(), "SATIOT_SINK={good:?}: {warnings:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_visibility_warns_and_falls_back_to_on() {
+        for bad in ["simd512", "fast", "2"] {
+            let (opts, warnings) = parse_with_warnings(&[("SATIOT_VISIBILITY", bad)]);
+            assert_eq!(
+                opts.visibility,
+                VisibilityMode::On,
+                "SATIOT_VISIBILITY={bad:?}"
+            );
+            assert_eq!(warnings.len(), 1, "SATIOT_VISIBILITY={bad:?}: {warnings:?}");
+            assert!(warnings[0].contains("SATIOT_VISIBILITY"), "{warnings:?}");
+        }
+        for (good, want) in [
+            ("0", VisibilityMode::Off),
+            ("off", VisibilityMode::Off),
+            ("scalar", VisibilityMode::Scalar),
+            ("on", VisibilityMode::On),
+            ("1", VisibilityMode::On),
+        ] {
+            let (opts, warnings) = parse_with_warnings(&[("SATIOT_VISIBILITY", good)]);
+            assert_eq!(opts.visibility, want, "SATIOT_VISIBILITY={good:?}");
+            assert!(
+                warnings.is_empty(),
+                "SATIOT_VISIBILITY={good:?}: {warnings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_sweep_knobs_warn_and_fall_back() {
+        for bad in ["3", "1/", "/4", "4/4", "5/4", "a/b", "1/4/2"] {
+            let (opts, warnings) = parse_with_warnings(&[("SATIOT_SWEEP_SHARD", bad)]);
+            assert_eq!(opts.sweep_shard, None, "SATIOT_SWEEP_SHARD={bad:?}");
+            assert_eq!(
+                warnings.len(),
+                1,
+                "SATIOT_SWEEP_SHARD={bad:?}: {warnings:?}"
+            );
+        }
+        let (opts, warnings) = parse_with_warnings(&[("SATIOT_SWEEP_SHARD", "0/1")]);
+        assert_eq!(opts.sweep_shard, Some((0, 1)));
+        assert!(warnings.is_empty(), "{warnings:?}");
+
+        let (opts, warnings) = parse_with_warnings(&[("SATIOT_SWEEP_CACHE_MB", "lots")]);
+        assert_eq!(opts.sweep_cache_mb, None);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        let (opts, warnings) = parse_with_warnings(&[("SATIOT_SWEEP_CACHE_MB", "0")]);
+        assert_eq!(
+            opts.sweep_cache_mb, None,
+            "0 is the documented unlimited spelling"
+        );
+        assert!(warnings.is_empty(), "{warnings:?}");
+
+        let (opts, warnings) = parse_with_warnings(&[("SATIOT_SWEEP_DIR", "")]);
+        assert_eq!(opts.sweep_dir, None);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+    }
+
+    #[test]
+    fn every_rejection_path_warns_exactly_once() {
+        let (opts, warnings) = parse_with_warnings(&[
+            ("SATIOT_THREADS", "zero"),
+            ("SATIOT_EPHEMERIS", "plenty"),
+            ("SATIOT_VISIBILITY", "simd512"),
+            ("SATIOT_CULLING", "aggressive"),
+            ("SATIOT_BATCH", "yes"),
+            ("SATIOT_CHAOS_SEED", "-3"),
+            ("SATIOT_SCALE", "huge"),
+            ("SATIOT_SINK", "firehose"),
+            ("SATIOT_SWEEP_SHARD", "broken"),
+            ("SATIOT_SWEEP_CACHE_MB", "big"),
+        ]);
+        // Every malformed knob fell back to its documented default…
+        assert_eq!(
+            opts,
+            RunOptions::default(),
+            "malformed values must not leak into the options"
+        );
+        // …and every one of them was reported.
+        assert_eq!(warnings.len(), 10, "{warnings:?}");
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub use crate::options::{BatchMode, RunOptions, Scale};
 pub use crate::passive::{PassiveCampaign, PassiveConfig, PassiveResults, SchedulerKind};
 pub use crate::sink::{SinkMode, SinkStats};
 pub use crate::sweep::PassKey;
+pub use crate::sweep_server::{
+    CacheAttribution, ConstellationOutcome, JobRecord, SweepConfig, SweepJob, SweepOutcome,
+    SweepServer,
+};
 pub use satiot_orbit::cull::CullingMode;
 pub use satiot_orbit::ephemeris::EphemerisMode;
 pub use satiot_orbit::visibility::VisibilityMode;

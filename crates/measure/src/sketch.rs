@@ -235,6 +235,65 @@ impl QuantileSketch {
         self.counts.len()
     }
 
+    /// The raw `(bucket key, count)` pairs in ascending key order — the
+    /// exact mergeable state. Checkpointing code serialises this and
+    /// rebuilds through [`QuantileSketch::from_parts`], so a resumed
+    /// sweep merges bit-identically to an uninterrupted one.
+    pub fn bucket_iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.counts.iter().map(|(k, n)| (*k, *n))
+    }
+
+    /// Rebuild a sketch from parts previously exported via the public
+    /// accessors ([`QuantileSketch::width`], [`QuantileSketch::min`],
+    /// [`QuantileSketch::max`], [`QuantileSketch::count`],
+    /// [`QuantileSketch::bucket_iter`]). Validates the invariants
+    /// `new`/`observe` maintain and rejects inconsistent parts with a
+    /// description, so checkpoint loaders can treat a bad record as
+    /// corrupt instead of merging garbage.
+    pub fn from_parts(
+        width: f64,
+        min: f64,
+        max: f64,
+        count: u64,
+        non_finite_dropped: u64,
+        buckets: impl IntoIterator<Item = (i64, u64)>,
+    ) -> Result<QuantileSketch, String> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(format!("degenerate sketch width {width}"));
+        }
+        let mut counts = BTreeMap::new();
+        let mut total = 0u64;
+        for (k, n) in buckets {
+            if n == 0 {
+                return Err(format!("empty bucket {k}"));
+            }
+            if counts.insert(k, n).is_some() {
+                return Err(format!("duplicate bucket {k}"));
+            }
+            total = total
+                .checked_add(n)
+                .ok_or_else(|| "bucket counts overflow u64".to_string())?;
+        }
+        if total != count {
+            return Err(format!("bucket counts sum to {total}, expected {count}"));
+        }
+        if count == 0 {
+            if min != f64::INFINITY || max != f64::NEG_INFINITY {
+                return Err(format!("empty sketch with extremes [{min}, {max}]"));
+            }
+        } else if !(min.is_finite() && max.is_finite() && min <= max) {
+            return Err(format!("inconsistent extremes [{min}, {max}]"));
+        }
+        Ok(QuantileSketch {
+            width,
+            counts,
+            count,
+            min,
+            max,
+            non_finite_dropped,
+        })
+    }
+
     /// Observe one value. Non-finite values are dropped and counted.
     pub fn observe(&mut self, v: f64) {
         if !flag_non_finite("measure::sketch::QuantileSketch::observe", v) {
@@ -636,6 +695,39 @@ mod tests {
         // free of the campaign RNG.
         *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (*seed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn quantile_sketch_round_trips_through_parts() {
+        let mut seed = 7u64;
+        let mut s = QuantileSketch::new(0.25);
+        for _ in 0..500 {
+            s.observe(lcg(&mut seed) * 40.0 - 10.0);
+        }
+        s.observe(f64::NAN);
+        let rebuilt = QuantileSketch::from_parts(
+            s.width(),
+            s.min(),
+            s.max(),
+            s.count(),
+            s.non_finite_dropped,
+            s.bucket_iter(),
+        )
+        .expect("exported parts are consistent");
+        assert_eq!(rebuilt, s);
+
+        // Empty sketches round-trip too (sentinel extremes).
+        let empty = QuantileSketch::new(1.0);
+        let rebuilt = QuantileSketch::from_parts(1.0, f64::INFINITY, f64::NEG_INFINITY, 0, 0, [])
+            .expect("empty parts are consistent");
+        assert_eq!(rebuilt, empty);
+
+        // Corrupt parts are rejected, not merged.
+        assert!(QuantileSketch::from_parts(0.0, 0.0, 1.0, 1, 0, [(0, 1)]).is_err());
+        assert!(QuantileSketch::from_parts(1.0, 0.0, 1.0, 2, 0, [(0, 1)]).is_err());
+        assert!(QuantileSketch::from_parts(1.0, 0.0, 1.0, 2, 0, [(0, 1), (0, 1)]).is_err());
+        assert!(QuantileSketch::from_parts(1.0, 5.0, 1.0, 2, 0, [(0, 2)]).is_err());
+        assert!(QuantileSketch::from_parts(1.0, 0.0, 1.0, 1, 0, [(0, 0), (1, 1)]).is_err());
     }
 
     #[test]
