@@ -13,6 +13,7 @@ fn bench_campaigns(c: &mut Criterion) {
 
     group.bench_function("passive_hk_1day", |b| {
         b.iter(|| {
+            #[allow(deprecated)] // bench pins the literal constructor
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| s.code == "HK");
             cfg.parallel = false;
@@ -27,6 +28,7 @@ fn bench_campaigns(c: &mut Criterion) {
     group.bench_function("passive_multisite_pool", |b| {
         b.iter(|| {
             satiot_core::sweep::clear();
+            #[allow(deprecated)] // bench pins the literal constructor
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;
@@ -38,6 +40,7 @@ fn bench_campaigns(c: &mut Criterion) {
     group.bench_function("passive_multisite_site_threads", |b| {
         b.iter(|| {
             satiot_core::sweep::clear();
+            #[allow(deprecated)] // bench pins the literal constructor
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;
@@ -51,6 +54,7 @@ fn bench_campaigns(c: &mut Criterion) {
     // driver pays full prediction every run regardless of core count.
     group.bench_function("passive_multisite_pool_warm", |b| {
         b.iter(|| {
+            #[allow(deprecated)] // bench pins the literal constructor
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;
@@ -63,6 +67,7 @@ fn bench_campaigns(c: &mut Criterion) {
     // between this and `passive_multisite_pool_warm`.
     group.bench_function("passive_multisite_pool_warm_scalar", |b| {
         b.iter(|| {
+            #[allow(deprecated)] // bench pins the literal constructor
             let mut cfg = PassiveConfig::quick(1.0);
             cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));
             cfg.parallel = true;

@@ -172,6 +172,7 @@ struct SimCell {
 fn simulate_config(smoke: bool) -> PassiveConfig {
     // Smoke keeps three sites over two days — long enough that the
     // measured walls dwarf scheduler jitter on a loaded CI runner.
+    #[allow(deprecated)] // report harness tweaks the literal config directly
     let mut cfg = PassiveConfig::quick(if smoke { 2.0 } else { 3.0 });
     if smoke {
         cfg.sites.retain(|s| matches!(s.code, "HK" | "GZ" | "SH"));

@@ -22,6 +22,7 @@ fn main() {
         .into_iter()
         .filter(|s| s.code == "HK")
         .collect::<Vec<_>>();
+    #[allow(deprecated)] // calibration tweaks the literal config directly
     let mut pcfg = PassiveConfig::quick(days);
     pcfg.sites = hk.clone();
     let passive = PassiveCampaign::new(pcfg).run(&opts).unwrap();

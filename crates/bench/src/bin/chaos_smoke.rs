@@ -5,7 +5,7 @@
 //! [`FaultLog`]s, and an active campaign replayed with the same damaged
 //! config must degrade identically.
 //!
-//! Scenarios interleave four families:
+//! Scenarios interleave five families:
 //!
 //! * passive configs perturbed (NaN day caps, emptied sites and
 //!   constellations, poisoned site coordinates, zero-station sites,
@@ -16,7 +16,13 @@
 //!   emptied or negative distance tables, out-of-range uptimes), run
 //!   twice for replay equality of the clamp accounting;
 //! * component-level damage fed straight to the scheduler, beacon
-//!   sampler, and store-and-forward buffer.
+//!   sampler, and store-and-forward buffer;
+//! * scenario-spec JSON perturbed (truncated mid-token, hostile keys
+//!   injected, digits chewed, versions from the future): parsing must
+//!   return a typed [`ScenarioError`] or a spec that round-trips and
+//!   builds deterministically — and when the build yields a runnable
+//!   campaign, serial and pooled replays must report bit-identical
+//!   [`FaultLog`]s. Never a panic.
 //!
 //! A standing scenario also points the spill trace sink at an
 //! unwritable path: the campaign must degrade (counted sink IO faults,
@@ -43,7 +49,7 @@ use satiot_sim::chaos::{ChaosEngine, ChaosPlan};
 use satiot_terrestrial::{TerrestrialCampaign, TerrestrialConfig};
 
 /// Scenario count (the robustness contract asks for ≥ 200).
-const SCENARIOS: u64 = 240;
+const SCENARIOS: u64 = 300;
 
 /// How one scenario ended, short of a panic.
 enum Verdict {
@@ -67,6 +73,7 @@ fn main() {
     // path must degrade (counted in the fault log, sketches intact),
     // never panic the campaign.
     {
+        #[allow(deprecated)] // chaos runs feed deliberately hostile literal configs
         let mut cfg = PassiveConfig::quick(0.5);
         cfg.constellations = vec![tianqi()];
         cfg.sites.truncate(2);
@@ -102,17 +109,19 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     for index in 0..SCENARIOS {
         let mut plan = engine.scenario(index);
-        let family = match index % 4 {
+        let family = match index % 5 {
             0 => "passive",
             1 => "active",
             2 => "terrestrial",
-            _ => "component",
+            3 => "component",
+            _ => "scenario-spec",
         };
-        let verdict = catch_unwind(AssertUnwindSafe(|| match index % 4 {
+        let verdict = catch_unwind(AssertUnwindSafe(|| match index % 5 {
             0 => passive_scenario(&mut plan, &opts),
             1 => active_scenario(&mut plan, &opts),
             2 => terrestrial_scenario(&mut plan),
-            _ => component_scenario(&mut plan),
+            3 => component_scenario(&mut plan),
+            _ => scenario_spec_scenario(&mut plan, &opts),
         }));
         match verdict {
             Ok(Verdict::Clean) => clean += 1,
@@ -164,6 +173,7 @@ fn main() {
 /// Family 0: a perturbed passive campaign must run (or be rejected)
 /// identically under the serial and pooled drivers.
 fn passive_scenario(plan: &mut ChaosPlan, opts: &RunOptions) -> Verdict {
+    #[allow(deprecated)] // chaos runs feed deliberately hostile literal configs
     let mut cfg = PassiveConfig::quick(0.5);
     cfg.seed = plan.derived_seed();
     cfg.constellations = vec![tianqi()];
@@ -385,6 +395,143 @@ fn terrestrial_scenario(plan: &mut ChaosPlan) -> Verdict {
         }
         (a, b) => Verdict::Mismatch(format!(
             "replay disagrees on acceptance: {} vs {}",
+            ok_or_err(&a),
+            ok_or_err(&b)
+        )),
+    }
+}
+
+/// Family 4: scenario-spec JSON chaos. A builtin scenario's canonical
+/// JSON is perturbed — truncated mid-token, hostile keys injected,
+/// digits chewed, versions bumped into the future — and fed through
+/// [`ScenarioSpec::from_json`]. Hostile text must yield a typed
+/// [`ScenarioError`] (identically on replay); text that still parses
+/// must round-trip to an identical spec with an identical fingerprint,
+/// and a spec that builds into a runnable campaign must degrade with
+/// bit-identical [`FaultLog`]s under the serial and pooled drivers.
+fn scenario_spec_scenario(plan: &mut ChaosPlan, opts: &RunOptions) -> Verdict {
+    let base = match plan.index_in(4) {
+        0 => ScenarioSpec::tianqi_hk(),
+        1 => ScenarioSpec::paper_passive(),
+        2 => ScenarioSpec::disrupted_comms(),
+        _ => ScenarioSpec::maritime_tracker(),
+    };
+    let mut text = base.to_json();
+    if plan.chance(0.3) {
+        // Truncate at an arbitrary char boundary — mid-token, mid-string.
+        let mut cut = plan.index_in(text.len().max(1));
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
+        plan.note("json=truncated");
+    }
+    if plan.chance(0.3) {
+        if let Some(brace) = text.find('{') {
+            text.insert_str(brace + 1, "\n  \"__hostile\": \"key\",");
+            plan.note("json=hostile-key");
+        }
+    }
+    if plan.chance(0.3) {
+        // Chew one digit into a letter: breaks a number token, or turns
+        // a quoted name into a different (unknown) one.
+        let at = plan.index_in(text.len().max(1));
+        if let Some((pos, c)) = text
+            .char_indices()
+            .skip(at.min(text.chars().count().saturating_sub(1)))
+            .find(|(_, c)| c.is_ascii_digit())
+        {
+            text.replace_range(pos..pos + c.len_utf8(), "x");
+            plan.note("json=digit-chewed");
+        }
+    }
+    if plan.chance(0.2) {
+        text = text.replacen("\"version\": 1", "\"version\": 99", 1);
+        plan.note("json=future-version");
+    }
+    if plan.chance(0.2) {
+        text = text.replacen(
+            "\"scheduler\": \"predictive\"",
+            "\"scheduler\": \"psychic\"",
+            1,
+        );
+    }
+
+    let first = ScenarioSpec::from_json(&text);
+    let replay = ScenarioSpec::from_json(&text);
+    match (first, replay) {
+        (Err(a), Err(b)) => {
+            if a.to_string() == b.to_string() {
+                Verdict::Rejected
+            } else {
+                Verdict::Mismatch(format!("parse replay differs: [{a}] vs [{b}]"))
+            }
+        }
+        (Ok(a), Ok(b)) => {
+            if a != b || a.fingerprint() != b.fingerprint() {
+                return Verdict::Mismatch("parse replay produced a different spec".into());
+            }
+            // Whatever survived the mutation must round-trip bitwise.
+            match ScenarioSpec::from_json(&a.to_json()) {
+                Ok(rt) if rt == a => {}
+                Ok(_) => return Verdict::Mismatch("round-trip changed the spec".into()),
+                Err(e) => return Verdict::Mismatch(format!("canonical JSON rejected: {e}")),
+            }
+            let resolved = match (a.build(), b.build()) {
+                (Ok(x), Ok(y)) if x.fingerprint == y.fingerprint => x,
+                (Err(x), Err(y)) if x.to_string() == y.to_string() => {
+                    return Verdict::Rejected;
+                }
+                (x, y) => {
+                    return Verdict::Mismatch(format!(
+                        "build replay disagrees: {} vs {}",
+                        ok_or_err(&x),
+                        ok_or_err(&y)
+                    ));
+                }
+            };
+            // A buildable scenario must also *run* deterministically.
+            // Shrink to chaos-smoke size first (catalog sites keep their
+            // canonical coordinates, so the shared pass cache stays
+            // clean).
+            let mut cfg = PassiveConfig::from_scenario(&resolved);
+            cfg.max_days = 0.25;
+            cfg.sites.truncate(1);
+            cfg.constellations.truncate(1);
+            let mut serial_cfg = cfg.clone();
+            serial_cfg.parallel = false;
+            cfg.parallel = true;
+            let serial = PassiveCampaign::new(serial_cfg).run(opts);
+            let pooled = PassiveCampaign::new(cfg).run(opts);
+            match (serial, pooled) {
+                (Ok(x), Ok(y)) => {
+                    if x.faults != y.faults {
+                        Verdict::Mismatch(format!(
+                            "serial faults [{}] != pooled faults [{}]",
+                            x.faults, y.faults
+                        ))
+                    } else if x.faults.is_clean() {
+                        Verdict::Clean
+                    } else {
+                        Verdict::Degraded
+                    }
+                }
+                (Err(x), Err(y)) => {
+                    if x.to_string() == y.to_string() {
+                        Verdict::Rejected
+                    } else {
+                        Verdict::Mismatch(format!("campaign rejected differently: [{x}] vs [{y}]"))
+                    }
+                }
+                (x, y) => Verdict::Mismatch(format!(
+                    "drivers disagree on acceptance: {} vs {}",
+                    ok_or_err(&x),
+                    ok_or_err(&y)
+                )),
+            }
+        }
+        (a, b) => Verdict::Mismatch(format!(
+            "parse replay disagrees on acceptance: {} vs {}",
             ok_or_err(&a),
             ok_or_err(&b)
         )),

@@ -28,18 +28,22 @@ use satiot_core::sweep;
 use satiot_measure::stats::nearest_rank_sorted;
 use satiot_obs::metrics::{self, Counter};
 use satiot_orbit::cull;
-use satiot_scenarios::sites::measurement_sites;
 
 // Shared-slot view of the sink's retention counter (name-keyed).
 static SINK_RETAINED: Counter = Counter::new("measure.sink.traces_retained");
 
 fn config(parallel: bool) -> PassiveConfig {
-    let mut cfg = PassiveConfig::quick(1.0);
-    cfg.sites = measurement_sites()
-        .into_iter()
-        .filter(|s| matches!(s.code, "HK" | "GZ" | "SH"))
+    // The smoke campaign is itself expressed as a scenario spec — the
+    // same typed front door the experiment binaries use — so the
+    // determinism gates below also pin the spec→config path.
+    let mut spec = ScenarioSpec::paper_passive();
+    spec.max_days = Some(1.0);
+    spec.sites = ["HK", "GZ", "SH"]
+        .iter()
+        .map(|code| SiteRef::Named((*code).to_string()))
         .collect();
-    cfg.max_days = 1.0;
+    let scenario = spec.build().expect("catalog site codes resolve");
+    let mut cfg = PassiveConfig::from_scenario(&scenario);
     cfg.parallel = parallel;
     cfg
 }
@@ -307,6 +311,53 @@ fn main() {
     assert_identical("culling off vs on", &per_cull[0], &per_cull[1]);
     // Restore the environment-selected baseline latch for good measure.
     opts.apply();
+
+    // Scenario-file determinism: the committed `tianqi_hk.scenario.json`
+    // must load back to exactly the compiled-in scenario — equal spec,
+    // equal fingerprint — and the campaign it configures must be
+    // bit-identical to the compiled-in one under both the pooled and
+    // serial drivers. This is the contract that lets sweep checkpoints
+    // key on scenario fingerprints.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/tianqi_hk.scenario.json"
+    );
+    let loaded = ScenarioSpec::from_file(path).expect("committed scenario file loads");
+    let builtin = ScenarioSpec::tianqi_hk();
+    assert_eq!(loaded, builtin, "committed scenario drifted from builtin");
+    assert_eq!(
+        loaded.fingerprint(),
+        builtin.fingerprint(),
+        "scenario fingerprints diverged"
+    );
+    let loaded_scenario = loaded.build().expect("committed scenario resolves");
+    let builtin_scenario = builtin.build().expect("builtin scenario resolves");
+    assert_eq!(
+        loaded_scenario.fingerprint, builtin_scenario.fingerprint,
+        "resolved scenario fingerprints diverged"
+    );
+    sweep::clear();
+    let from_file_pooled = PassiveCampaign::new(PassiveConfig::from_scenario(&loaded_scenario))
+        .run(&opts)
+        .unwrap();
+    let from_file_serial = {
+        let mut cfg = PassiveConfig::from_scenario(&loaded_scenario);
+        cfg.parallel = false;
+        PassiveCampaign::new(cfg).run(&opts).unwrap()
+    };
+    let from_builtin = PassiveCampaign::new(PassiveConfig::from_scenario(&builtin_scenario))
+        .run(&opts)
+        .unwrap();
+    assert_identical("scenario file vs builtin", &from_file_pooled, &from_builtin);
+    assert_identical(
+        "scenario file: pool vs serial",
+        &from_file_pooled,
+        &from_file_serial,
+    );
+    println!(
+        "scenario file: tianqi_hk fingerprint {:#018x} matches builtin",
+        loaded.fingerprint()
+    );
 
     println!("determinism smoke: OK");
 }

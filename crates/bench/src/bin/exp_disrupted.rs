@@ -1,0 +1,143 @@
+//! Disrupted communications: scripted terrestrial outages vs satellite
+//! store-and-forward.
+//!
+//! The `disrupted_comms` scenario takes the whole terrestrial path —
+//! gateways and backhaul — down for two scripted windows (day 1→2 and a
+//! half-day starting day 4) while the satellite deployment keeps
+//! store-and-forwarding. This binary runs both sides from the *same*
+//! resolved scenario and pins the paper-motivated claims:
+//!
+//! * the outage gate sits **after** every stochastic draw, so the
+//!   disrupted terrestrial run is bit-identical to the empty-outage
+//!   baseline everywhere outside the scripted windows, and an
+//!   empty-outage run *is* the baseline;
+//! * the terrestrial path delivers **nothing** inside a window while
+//!   the baseline run shows the traffic it would have carried;
+//! * the satellite path delivers **more than zero** packets inside the
+//!   windows — store-and-forward rides out the terrestrial disaster.
+//!
+//! Exits non-zero (panics) on any violation; CI runs `--smoke`, which
+//! truncates to the first outage (3 days).
+
+use satiot_core::prelude::*;
+use satiot_terrestrial::campaign::{TerrestrialCampaign, TerrestrialConfig};
+
+fn in_any(outages: &[OutageWindow], t_s: f64) -> bool {
+    outages.iter().any(|w| w.contains(t_s))
+}
+
+fn main() {
+    let opts = RunOptions::from_env().apply();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut spec = ScenarioSpec::disrupted_comms();
+    if smoke {
+        // Keep the first scripted outage, drop days 3..7.
+        spec.max_days = Some(3.0);
+        spec.outages.truncate(1);
+    }
+    let scenario = spec.build().expect("disrupted-comms scenario resolves");
+    let outages = scenario.outages.clone();
+    let outage_s: f64 = outages.iter().map(|w| w.end_s - w.start_s).sum();
+    println!(
+        "== exp_disrupted: {} — {:.1} day(s), {} outage window(s) totalling {:.1} h ==\n",
+        scenario.name,
+        scenario.max_days.unwrap_or_default(),
+        outages.len(),
+        outage_s / 3600.0,
+    );
+
+    // Terrestrial, with and without the scripted outages. Both configs
+    // come from the same resolved scenario; the baseline just clears
+    // the outage list.
+    let disrupted_cfg = TerrestrialConfig::from_scenario(&scenario);
+    let mut baseline_cfg = disrupted_cfg.clone();
+    baseline_cfg.outages.clear();
+    let disrupted = TerrestrialCampaign::new(disrupted_cfg)
+        .run()
+        .expect("disrupted terrestrial run");
+    let baseline = TerrestrialCampaign::new(baseline_cfg)
+        .run()
+        .expect("baseline terrestrial run");
+
+    // The gate must be surgical: identical traffic generation, and
+    // bit-identical delivery everywhere the windows do not cover.
+    assert_eq!(disrupted.sent.len(), baseline.sent.len(), "sent diverged");
+    for (a, b) in disrupted.sent.iter().zip(&baseline.sent) {
+        assert_eq!(a.seq, b.seq, "sequence diverged");
+        assert_eq!(a.sent_s.to_bits(), b.sent_s.to_bits(), "send time diverged");
+    }
+    let mut blacked_out = 0usize;
+    let mut would_have = 0usize;
+    for (d, b) in disrupted.timelines.iter().zip(&baseline.timelines) {
+        match (d.delivered_s, b.delivered_s) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.to_bits(), y.to_bits(), "delivery time diverged");
+                assert!(
+                    !in_any(&outages, x),
+                    "terrestrial delivered at {x:.0}s inside a scripted outage"
+                );
+            }
+            (None, Some(y)) => {
+                assert!(
+                    in_any(&outages, y),
+                    "delivery at {y:.0}s suppressed outside every outage window"
+                );
+                blacked_out += 1;
+                would_have += 1;
+            }
+            (Some(x), None) => panic!("outage run delivered {x:.0}s where baseline did not"),
+            (None, None) => {}
+        }
+        if let Some(y) = b.delivered_s {
+            if in_any(&outages, y) {
+                // counted above via the (None, Some) arm
+                assert!(d.delivered_s.is_none());
+            }
+        }
+    }
+    assert!(
+        blacked_out > 0,
+        "no terrestrial delivery fell inside a scripted outage — the windows never bit"
+    );
+
+    // Satellite store-and-forward from the same scenario: the outages
+    // are a terrestrial disaster, so the DtS path keeps delivering.
+    let satellite = ActiveCampaign::new(ActiveConfig::from_scenario(&scenario))
+        .run(&opts)
+        .expect("satellite run");
+    let sat_in_outage = satellite
+        .timelines
+        .iter()
+        .filter_map(|t| t.delivered_s)
+        .filter(|&t| in_any(&outages, t))
+        .count();
+    assert!(
+        sat_in_outage > 0,
+        "satellite path delivered nothing during the scripted terrestrial outage"
+    );
+
+    let t_rel = disrupted.reliability();
+    let b_rel = baseline.reliability();
+    assert!(
+        t_rel < b_rel,
+        "outages did not dent terrestrial reliability ({t_rel:.3} vs {b_rel:.3})"
+    );
+    println!(
+        "terrestrial: {:>5} sent, reliability {:.3} with outages vs {:.3} baseline \
+         ({} deliveries blacked out, {} the baseline carried in-window)",
+        disrupted.sent.len(),
+        t_rel,
+        b_rel,
+        blacked_out,
+        would_have,
+    );
+    println!(
+        "satellite:   {:>5} sent, reliability {:.3} — {} packets delivered inside the \
+         terrestrial outage windows (store-and-forward)",
+        satellite.sent.len(),
+        satellite.reliability(),
+        sat_in_outage,
+    );
+
+    println!("\nexp_disrupted: OK");
+}

@@ -1,7 +1,12 @@
 //! Reproduces Figure 2: the measurement node map — eight sites across
 //! four continents, plus Tianqi's ground segment, on an ASCII world grid.
+//!
+//! The site list comes from resolving the paper's passive scenario
+//! through [`ScenarioSpec::build`] — the same typed front door the
+//! campaign binaries use — not from the raw catalog calls.
 
-use satiot_scenarios::sites::{measurement_sites, tianqi_ground_stations, yunnan_farm};
+use satiot_scenarios::sites::{tianqi_ground_stations, yunnan_farm};
+use satiot_scenarios::ScenarioSpec;
 
 const COLS: usize = 90; // 4° of longitude per column.
 const ROWS: usize = 30; // 6° of latitude per row.
@@ -13,6 +18,10 @@ fn plot(grid: &mut [Vec<char>], lat: f64, lon: f64, mark: char) {
 }
 
 fn main() {
+    let scenario = ScenarioSpec::paper_passive()
+        .build()
+        .expect("builtin paper scenario resolves");
+    let sites: Vec<_> = scenario.sites.iter().map(|r| &r.site).collect();
     let mut grid = vec![vec!['.'; COLS]; ROWS];
     // Equator and meridian for orientation.
     for cell in grid[ROWS / 2].iter_mut() {
@@ -36,7 +45,7 @@ fn main() {
         farm.lon_rad.to_degrees(),
         'F',
     );
-    for site in measurement_sites() {
+    for site in &sites {
         plot(&mut grid, site.lat_deg, site.lon_deg, '#');
     }
 
@@ -46,7 +55,7 @@ fn main() {
         println!("{}", row.iter().collect::<String>());
     }
     println!();
-    for site in measurement_sites() {
+    for site in &sites {
         println!(
             "  # {:4} {:12} {:7.2}N {:8.2}E  {} stations from day {:.0}",
             site.code, site.name, site.lat_deg, site.lon_deg, site.station_count, site.start_day

@@ -32,7 +32,9 @@ use satiot_core::sweep;
 use satiot_orbit::cull;
 use satiot_orbit::frames::Geodetic;
 use satiot_orbit::time::JulianDate;
-use satiot_scenarios::walker::{single_sat_visibility_fraction, union_availability, WalkerShell};
+use satiot_scenarios::walker::{
+    single_sat_visibility_fraction, union_availability, WalkerConstellation, WalkerShell,
+};
 
 /// Fraction of the window covered by the union of the pass intervals.
 fn union_fraction(mut intervals: Vec<(f64, f64)>, start: f64, end: f64) -> f64 {
@@ -61,17 +63,35 @@ fn main() {
         inclination_deg: 60.0,
         phasing: 1,
     };
-    shell.validate().expect("mega shell is well-formed");
+    // The shell enters the pipeline the way scenario files declare it:
+    // wrapped in an inline-Walker constellation and resolved through
+    // `ScenarioSpec::build()`, so this binary exercises the same typed
+    // front door (validation, interning, catalog generation) as a
+    // `.scenario.json` with an inline constellation would.
+    let mut spec = ScenarioSpec::paper_passive();
+    spec.name = "megascale".to_string();
+    spec.constellations = vec![ConstellationRef::Inline {
+        walker: WalkerConstellation {
+            name: "MEGA".to_string(),
+            shells: vec![shell],
+            frequency_mhz: 868.0,
+            beacon_interval_s: 60.0,
+        },
+        tx_power_dbm: 22.0,
+    }];
+    let scenario = spec.build().expect("mega shell scenario resolves");
+    let mega = &scenario.constellations[0];
     let days = if smoke { 1.0 } else { 2.0 };
     let epoch = JulianDate::from_calendar(2025, 3, 1, 0, 0, 0.0);
     let (start, end) = (epoch, epoch + days);
     let window_s = days * 86_400.0;
-    let sgp4s: Vec<satiot_orbit::sgp4::Sgp4> = shell
-        .elements(epoch)
+    let sgp4s: Vec<satiot_orbit::sgp4::Sgp4> = mega
+        .catalog(epoch)
         .iter()
-        .map(|e| e.to_sgp4().expect("walker shell propagates"))
+        .map(|def| def.sgp4().expect("walker shell propagates"))
         .collect();
     let n = sgp4s.len() as u32;
+    assert_eq!(n, shell.count(), "catalog count matches the shell");
     println!(
         "== exp_megascale: Walker {}x{} @ {} km / {} deg, {} day(s) ==\n",
         shell.planes, shell.sats_per_plane, shell.altitude_km, shell.inclination_deg, days,

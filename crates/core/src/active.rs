@@ -138,6 +138,31 @@ impl ActiveConfig {
             ..Default::default()
         }
     }
+
+    /// Build an active configuration from a resolved scenario. Unset
+    /// scenario fields (`seed`, `max_days`, `nodes`, `traffic`) keep
+    /// the paper's defaults. The active campaign's geometry is fixed
+    /// (the Yunnan farm uplinking through Tianqi to the operator's
+    /// ground stations), so the scenario's site/constellation
+    /// selections do not change it; its knobs — population, traffic
+    /// model, length, seed — do.
+    pub fn from_scenario(scenario: &satiot_scenarios::ResolvedScenario) -> ActiveConfig {
+        let mut cfg = ActiveConfig::default();
+        if let Some(seed) = scenario.seed {
+            cfg.seed = seed;
+        }
+        if let Some(days) = scenario.max_days {
+            cfg.days = days;
+        }
+        if let Some(nodes) = scenario.nodes {
+            cfg.nodes = nodes;
+        }
+        if let Some(traffic) = &scenario.traffic {
+            cfg.payload_bytes = traffic.payload_bytes as usize;
+            cfg.period_s = traffic.period_s;
+        }
+        cfg
+    }
 }
 
 /// Per-packet bookkeeping.

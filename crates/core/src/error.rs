@@ -78,6 +78,10 @@ pub enum SatIotError {
         field: &'static str,
         /// The offending name.
         name: String,
+        /// Closest catalog entry (case-insensitive edit distance), for
+        /// "did you mean" messages; `None` when nothing is plausibly
+        /// what the author meant.
+        suggestion: Option<&'static str>,
     },
 }
 
@@ -96,6 +100,34 @@ impl From<OrbitError> for SatIotError {
         SatIotError::Orbit {
             context: "orbit propagation",
             source,
+        }
+    }
+}
+
+/// Scenario-DSL failures surface through the campaign error spine:
+/// unknown names keep their typed field/suggestion structure; every
+/// other scenario error (parse, validation, IO, version) is carried as
+/// an [`SatIotError::InvalidName`] on the `scenario` field with the
+/// full rendered message as the name payload, so nothing is lost
+/// crossing the crate boundary.
+impl From<satiot_scenarios::ScenarioError> for SatIotError {
+    fn from(e: satiot_scenarios::ScenarioError) -> SatIotError {
+        use satiot_scenarios::ScenarioError;
+        match e {
+            ScenarioError::UnknownName {
+                field,
+                name,
+                suggestion,
+            } => SatIotError::InvalidName {
+                field,
+                name,
+                suggestion,
+            },
+            other => SatIotError::InvalidName {
+                field: "scenario",
+                name: other.to_string(),
+                suggestion: None,
+            },
         }
     }
 }
@@ -123,8 +155,16 @@ impl fmt::Display for SatIotError {
             SatIotError::Orbit { context, source } => {
                 write!(f, "{context}: orbit error: {source}")
             }
-            SatIotError::InvalidName { field, name } => {
-                write!(f, "config field `{field}`: unusable name {name:?}")
+            SatIotError::InvalidName {
+                field,
+                name,
+                suggestion,
+            } => {
+                write!(f, "config field `{field}`: unusable name {name:?}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean {s:?}?)")?;
+                }
+                Ok(())
             }
         }
     }

@@ -142,6 +142,11 @@ pub struct RunOptions {
     /// [`crate::sweep::set_cache_budget_bytes`]; the sweep server
     /// enforces it between jobs.
     pub sweep_cache_mb: Option<u64>,
+    /// Path to a `.scenario.json` file (`SATIOT_SCENARIO`); `None` runs
+    /// each binary's compiled-in scenario. Campaign binaries load it
+    /// through `ScenarioSpec::from_file` and build their configs from
+    /// the resolved scenario.
+    pub scenario: Option<&'static str>,
 }
 
 impl Default for RunOptions {
@@ -159,6 +164,7 @@ impl Default for RunOptions {
             sweep_dir: None,
             sweep_shard: None,
             sweep_cache_mb: None,
+            scenario: None,
         }
     }
 }
@@ -206,6 +212,9 @@ impl RunOptions {
     ///   every job.
     /// * `SATIOT_SWEEP_CACHE_MB`: unparsable → unlimited; `0` is the
     ///   documented spelling of unlimited, not a rejection.
+    /// * `SATIOT_SCENARIO`: empty → the compiled-in scenario. (Whether
+    ///   the file exists and parses is decided by the binary that loads
+    ///   it, with a typed `ScenarioError`.)
     pub fn from_lookup_with_warnings<F: Fn(&str) -> Option<String>>(
         lookup: F,
     ) -> (RunOptions, Vec<String>) {
@@ -321,6 +330,14 @@ impl RunOptions {
                 }
             }
         });
+        let scenario = lookup("SATIOT_SCENARIO").and_then(|v| {
+            if v.is_empty() {
+                reject("SATIOT_SCENARIO", &v, "the compiled-in scenario");
+                None
+            } else {
+                Some(&*Box::leak(v.into_boxed_str()))
+            }
+        });
         let opts = RunOptions {
             threads,
             ephemeris,
@@ -334,6 +351,7 @@ impl RunOptions {
             sweep_dir,
             sweep_shard,
             sweep_cache_mb,
+            scenario,
         };
         (opts, warnings)
     }
@@ -414,6 +432,14 @@ impl RunOptions {
         self
     }
 
+    /// Override the scenario file path (`None` = the compiled-in
+    /// scenario). The path is interned for the process lifetime so
+    /// `RunOptions` stays `Copy`.
+    pub fn with_scenario(mut self, path: Option<&str>) -> Self {
+        self.scenario = path.map(|p| &*Box::leak(p.to_string().into_boxed_str()));
+        self
+    }
+
     /// Install these options into the process-wide latches consumed by
     /// code below the campaign API: the pool worker count, the
     /// ephemeris mode, the visibility scan mode, the culling mode, the
@@ -466,7 +492,9 @@ mod tests {
             ("SATIOT_SWEEP_DIR", "/tmp/sweep"),
             ("SATIOT_SWEEP_SHARD", "1/4"),
             ("SATIOT_SWEEP_CACHE_MB", "256"),
+            ("SATIOT_SCENARIO", "/tmp/run.scenario.json"),
         ]));
+        assert_eq!(opts.scenario, Some("/tmp/run.scenario.json"));
         assert_eq!(opts.sweep_dir, Some("/tmp/sweep"));
         assert_eq!(opts.sweep_shard, Some((1, 4)));
         assert_eq!(opts.sweep_cache_mb, Some(256));
@@ -632,6 +660,10 @@ mod tests {
         let (opts, warnings) = parse_with_warnings(&[("SATIOT_SWEEP_DIR", "")]);
         assert_eq!(opts.sweep_dir, None);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
+
+        let (opts, warnings) = parse_with_warnings(&[("SATIOT_SCENARIO", "")]);
+        assert_eq!(opts.scenario, None);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
     }
 
     #[test]
@@ -647,6 +679,7 @@ mod tests {
             ("SATIOT_SINK", "firehose"),
             ("SATIOT_SWEEP_SHARD", "broken"),
             ("SATIOT_SWEEP_CACHE_MB", "big"),
+            ("SATIOT_SCENARIO", ""),
         ]);
         // Every malformed knob fell back to its documented default…
         assert_eq!(
@@ -655,7 +688,7 @@ mod tests {
             "malformed values must not leak into the options"
         );
         // …and every one of them was reported.
-        assert_eq!(warnings.len(), 10, "{warnings:?}");
+        assert_eq!(warnings.len(), 11, "{warnings:?}");
     }
 
     #[test]

@@ -122,11 +122,47 @@ impl Default for PassiveConfig {
 impl PassiveConfig {
     /// A truncated campaign (first `days` days per site) for tests and
     /// quick experiments.
+    #[deprecated(note = "construct campaigns through `ScenarioSpec::build()` and \
+                `PassiveConfig::from_scenario` — literal construction \
+                bypasses scenario validation and fingerprinting")]
     pub fn quick(days: f64) -> Self {
         PassiveConfig {
             max_days: days,
             ..Default::default()
         }
+    }
+
+    /// Build a passive configuration from a resolved scenario — the
+    /// typed front door every campaign binary shares. Scenario fields
+    /// that are unset (`seed`, `max_days`, `scheduler`) keep the
+    /// campaign defaults; sites and constellations come from the
+    /// resolution (full catalogs when the scenario listed none).
+    ///
+    /// Mobility tracks are not consumed here: the passive driver keys
+    /// its process-wide pass cache on the site code, which is only
+    /// sound for a fixed observer. Mobile sites flow through
+    /// [`satiot_scenarios::MobilityTrack::legs`] and
+    /// [`satiot_orbit::pass::PassPredictor::passes_over_legs`] instead
+    /// (see `exp_mobile`).
+    pub fn from_scenario(scenario: &satiot_scenarios::ResolvedScenario) -> PassiveConfig {
+        let mut cfg = PassiveConfig::default();
+        if let Some(seed) = scenario.seed {
+            cfg.seed = seed;
+        }
+        if let Some(days) = scenario.max_days {
+            cfg.max_days = days;
+        }
+        if let Some(scheduler) = scenario.scheduler {
+            cfg.scheduler = match scheduler {
+                satiot_scenarios::spec::SchedulerSpec::Predictive => SchedulerKind::Predictive,
+                satiot_scenarios::spec::SchedulerSpec::Vanilla { dwell_s } => {
+                    SchedulerKind::Vanilla { dwell_s }
+                }
+            };
+        }
+        cfg.sites = scenario.static_sites();
+        cfg.constellations = scenario.constellations.clone();
+        cfg
     }
 }
 

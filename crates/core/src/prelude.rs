@@ -8,8 +8,12 @@
 //! ```
 //! use satiot_core::prelude::*;
 //!
+//! let mut spec = ScenarioSpec::tianqi_hk();
+//! spec.max_days = Some(0.2);
+//! let scenario = spec.build().expect("catalog names resolve");
 //! let opts = RunOptions::default();
-//! let results = PassiveCampaign::new(PassiveConfig::quick(0.2)).run(&opts);
+//! let results =
+//!     PassiveCampaign::new(PassiveConfig::from_scenario(&scenario)).run(&opts);
 //! assert!(results.is_ok());
 //! ```
 
@@ -26,3 +30,7 @@ pub use crate::sweep_server::{
 pub use satiot_orbit::cull::CullingMode;
 pub use satiot_orbit::ephemeris::EphemerisMode;
 pub use satiot_orbit::visibility::VisibilityMode;
+pub use satiot_scenarios::{
+    ConstellationRef, MobilityTrack, OutageWindow, ResolvedScenario, ScenarioError, ScenarioSpec,
+    SiteRef, SiteSpec, TerrestrialSpec, TrafficSpec, Waypoint,
+};

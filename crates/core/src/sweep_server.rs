@@ -259,6 +259,7 @@ impl SweepJob {
             return Err(SatIotError::InvalidName {
                 field: "SweepJob.tag",
                 name: self.tag.clone(),
+                suggestion: None,
             });
         }
         if !self.max_days.is_finite() {
@@ -279,22 +280,33 @@ impl SweepJob {
             catalog_sites
         } else {
             for code in &self.sites {
-                if !catalog_sites.iter().any(|s| s.code == code) {
+                if !catalog_sites
+                    .iter()
+                    .any(|s| s.code.eq_ignore_ascii_case(code))
+                {
                     return Err(SatIotError::InvalidName {
                         field: "SweepJob.sites",
                         name: code.clone(),
+                        suggestion: satiot_scenarios::site_code_suggestion(code),
                     });
                 }
-                if self.sites.iter().filter(|c| *c == code).count() > 1 {
+                if self
+                    .sites
+                    .iter()
+                    .filter(|c| c.eq_ignore_ascii_case(code))
+                    .count()
+                    > 1
+                {
                     return Err(SatIotError::InvalidName {
                         field: "SweepJob.sites (duplicated)",
                         name: code.clone(),
+                        suggestion: None,
                     });
                 }
             }
             catalog_sites
                 .into_iter()
-                .filter(|s| self.sites.iter().any(|c| c == s.code))
+                .filter(|s| self.sites.iter().any(|c| c.eq_ignore_ascii_case(s.code)))
                 .collect()
         };
         let catalog_consts = all_constellations();
@@ -302,22 +314,37 @@ impl SweepJob {
             catalog_consts
         } else {
             for label in &self.constellations {
-                if !catalog_consts.iter().any(|c| c.name == label) {
+                if !catalog_consts
+                    .iter()
+                    .any(|c| c.name.eq_ignore_ascii_case(label))
+                {
                     return Err(SatIotError::InvalidName {
                         field: "SweepJob.constellations",
                         name: label.clone(),
+                        suggestion: satiot_scenarios::constellation_suggestion(label),
                     });
                 }
-                if self.constellations.iter().filter(|l| *l == label).count() > 1 {
+                if self
+                    .constellations
+                    .iter()
+                    .filter(|l| l.eq_ignore_ascii_case(label))
+                    .count()
+                    > 1
+                {
                     return Err(SatIotError::InvalidName {
                         field: "SweepJob.constellations (duplicated)",
                         name: label.clone(),
+                        suggestion: None,
                     });
                 }
             }
             catalog_consts
                 .into_iter()
-                .filter(|c| self.constellations.iter().any(|l| l == c.name))
+                .filter(|c| {
+                    self.constellations
+                        .iter()
+                        .any(|l| l.eq_ignore_ascii_case(c.name))
+                })
                 .collect()
         };
         Ok(PassiveConfig {
@@ -548,6 +575,7 @@ impl SweepServer {
                 return Err(SatIotError::InvalidName {
                     field: "SweepJob (duplicate fingerprint)",
                     name: job.tag.clone(),
+                    suggestion: None,
                 });
             }
         }
@@ -564,6 +592,7 @@ impl SweepServer {
             std::fs::create_dir_all(dir).map_err(|_| SatIotError::InvalidName {
                 field: "SweepConfig.spill_dir",
                 name: dir.display().to_string(),
+                suggestion: None,
             })?;
         }
 

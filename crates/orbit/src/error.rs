@@ -63,6 +63,13 @@ pub enum OrbitError {
         /// The offending value.
         value: f64,
     },
+    /// A moving-observer scan was handed legs that are not in
+    /// chronological order (or overlap): concatenating their pass lists
+    /// would break the chronological contract every consumer relies on.
+    UnorderedLegs {
+        /// 0-based index of the first out-of-order leg.
+        index: usize,
+    },
 }
 
 impl fmt::Display for OrbitError {
@@ -100,6 +107,12 @@ impl fmt::Display for OrbitError {
             }
             OrbitError::NonFiniteScan { field, value } => {
                 write!(f, "pass scan `{field}` is non-finite ({value})")
+            }
+            OrbitError::UnorderedLegs { index } => {
+                write!(
+                    f,
+                    "moving-observer leg {index} starts before the previous leg ends"
+                )
             }
         }
     }

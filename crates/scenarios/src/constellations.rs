@@ -14,7 +14,7 @@
 //! band. The layout is index-deterministic so catalogs are reproducible
 //! without an RNG.
 
-use crate::walker::WalkerShell;
+use crate::walker::{WalkerConstellation, WalkerShell};
 use satiot_orbit::elements::{wrap_tau, Elements};
 use satiot_orbit::sgp4::Sgp4;
 use satiot_orbit::time::JulianDate;
@@ -52,12 +52,46 @@ pub struct ConstellationSpec {
     /// lower-power transmitters, which is why they contribute only ~3 %
     /// of the paper's 121 744 traces (Table 3's trace column).
     pub tx_power_dbm: f64,
+    /// When set, [`Self::catalog`] delegates to this exact Walker-delta
+    /// stack instead of the Table-3 band-interpolated layout — the path
+    /// scenario files use for inline constellations. The published
+    /// catalogs keep `None` so their pinned bitwise fingerprints are
+    /// untouched.
+    pub walker: Option<WalkerConstellation>,
 }
 
 impl ConstellationSpec {
     /// Total satellite count across shells.
     pub fn sat_count(&self) -> u32 {
-        self.shells.iter().map(|s| s.count).sum()
+        match &self.walker {
+            Some(w) => w.sat_count(),
+            None => self.shells.iter().map(|s| s.count).sum(),
+        }
+    }
+
+    /// Wrap an inline Walker stack as a catalog-compatible spec:
+    /// [`Self::catalog`] generates the exact Walker layout, the Table-3
+    /// style fields mirror the stack so channel/link code (frequency,
+    /// beacon cadence, transmit power) reads one shape for both kinds.
+    pub fn from_walker(walker: WalkerConstellation, tx_power_dbm: f64) -> ConstellationSpec {
+        ConstellationSpec {
+            name: crate::walker::intern_name(&walker.name),
+            region: "custom",
+            shells: walker
+                .shells
+                .iter()
+                .map(|s| Shell {
+                    count: s.count(),
+                    alt_lo_km: s.altitude_km,
+                    alt_hi_km: s.altitude_km,
+                    inclination_deg: s.inclination_deg,
+                })
+                .collect(),
+            dts_frequency_mhz: walker.frequency_mhz,
+            beacon_interval_s: walker.beacon_interval_s,
+            tx_power_dbm,
+            walker: Some(walker),
+        }
     }
 }
 
@@ -120,6 +154,7 @@ pub fn tianqi() -> ConstellationSpec {
         dts_frequency_mhz: 400.45,
         beacon_interval_s: 60.0,
         tx_power_dbm: 22.0,
+        walker: None,
     }
 }
 
@@ -137,6 +172,7 @@ pub fn fossa() -> ConstellationSpec {
         dts_frequency_mhz: 401.7,
         beacon_interval_s: 90.0,
         tx_power_dbm: 15.0,
+        walker: None,
     }
 }
 
@@ -154,6 +190,7 @@ pub fn pico() -> ConstellationSpec {
         dts_frequency_mhz: 436.26,
         beacon_interval_s: 60.0,
         tx_power_dbm: 16.0,
+        walker: None,
     }
 }
 
@@ -171,6 +208,7 @@ pub fn cstp() -> ConstellationSpec {
         dts_frequency_mhz: 437.985,
         beacon_interval_s: 75.0,
         tx_power_dbm: 16.0,
+        walker: None,
     }
 }
 
@@ -180,8 +218,20 @@ pub fn all_constellations() -> Vec<ConstellationSpec> {
 }
 
 /// Look up a constellation by its label.
+///
+/// Matching is ASCII-case-insensitive — `"tianqi"` finds Tianqi — since
+/// labels reach this lookup from hand-written sweep queues and scenario
+/// files, where case is the most common typo.
 pub fn constellation_by_name(name: &str) -> Option<ConstellationSpec> {
-    all_constellations().into_iter().find(|c| c.name == name)
+    all_constellations()
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+/// The catalog label closest to a failed lookup, for "did you mean"
+/// rejection messages (`None` when nothing is plausibly close).
+pub fn constellation_suggestion(name: &str) -> Option<&'static str> {
+    crate::names::closest(name, all_constellations().iter().map(|c| c.name))
 }
 
 /// Largest divisor of `n` that is at most `cap` (at least 1), so every
@@ -211,6 +261,9 @@ impl ConstellationSpec {
     /// nearly coincident). Stored angles are normalised into
     /// `[0, 2π)`.
     pub fn catalog(&self, epoch: JulianDate) -> Vec<SatelliteDef> {
+        if let Some(walker) = &self.walker {
+            return walker.catalog(epoch);
+        }
         let mut sats = Vec::with_capacity(self.sat_count() as usize);
         let mut sat_id = 0u32;
         for (shell_idx, shell) in self.shells.iter().enumerate() {

@@ -1,0 +1,317 @@
+//! Minimal hand-rolled JSON subset codec shared by the scenario
+//! loaders ([`crate::walker`], [`crate::spec`]).
+//!
+//! The build environment vendors no serde, so the subset grammar lives
+//! here: objects, arrays, numbers, strings, `true`/`false`;
+//! whitespace-insensitive; duplicate handling and unknown-key rejection
+//! are the *callers'* responsibility (they walk the preserved key
+//! order). Errors carry a byte offset so truncated or hostile inputs
+//! fail loudly with a location instead of panicking.
+
+use core::fmt;
+
+/// Error from the JSON layer: malformed syntax or a type mismatch.
+///
+/// Callers wrap this in their own typed error (`WalkerParseError`,
+/// `ScenarioError`) via `From`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value. Object fields preserve source order so callers
+/// can reject unknown keys with the original spelling.
+pub(crate) enum JsonValue {
+    Number(f64),
+    String(String),
+    // The grammar accepts booleans so `true` in a number slot fails
+    // with "must be a number", not a parse error; no v1 field is
+    // boolean yet, so the payload goes unread.
+    #[allow(dead_code)]
+    Bool(bool),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&[(String, JsonValue)], JsonError> {
+        match self {
+            JsonValue::Object(fields) => Ok(fields),
+            _ => Err(JsonError(format!("{what} must be an object"))),
+        }
+    }
+
+    pub(crate) fn as_array(&self, what: &str) -> Result<&[JsonValue], JsonError> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            _ => Err(JsonError(format!("{what} must be an array"))),
+        }
+    }
+
+    pub(crate) fn as_string(&self, what: &str) -> Result<String, JsonError> {
+        match self {
+            JsonValue::String(s) => Ok(s.clone()),
+            _ => Err(JsonError(format!("{what} must be a string"))),
+        }
+    }
+
+    pub(crate) fn as_number(&self, what: &str) -> Result<f64, JsonError> {
+        match self {
+            JsonValue::Number(n) => Ok(*n),
+            _ => Err(JsonError(format!("{what} must be a number"))),
+        }
+    }
+
+    #[allow(dead_code)] // no v1 spec field is boolean yet
+    pub(crate) fn as_bool(&self, what: &str) -> Result<bool, JsonError> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(JsonError(format!("{what} must be true or false"))),
+        }
+    }
+
+    pub(crate) fn as_u32(&self, what: &str) -> Result<u32, JsonError> {
+        let n = self.as_number(what)?;
+        if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
+            return Err(JsonError(format!(
+                "{what} must be a non-negative integer, got {n}"
+            )));
+        }
+        Ok(n as u32)
+    }
+
+    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, JsonError> {
+        let n = self.as_number(what)?;
+        // f64 represents integers exactly up to 2^53; scenario seeds and
+        // counts stay far below that.
+        if n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&n) {
+            return Err(JsonError(format!(
+                "{what} must be a non-negative integer (< 2^53), got {n}"
+            )));
+        }
+        Ok(n as u64)
+    }
+}
+
+pub(crate) struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    pub(crate) fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    pub(crate) fn parse_document(&mut self) -> Result<JsonValue, JsonError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') | Some(b'f') => self.parse_bool(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 scalar (input was &str, so
+                    // boundaries are well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = core::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("empty string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        let rest = &self.bytes[self.pos..];
+        if rest.starts_with(b"true") {
+            self.pos += 4;
+            Ok(JsonValue::Bool(true))
+        } else if rest.starts_with(b"false") {
+            self.pos += 5;
+            Ok(JsonValue::Bool(false))
+        } else {
+            Err(self.err("expected a JSON value"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| JsonError(format!("bad number {text:?} at byte {start}")))?;
+        Ok(JsonValue::Number(n))
+    }
+}
+
+/// Escape a string for embedding in emitted JSON (the emitters only
+/// produce the two escapes the parser accepts).
+pub(crate) fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bools_and_nested_values() {
+        let v = JsonParser::new("{\"a\": [true, false, 1.5], \"b\": \"x\"}")
+            .parse_document()
+            .expect("parse");
+        let obj = v.as_object("doc").expect("object");
+        assert_eq!(obj.len(), 2);
+        let arr = obj[0].1.as_array("a").expect("array");
+        assert!(arr[0].as_bool("a[0]").expect("bool"));
+        assert!(!arr[1].as_bool("a[1]").expect("bool"));
+        assert_eq!(arr[2].as_number("a[2]").expect("number"), 1.5);
+        assert_eq!(obj[1].1.as_string("b").expect("string"), "x");
+    }
+
+    #[test]
+    fn rejects_truncations_with_offsets() {
+        for text in ["", "{", "{\"a\": tru", "[1,", "\"unterminated"] {
+            let err = JsonParser::new(text).parse_document();
+            assert!(err.is_err(), "{text:?} must fail");
+        }
+    }
+
+    #[test]
+    fn u64_round_trips_large_seeds() {
+        let v = JsonParser::new("1311768467463790320")
+            .parse_document()
+            .expect("parse");
+        // 0x1234_5678_9ABC_DEF0 exceeds 2^53 — rejected, not silently
+        // rounded.
+        assert!(v.as_u64("seed").is_err());
+        let small = JsonParser::new("281474976710655")
+            .parse_document()
+            .expect("parse");
+        assert_eq!(small.as_u64("seed").expect("u64"), 0xFFFF_FFFF_FFFF);
+    }
+}

@@ -15,15 +15,25 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod constellations;
+pub mod json;
+pub mod mobility;
+mod names;
 pub mod sites;
+pub mod spec;
 pub mod walker;
 
 pub use constellations::{
-    all_constellations, constellation_by_name, ConstellationSpec, SatelliteDef, Shell,
+    all_constellations, constellation_by_name, constellation_suggestion, ConstellationSpec,
+    SatelliteDef, Shell,
 };
+pub use mobility::{MobilityTrack, Waypoint};
 pub use sites::{
     campaign_end, campaign_epoch, hong_kong_server, measurement_sites, site_by_code,
-    tianqi_ground_stations, yunnan_farm, Climate, Site,
+    site_code_suggestion, tianqi_ground_stations, yunnan_farm, Climate, Site,
+};
+pub use spec::{
+    ConstellationRef, OutageWindow, ResolvedScenario, ResolvedSite, ScenarioError, ScenarioSpec,
+    SchedulerSpec, SiteRef, SiteSpec, TerrestrialSpec, TrafficSpec,
 };
 pub use walker::{
     single_sat_visibility_fraction, union_availability, WalkerConstellation, WalkerParseError,

@@ -1,0 +1,70 @@
+//! "Did you mean …" helpers for named-catalog lookups.
+//!
+//! The catalogs are tiny (8 site codes, 4 constellation labels), so an
+//! exact Levenshtein scan is cheap; suggestions feed the typed
+//! `InvalidName`/`UnknownName` rejection paths so a sweep queue or
+//! scenario file failing on a typo names the fix.
+
+/// Case-insensitive Levenshtein distance between two ASCII-ish names.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let b: Vec<char> = b.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `name`, if it is close enough to plausibly
+/// be a typo (distance ≤ 2, and strictly less than the name's own
+/// length so short codes don't match everything). Ties break on
+/// catalog order, keeping the suggestion deterministic.
+pub(crate) fn closest<'a, I>(name: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut best: Option<(&'a str, usize)> = None;
+    for cand in candidates {
+        let d = edit_distance(name, cand);
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((cand, d));
+        }
+    }
+    let (cand, d) = best?;
+    (d <= 2 && d < name.chars().count().max(1)).then_some(cand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("HK", "HK"), 0);
+        assert_eq!(edit_distance("hk", "HK"), 0); // case-insensitive
+        assert_eq!(edit_distance("Tianqi", "Tianqy"), 1);
+        assert_eq!(edit_distance("", "SYD"), 3);
+    }
+
+    #[test]
+    fn closest_suggests_typos_but_not_noise() {
+        let codes = ["PGH", "LDN", "SH", "GZ", "SYD", "HK", "NC", "YC"];
+        assert_eq!(closest("SYDD", codes), Some("SYD"));
+        assert_eq!(closest("ldn", codes), Some("LDN"));
+        // A 2-char garbage code is distance ≥ 2 from everything and its
+        // own length gate rejects the match.
+        assert_eq!(closest("QQ", codes), None);
+        assert_eq!(
+            closest("Starlink", ["Tianqi", "FOSSA", "PICO", "CSTP"]),
+            None
+        );
+        assert_eq!(closest("tianqy", ["Tianqi", "FOSSA"]), Some("Tianqi"));
+    }
+}

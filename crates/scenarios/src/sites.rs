@@ -31,6 +31,28 @@ pub enum Climate {
 }
 
 impl Climate {
+    /// Stable label used by scenario files (see `spec`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Climate::Subtropical => "subtropical",
+            Climate::Maritime => "maritime",
+            Climate::ContinentalDry => "continental_dry",
+            Climate::TemperateOceanic => "temperate_oceanic",
+        }
+    }
+
+    /// Parse a scenario-file label (ASCII-case-insensitive).
+    pub fn from_label(label: &str) -> Option<Climate> {
+        [
+            Climate::Subtropical,
+            Climate::Maritime,
+            Climate::ContinentalDry,
+            Climate::TemperateOceanic,
+        ]
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(label))
+    }
+
     /// Weather-chain parameters for this climate.
     pub fn weather_params(self) -> WeatherParams {
         match self {
@@ -174,8 +196,20 @@ pub fn measurement_sites() -> Vec<Site> {
 }
 
 /// Look up a measurement site by its Table 1 code (`"HK"` …).
+///
+/// Matching is ASCII-case-insensitive — `"hk"` finds Hong Kong — since
+/// the codes reach this lookup from hand-written sweep queues and
+/// scenario files, where case is the most common typo.
 pub fn site_by_code(code: &str) -> Option<Site> {
-    measurement_sites().into_iter().find(|s| s.code == code)
+    measurement_sites()
+        .into_iter()
+        .find(|s| s.code.eq_ignore_ascii_case(code))
+}
+
+/// The catalog code closest to a failed lookup, for "did you mean"
+/// rejection messages (`None` when nothing is plausibly close).
+pub fn site_code_suggestion(code: &str) -> Option<&'static str> {
+    crate::names::closest(code, measurement_sites().iter().map(|s| s.code))
 }
 
 /// The four cities used for the per-constellation availability analysis

@@ -44,6 +44,7 @@
 //! measured bands.
 
 use crate::constellations::SatelliteDef;
+use crate::json::{escape_json, JsonError, JsonParser, JsonValue};
 use satiot_orbit::elements::{footprint_half_angle_rad, wrap_tau, Elements};
 use satiot_orbit::time::JulianDate;
 
@@ -234,6 +235,12 @@ impl WalkerConstellation {
     /// unknown keys rejected so typos fail loudly).
     pub fn from_json(text: &str) -> Result<WalkerConstellation, WalkerParseError> {
         let value = JsonParser::new(text).parse_document()?;
+        Self::from_value(&value)
+    }
+
+    /// Parse a constellation from an already-parsed JSON value (the
+    /// scenario spec embeds walker objects inline).
+    pub(crate) fn from_value(value: &JsonValue) -> Result<WalkerConstellation, WalkerParseError> {
         let obj = value.as_object("constellation")?;
         let mut name = None;
         let mut frequency_mhz = None;
@@ -313,213 +320,10 @@ impl fmt::Display for WalkerParseError {
 
 impl std::error::Error for WalkerParseError {}
 
-// ---------------------------------------------------------------------
-// Minimal JSON subset parser (no serde in the build environment).
-
-enum JsonValue {
-    Number(f64),
-    String(String),
-    Array(Vec<JsonValue>),
-    Object(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    fn as_object(&self, what: &str) -> Result<&[(String, JsonValue)], WalkerParseError> {
-        match self {
-            JsonValue::Object(fields) => Ok(fields),
-            _ => Err(WalkerParseError(format!("{what} must be an object"))),
-        }
+impl From<JsonError> for WalkerParseError {
+    fn from(e: JsonError) -> Self {
+        WalkerParseError(e.0)
     }
-
-    fn as_array(&self, what: &str) -> Result<&[JsonValue], WalkerParseError> {
-        match self {
-            JsonValue::Array(items) => Ok(items),
-            _ => Err(WalkerParseError(format!("{what} must be an array"))),
-        }
-    }
-
-    fn as_string(&self, what: &str) -> Result<String, WalkerParseError> {
-        match self {
-            JsonValue::String(s) => Ok(s.clone()),
-            _ => Err(WalkerParseError(format!("{what} must be a string"))),
-        }
-    }
-
-    fn as_number(&self, what: &str) -> Result<f64, WalkerParseError> {
-        match self {
-            JsonValue::Number(n) => Ok(*n),
-            _ => Err(WalkerParseError(format!("{what} must be a number"))),
-        }
-    }
-
-    fn as_u32(&self, what: &str) -> Result<u32, WalkerParseError> {
-        let n = self.as_number(what)?;
-        if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
-            return Err(WalkerParseError(format!(
-                "{what} must be a non-negative integer, got {n}"
-            )));
-        }
-        Ok(n as u32)
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> Self {
-        JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, msg: &str) -> WalkerParseError {
-        WalkerParseError(format!("{msg} at byte {}", self.pos))
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), WalkerParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<JsonValue, WalkerParseError> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(self.err("trailing content"));
-        }
-        Ok(v)
-    }
-
-    fn parse_value(&mut self) -> Result<JsonValue, WalkerParseError> {
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<JsonValue, WalkerParseError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Object(fields));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<JsonValue, WalkerParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, WalkerParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos).copied() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos).copied() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        _ => return Err(self.err("unsupported escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Advance one full UTF-8 scalar (input was &str, so
-                    // boundaries are well-formed).
-                    let rest = &self.bytes[self.pos..];
-                    let s = core::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let ch = s.chars().next().ok_or_else(|| self.err("empty string"))?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<JsonValue, WalkerParseError> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let text = core::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        let n: f64 = text
-            .parse()
-            .map_err(|_| WalkerParseError(format!("bad number {text:?} at byte {start}")))?;
-        Ok(JsonValue::Number(n))
-    }
-}
-
-fn escape_json(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 // ---------------------------------------------------------------------
@@ -527,7 +331,7 @@ fn escape_json(s: &str) -> String {
 // paper catalogs use literals); generated constellations leak each
 // distinct name exactly once.
 
-fn intern_name(name: &str) -> &'static str {
+pub(crate) fn intern_name(name: &str) -> &'static str {
     use std::sync::{Mutex, OnceLock};
     static REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
     let mut reg = REGISTRY

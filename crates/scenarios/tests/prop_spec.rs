@@ -1,0 +1,174 @@
+//! Property coverage for the scenario spec: any valid spec — mobility
+//! tracks, outage windows, inline sites, the lot — must survive
+//! spec → JSON → spec bitwise, with a stable fingerprint and idempotent
+//! canonical emission.
+//!
+//! Rust's shortest-round-trip float formatting is the load-bearing
+//! detail: `to_json` emits every `f64` via `Display`, so the parsed
+//! spec compares bit-equal, not approximately.
+
+use proptest::prelude::*;
+use satiot_scenarios::sites::Climate;
+use satiot_scenarios::{
+    ConstellationRef, MobilityTrack, OutageWindow, ScenarioSpec, SchedulerSpec, SiteRef, SiteSpec,
+    TrafficSpec, Waypoint,
+};
+
+const CLIMATES: [Climate; 4] = [
+    Climate::Subtropical,
+    Climate::Maritime,
+    Climate::ContinentalDry,
+    Climate::TemperateOceanic,
+];
+
+/// Deterministically assemble a valid spec from scalar draws. `pick`
+/// toggles every optional section so the round-trip sees each emission
+/// branch, alone and combined.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    pick: u32,
+    seed: u64,
+    max_days: f64,
+    nodes: u32,
+    payload: u32,
+    period: f64,
+    dwell: f64,
+    n_outages: usize,
+    n_waypoints: usize,
+    lat: f64,
+    lon: f64,
+    uptime: f64,
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec {
+        name: "prop".to_string(),
+        ..ScenarioSpec::default()
+    };
+    if pick & 1 != 0 {
+        spec.seed = Some(seed);
+    }
+    if pick & 2 != 0 {
+        spec.max_days = Some(max_days);
+    }
+    spec.scheduler = match pick & 12 {
+        4 => Some(SchedulerSpec::Predictive),
+        8 => Some(SchedulerSpec::Vanilla { dwell_s: dwell }),
+        _ => None,
+    };
+    if pick & 16 != 0 {
+        spec.constellations = vec![ConstellationRef::Named("Tianqi".to_string())];
+    }
+    if pick & 32 != 0 {
+        spec.nodes = Some(nodes);
+        spec.traffic = Some(TrafficSpec {
+            payload_bytes: payload,
+            period_s: period,
+        });
+    }
+    if pick & 64 != 0 {
+        spec.weather = Some(CLIMATES[(pick as usize / 128) % CLIMATES.len()]);
+    }
+    // Chronological, non-overlapping outage windows.
+    let mut t = period.max(1.0);
+    for _ in 0..n_outages {
+        let end = t + 0.5 * period.max(1.0);
+        spec.outages.push(OutageWindow {
+            start_s: t,
+            end_s: end,
+        });
+        t = end + period.max(1.0);
+    }
+    if pick & 256 != 0 {
+        spec.terrestrial = Some(satiot_scenarios::TerrestrialSpec {
+            gateways: 1 + nodes,
+            distances_km: vec![0.4, 1.1],
+            gateway_uptime: uptime,
+        });
+    }
+    spec.sites = if pick & 512 != 0 {
+        // An inline mobile site with a monotone multi-leg track.
+        let waypoints = (0..n_waypoints)
+            .map(|k| Waypoint {
+                t_s: k as f64 * 3_600.0,
+                lat_deg: lat + k as f64 * 0.5,
+                lon_deg: lon + k as f64 * 0.5,
+                alt_km: if pick & 1024 != 0 {
+                    0.01 * k as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        vec![SiteRef::Inline(SiteSpec {
+            code: "PROP".to_string(),
+            name: "property ship".to_string(),
+            lat_deg: lat,
+            lon_deg: lon,
+            alt_km: 0.0,
+            stations: 1 + nodes,
+            start_day: 0.0,
+            climate: CLIMATES[(pick as usize / 2048) % CLIMATES.len()],
+            track: Some(MobilityTrack { waypoints }),
+        })]
+    } else {
+        vec![SiteRef::Named("HK".to_string())]
+    };
+    spec
+}
+
+proptest! {
+    /// spec → JSON → spec is the identity on valid specs, the
+    /// fingerprint is stable across the trip, and canonical emission is
+    /// idempotent (parse(to_json(s)).to_json() == to_json(s)).
+    #[test]
+    fn spec_json_round_trip_identity(
+        pick in 0u32..4096,
+        seed in 0u64..(1u64 << 53),
+        max_days in 0.05f64..30.0,
+        nodes in 1u32..8,
+        payload in 1u32..256,
+        period in 60.0f64..7200.0,
+        dwell in 1.0f64..3600.0,
+        n_outages in 0usize..4,
+        n_waypoints in 2usize..6,
+        lat in -80.0f64..80.0,
+        lon in -170.0f64..170.0,
+        uptime in 0.05f64..1.0,
+    ) {
+        let spec = assemble(
+            pick, seed, max_days, nodes, payload, period, dwell,
+            n_outages, n_waypoints, lat, lon, uptime,
+        );
+        prop_assert!(spec.validate().is_ok(), "assembled spec must be valid");
+        let json = spec.to_json();
+        let parsed = ScenarioSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("canonical JSON rejected: {e}\n{json}"));
+        prop_assert_eq!(&parsed, &spec, "round trip changed the spec");
+        prop_assert_eq!(parsed.fingerprint(), spec.fingerprint());
+        prop_assert_eq!(parsed.to_json(), json, "canonical emission not idempotent");
+    }
+
+    /// Truncating a valid spec's JSON anywhere inside the document must
+    /// yield a typed error, never a panic and never a silent success.
+    #[test]
+    fn truncated_json_is_a_typed_error(
+        pick in 0u32..4096,
+        cut_frac in 0.0f64..1.0,
+        n_waypoints in 2usize..6,
+    ) {
+        let spec = assemble(
+            pick, 7, 2.0, 3, 20, 1800.0, 600.0, 2, n_waypoints, 10.0, 20.0, 0.9,
+        );
+        let json = spec.to_json();
+        let mut cut = ((json.len() as f64) * cut_frac) as usize;
+        while cut > 0 && !json.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut >= json.len() {
+            return;
+        }
+        prop_assert!(
+            ScenarioSpec::from_json(&json[..cut]).is_err(),
+            "truncation at byte {} parsed successfully", cut
+        );
+    }
+}

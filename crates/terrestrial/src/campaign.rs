@@ -18,6 +18,7 @@ use satiot_measure::latency::PacketTimeline;
 use satiot_measure::reliability::SentPacket;
 use satiot_phy::params::LoRaConfig;
 use satiot_phy::per::packet_decodes;
+use satiot_scenarios::{OutageWindow, ResolvedScenario};
 use satiot_sim::{Rng, SimTime};
 
 use std::collections::HashSet;
@@ -45,6 +46,12 @@ pub struct TerrestrialConfig {
     /// powered, professionally sited gateways, lower values the remote
     /// solar-powered reality (`exp_extension_gateways`).
     pub gateway_uptime: f64,
+    /// Scripted outage windows (seconds since campaign start) during
+    /// which the whole terrestrial path — gateways and backhaul — is
+    /// down, modelling a disaster scenario (`exp_disrupted`). The gate
+    /// is applied *after* every stochastic draw, so an empty list is
+    /// bit-identical to the pre-outage baseline.
+    pub outages: Vec<OutageWindow>,
 }
 
 impl Default for TerrestrialConfig {
@@ -58,7 +65,38 @@ impl Default for TerrestrialConfig {
             period_s: 1_800.0,
             gateway_distance_km: vec![0.4, 1.1, 2.0],
             gateway_uptime: 1.0,
+            outages: Vec::new(),
         }
+    }
+}
+
+impl TerrestrialConfig {
+    /// Build a terrestrial configuration from a resolved scenario.
+    /// Unset scenario fields keep the paper's Yunnan baseline defaults;
+    /// the scenario's outage windows script the disrupted-comms case
+    /// study.
+    pub fn from_scenario(scenario: &ResolvedScenario) -> TerrestrialConfig {
+        let mut cfg = TerrestrialConfig::default();
+        if let Some(seed) = scenario.seed {
+            cfg.seed = seed;
+        }
+        if let Some(days) = scenario.max_days {
+            cfg.days = days;
+        }
+        if let Some(nodes) = scenario.nodes {
+            cfg.nodes = nodes;
+        }
+        if let Some(traffic) = &scenario.traffic {
+            cfg.payload_bytes = traffic.payload_bytes as usize;
+            cfg.period_s = traffic.period_s;
+        }
+        if let Some(t) = &scenario.terrestrial {
+            cfg.gateways = t.gateways;
+            cfg.gateway_distance_km = t.distances_km.clone();
+            cfg.gateway_uptime = t.gateway_uptime;
+        }
+        cfg.outages = scenario.outages.clone();
+        cfg
     }
 }
 
@@ -153,6 +191,32 @@ impl TerrestrialCampaign {
                 requirement: "finite distances in km",
             });
         }
+        for w in &cfg.outages {
+            if !(w.start_s.is_finite() && w.end_s.is_finite()) {
+                return Err(SatIotError::NonFiniteTime {
+                    context: "terrestrial outage window",
+                    value: if w.start_s.is_finite() {
+                        w.end_s
+                    } else {
+                        w.start_s
+                    },
+                });
+            }
+            if w.end_s <= w.start_s || w.start_s < 0.0 {
+                return Err(SatIotError::InvalidConfig {
+                    field: "outages",
+                    value: w.start_s,
+                    requirement: "windows with 0 <= start_s < end_s",
+                });
+            }
+        }
+        if let Some(pair) = cfg.outages.windows(2).find(|p| p[1].start_s < p[0].end_s) {
+            return Err(SatIotError::InvalidConfig {
+                field: "outages",
+                value: pair[1].start_s,
+                requirement: "chronological, non-overlapping windows",
+            });
+        }
         Ok(())
     }
 
@@ -230,6 +294,14 @@ impl TerrestrialCampaign {
             let mut t = node as f64 * 17.0;
             while t < horizon_s {
                 let wx = weather.at(SimTime::from_secs(t));
+                // Scripted disaster: the backhaul is down inside an
+                // outage window, so a physically received packet is
+                // never delivered. The gate sits *after* every
+                // stochastic draw (radio reception and the delivery
+                // delay are drawn exactly as in the baseline), so an
+                // empty outage list is bit-identical to the baseline
+                // and packets outside the windows are untouched.
+                let in_outage = cfg.outages.iter().any(|w| w.contains(t));
                 // Any-gateway reception: sample each gateway link.
                 let mut received = false;
                 for g in 0..cfg.gateways {
@@ -241,10 +313,15 @@ impl TerrestrialCampaign {
                         received = true;
                     }
                 }
-                let delivered_s = if received {
-                    Some(t + delivery_delay_s(&mut rng))
+                let delay_s = if received {
+                    Some(delivery_delay_s(&mut rng))
                 } else {
                     None
+                };
+                let delivered_s = if in_outage {
+                    None
+                } else {
+                    delay_s.map(|d| t + d)
                 };
                 if delivered_s.is_some() {
                     delivered_seqs.insert(seq);
@@ -479,6 +556,123 @@ mod tests {
         // produces a full packet record set.
         assert_eq!(r.sent.len(), 3 * 48);
         assert!(r.reliability() > 0.99, "reliability {}", r.reliability());
+    }
+
+    #[test]
+    fn empty_outages_are_bit_identical_to_the_baseline() {
+        let base = run_days(2.0);
+        let gated = run_with(|c| {
+            c.days = 2.0;
+            c.outages = Vec::new();
+        })
+        .unwrap();
+        assert_eq!(base.delivered_seqs, gated.delivered_seqs);
+        assert_eq!(base.sent.len(), gated.sent.len());
+        for (a, b) in base.timelines.iter().zip(&gated.timelines) {
+            assert_eq!(
+                a.delivered_s.map(f64::to_bits),
+                b.delivered_s.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_outages_black_out_their_windows_and_nothing_else() {
+        // Day 2 of a 3-day run is a scripted disaster.
+        let window = OutageWindow {
+            start_s: 86_400.0,
+            end_s: 172_800.0,
+        };
+        let base = run_days(3.0);
+        let gated = run_with(|c| {
+            c.days = 3.0;
+            c.outages = vec![window];
+        })
+        .unwrap();
+        for (pkt, (a, b)) in base
+            .sent
+            .iter()
+            .zip(base.timelines.iter().zip(&gated.timelines))
+        {
+            if window.contains(pkt.sent_s) {
+                assert_eq!(b.delivered_s, None, "t={}", pkt.sent_s);
+            } else {
+                // Outside the window the gated run matches the baseline
+                // bitwise — the gate never consumes RNG draws.
+                assert_eq!(
+                    a.delivered_s.map(f64::to_bits),
+                    b.delivered_s.map(f64::to_bits),
+                    "t={}",
+                    pkt.sent_s
+                );
+            }
+        }
+        assert!(gated.reliability() < base.reliability());
+    }
+
+    #[test]
+    fn malformed_outages_are_typed_errors() {
+        let err = run_with(|c| {
+            c.outages = vec![OutageWindow {
+                start_s: 100.0,
+                end_s: 100.0,
+            }];
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SatIotError::InvalidConfig {
+                field: "outages",
+                ..
+            }
+        ));
+        let err = run_with(|c| {
+            c.outages = vec![
+                OutageWindow {
+                    start_s: 0.0,
+                    end_s: 200.0,
+                },
+                OutageWindow {
+                    start_s: 100.0,
+                    end_s: 300.0,
+                },
+            ];
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SatIotError::InvalidConfig {
+                field: "outages",
+                ..
+            }
+        ));
+        let err = run_with(|c| {
+            c.outages = vec![OutageWindow {
+                start_s: f64::NAN,
+                end_s: 10.0,
+            }];
+        })
+        .unwrap_err();
+        assert!(matches!(err, SatIotError::NonFiniteTime { .. }));
+    }
+
+    #[test]
+    fn from_scenario_maps_every_field() {
+        let mut spec = satiot_scenarios::ScenarioSpec::disrupted_comms();
+        spec.seed = Some(42);
+        let scenario = spec.build().expect("builtin resolves");
+        let cfg = TerrestrialConfig::from_scenario(&scenario);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.days, 7.0);
+        assert_eq!(cfg.nodes, 3);
+        assert_eq!(cfg.payload_bytes, 20);
+        assert_eq!(cfg.period_s, 1_800.0);
+        assert_eq!(cfg.gateways, 3);
+        assert_eq!(cfg.gateway_uptime, 1.0);
+        assert_eq!(cfg.outages.len(), 2);
+        TerrestrialCampaign::new(cfg)
+            .run()
+            .expect("scenario config validates");
     }
 
     #[test]

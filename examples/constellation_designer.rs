@@ -45,6 +45,7 @@ fn main() {
             dts_frequency_mhz: 400.45,
             beacon_interval_s: 60.0,
             tx_power_dbm: 22.0,
+            walker: None,
         };
         let hours = theoretical_daily_hours(&spec, &site, 5);
         let mean = hours.iter().sum::<f64>() / hours.len().max(1) as f64;

@@ -16,8 +16,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2.0);
 
-    let mut cfg = PassiveConfig::quick(days);
-    cfg.sites.retain(|s| s.code == "HK");
+    let mut spec = ScenarioSpec::paper_passive();
+    spec.max_days = Some(days);
+    spec.sites = vec![SiteRef::Named("HK".to_string())];
+    let scenario = spec.build().expect("HK scenario resolves");
+    let cfg = PassiveConfig::from_scenario(&scenario);
     println!("Running a {days}-day HK campaign…");
     let results = PassiveCampaign::new(cfg)
         .run(&RunOptions::from_env().apply())

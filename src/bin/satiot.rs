@@ -233,7 +233,25 @@ fn campaign(kind: CampaignKind, days: f64) {
     let opts = RunOptions::from_env().apply();
     match kind {
         CampaignKind::Passive => {
-            let results = match PassiveCampaign::new(PassiveConfig::quick(days)).run(&opts) {
+            // The CLI goes through the scenario front door: either the
+            // `SATIOT_SCENARIO` file or the compiled-in paper campaign,
+            // with the CLI's day count filling an unset `max_days`.
+            let scenario = match opts.scenario {
+                Some(path) => ScenarioSpec::from_file(path).and_then(|s| s.build()),
+                None => ScenarioSpec::paper_passive().build(),
+            };
+            let scenario = match scenario {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("satiot: scenario rejected: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let mut cfg = PassiveConfig::from_scenario(&scenario);
+            if scenario.max_days.is_none() {
+                cfg.max_days = days;
+            }
+            let results = match PassiveCampaign::new(cfg).run(&opts) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("satiot: passive campaign rejected: {e}");

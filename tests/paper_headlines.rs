@@ -20,6 +20,7 @@ fn opts() -> RunOptions {
 }
 
 fn hk_passive(days: f64) -> PassiveConfig {
+    #[allow(deprecated)] // test pins the literal constructor
     let mut cfg = PassiveConfig::quick(days);
     cfg.sites.retain(|s| s.code == "HK");
     cfg.parallel = false;
